@@ -1,0 +1,87 @@
+// Command hogbench regenerates the paper's tables and figures. Each
+// experiment runs the relevant SGD algorithms through the simulated
+// CPU+GPU engine and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	hogbench -exp fig5 -dataset covtype -scale medium
+//	hogbench -exp all -scale small
+//	hogbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"heterosgd/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1, table2, fig5, fig6, fig7, fig8, ratio) or \"all\"")
+		dataset = flag.String("dataset", "", "restrict to one dataset (covtype, w8a, delicious, real-sim)")
+		scale   = flag.String("scale", "medium", "experiment fidelity: small, medium, full")
+		seed    = flag.Uint64("seed", 1, "random seed for data generation and model init")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		outDir  = flag.String("out", "", "also write each experiment's output to <out>/<exp>[_<dataset>]_<scale>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{Scale: sc, Dataset: *dataset, Seed: *seed}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			name := e.ID
+			if *dataset != "" {
+				name += "_" + *dataset
+			}
+			path := filepath.Join(*outDir, name+"_"+*scale+".txt")
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(written to %s)\n", path)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	run(e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hogbench:", err)
+	os.Exit(1)
+}

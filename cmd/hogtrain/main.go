@@ -1,0 +1,182 @@
+// Command hogtrain trains a fully-connected MLP with any of the paper's SGD
+// algorithms on a real (LIBSVM) or synthetic dataset, using either the
+// simulated CPU+GPU engine (virtual time, faithful device ratios) or the
+// live goroutine engine (wall clock).
+//
+// Usage:
+//
+//	hogtrain -alg adaptive -dataset covtype -scale small -time 50ms
+//	hogtrain -alg cpu+gpu -libsvm train.svm -engine real -time 10s
+//	hogtrain -alg tf -dataset delicious -scale small -time 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/experiments"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/omnivore"
+	"heterosgd/internal/opt"
+	"heterosgd/internal/tfbaseline"
+)
+
+func main() {
+	var (
+		algName  = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, adaptive-lr, minibatch-cpu, tf, omnivore, svrg")
+		dsName   = flag.String("dataset", "covtype", "synthetic dataset: covtype, w8a, delicious, real-sim")
+		libsvm   = flag.String("libsvm", "", "train on a LIBSVM file instead of synthetic data")
+		multi    = flag.Bool("multilabel", false, "parse the LIBSVM file as multi-label")
+		scale    = flag.String("scale", "small", "synthetic scale: small, medium, full")
+		engine   = flag.String("engine", "sim", "execution engine: sim (virtual clock) or real (goroutines)")
+		budget   = flag.Duration("time", 50*time.Millisecond, "training budget (virtual for sim, wall for real)")
+		lr       = flag.Float64("lr", 0, "base learning rate (0 = grid-tune like the paper)")
+		alpha    = flag.Float64("alpha", 2, "adaptive batch scale factor α")
+		beta     = flag.Float64("beta", 1, "CPU update survival fraction β")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit the loss trace as CSV")
+		hidden   = flag.Int("hidden", 0, "override hidden-layer width")
+		shuffled = flag.Bool("shuffle", false, "reshuffle data between epochs")
+		optName  = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
+		schedule = flag.String("schedule", "constant", "LR schedule: constant, step, inv-t, warmup")
+		savePath = flag.String("save", "", "write the trained model to this path")
+		loadPath = flag.String("load", "", "initialize from a model checkpoint")
+	)
+	flag.Parse()
+
+	alg, err := core.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	optKind, err := opt.ParseKind(*optName)
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := core.ParseLRSchedule(*schedule)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ds *data.Dataset
+	var net *nn.Network
+	if *libsvm != "" {
+		ds, err = data.ReadLIBSVMFile(*libsvm, data.LIBSVMOptions{MultiLabel: *multi})
+		if err != nil {
+			fatal(err)
+		}
+		width := *hidden
+		if width == 0 {
+			width = sc.HiddenUnits
+		}
+		arch := nn.Arch{
+			InputDim:   ds.Dim(),
+			Hidden:     []int{width, width, width, width},
+			OutputDim:  ds.NumClasses,
+			Activation: nn.ActSigmoid,
+			MultiLabel: ds.MultiLabel,
+		}
+		net, err = nn.NewNetwork(arch)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if *hidden != 0 {
+			sc.HiddenUnits = *hidden
+		}
+		p, perr := experiments.NewProblem(*dsName, sc, *seed)
+		if perr != nil {
+			fatal(perr)
+		}
+		ds, net = p.Dataset, p.Net
+	}
+
+	fmt.Printf("dataset: %s\n", ds)
+	fmt.Printf("network: %s (%d parameters)\n", net.Arch, net.Arch.NumParameters())
+	var warmStart *nn.Params
+	if *loadPath != "" {
+		warmStart, err = nn.LoadParamsFile(*loadPath, net)
+		if err != nil {
+			fatal(fmt.Errorf("checkpoint does not match this network: %w", err))
+		}
+		fmt.Printf("warm-starting from %s\n", *loadPath)
+	}
+
+	baseLR := *lr
+	if baseLR == 0 {
+		p := &experiments.Problem{Spec: data.SynthSpec{Name: ds.Name}, Dataset: ds, Net: net, Scale: sc}
+		baseLR = experiments.TuneLR(p, *seed)
+		fmt.Printf("grid-tuned base LR: %g\n", baseLR)
+	}
+
+	var res *core.Result
+	if alg == core.AlgOmnivore {
+		cfg := omnivore.DefaultConfig(net, ds)
+		cfg.RoundBatch = sc.Preset.GPUMax
+		cfg.LR = baseLR
+		cfg.Seed = *seed
+		cfg.SampleEvery = *budget / 25
+		res, err = omnivore.Run(cfg, *budget)
+	} else if alg == core.AlgTensorFlow {
+		cfg := tfbaseline.DefaultConfig(net, ds)
+		cfg.Batch = sc.Preset.GPUMax
+		cfg.LR = baseLR
+		cfg.Seed = *seed
+		cfg.SampleEvery = *budget / 25
+		res, err = tfbaseline.Run(cfg, *budget)
+	} else {
+		cfg := core.NewConfig(alg, net, ds, sc.Preset)
+		cfg.BaseLR = baseLR
+		cfg.Alpha = *alpha
+		cfg.Beta = *beta
+		cfg.Seed = *seed
+		cfg.Shuffle = *shuffled
+		cfg.Optimizer = optKind
+		cfg.Schedule = sched
+		cfg.InitialParams = warmStart
+		cfg.SampleEvery = *budget / 25
+		for _, w := range cfg.Workers {
+			if err := core.GPUMemoryCheck(net, w); err != nil {
+				fatal(err)
+			}
+		}
+		if *engine == "real" {
+			res, err = core.RunReal(cfg, *budget)
+		} else {
+			res, err = core.RunSim(cfg, *budget)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *savePath != "" {
+		if err := nn.SaveParamsFile(*savePath, res.Params); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *savePath)
+	}
+	fmt.Println(res)
+	fmt.Printf("final batch sizes: %v (resizes %v)\n", res.FinalBatch, res.Resizes)
+	for worker, n := range res.Updates.Snapshot() {
+		fmt.Printf("  %-6s %10d updates (%.1f%%)\n", worker, n, 100*res.Updates.Share(worker))
+	}
+	if *csv {
+		fmt.Print(metrics.CSV([]*metrics.Trace{res.Trace}))
+	} else {
+		fmt.Print(metrics.ASCIIChart([]*metrics.Trace{res.Trace}, 64, 12, false, "loss vs time"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hogtrain:", err)
+	os.Exit(1)
+}

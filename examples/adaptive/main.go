@@ -1,0 +1,53 @@
+// Adaptive-policy exploration: sweep Algorithm 2's hyperparameters (the
+// batch scale factor α and the update-survival fraction β) on real-sim-
+// shaped high-dimensional data and watch how the batch sizes and the
+// CPU/GPU update balance respond — the trade-off §VI-C describes.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/experiments"
+)
+
+func main() {
+	p, err := experiments.NewProblem("real-sim", experiments.Small(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := p.Horizon()
+	lr := experiments.TuneLR(p, 1)
+	fmt.Printf("%s — budget %v, LR %g\n\n", p.Dataset, horizon, lr)
+
+	fmt.Printf("%-6s %-6s %12s %14s %10s %10s\n",
+		"α", "β", "final loss", "CPU updates %", "CPU batch", "GPU batch")
+	for _, alpha := range []float64{1.5, 2, 4} {
+		for _, beta := range []float64{0.25, 0.5, 1.0} {
+			cfg := core.NewConfig(core.AlgAdaptiveHogbatch, p.Net, p.Dataset, p.Scale.Preset)
+			cfg.BaseLR = lr
+			cfg.Alpha = alpha
+			cfg.Beta = beta
+			res, err := core.RunSim(cfg, horizon)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6.2g %-6.2g %12.4f %13.1f%% %10d %10d\n",
+				alpha, beta, res.FinalLoss, 100*res.CPUShare(),
+				res.FinalBatch[0], res.FinalBatch[1])
+		}
+	}
+
+	fmt.Println("\nStatic CPU+GPU Hogbatch for comparison:")
+	cfg := core.NewConfig(core.AlgCPUGPUHogbatch, p.Net, p.Dataset, p.Scale.Preset)
+	cfg.BaseLR = lr
+	res, err := core.RunSim(cfg, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static: final loss %.4f, CPU share %.1f%%, batches %v\n",
+		res.FinalLoss, 100*res.CPUShare(), res.FinalBatch)
+}

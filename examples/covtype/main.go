@@ -1,0 +1,59 @@
+// Covtype shoot-out: run all four Hogbatch algorithms plus the TensorFlow
+// baseline on covtype-shaped data for the same simulated time budget and
+// compare convergence — a miniature of the paper's Figure 5(a).
+//
+//	go run ./examples/covtype
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/experiments"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/tfbaseline"
+)
+
+func main() {
+	p, err := experiments.NewProblem("covtype", experiments.Small(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := p.Horizon()
+	lr := experiments.TuneLR(p, 1)
+	fmt.Printf("%s — budget %v, grid-tuned LR %g\n\n", p.Dataset, horizon, lr)
+
+	var traces []*metrics.Trace
+	for _, alg := range []core.Algorithm{
+		core.AlgHogbatchCPU, core.AlgHogbatchGPU,
+		core.AlgCPUGPUHogbatch, core.AlgAdaptiveHogbatch,
+	} {
+		cfg := core.NewConfig(alg, p.Net, p.Dataset, p.Scale.Preset)
+		cfg.BaseLR = lr
+		cfg.SampleEvery = horizon / 25
+		res, err := core.RunSim(cfg, horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		traces = append(traces, res.Trace)
+	}
+
+	tfCfg := tfbaseline.DefaultConfig(p.Net, p.Dataset)
+	tfCfg.Batch = p.Scale.Preset.GPUMax
+	tfCfg.LR = lr * float64(tfCfg.Batch) / 56
+	tfCfg.SampleEvery = horizon / 25
+	tfRes, err := tfbaseline.Run(tfCfg, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tfRes)
+	traces = append(traces, tfRes.Trace)
+
+	base := metrics.GlobalMinLoss(traces)
+	metrics.Normalize(traces, base)
+	fmt.Println()
+	fmt.Print(metrics.ASCIIChart(traces, 72, 16, false,
+		"normalized loss vs simulated time (cf. paper Fig 5a)"))
+}

@@ -1,0 +1,3 @@
+module heterosgd
+
+go 1.22

@@ -1,0 +1,197 @@
+// Package heterosgd is a deep-learning training framework for heterogeneous
+// CPU+GPU architectures, reproducing "Adaptive Stochastic Gradient Descent
+// for Deep Learning on Heterogeneous CPU+GPU Architectures" (Ma, Rusu, Wu,
+// Sim — IPPS 2021).
+//
+// The framework trains fully-connected networks with a family of
+// asynchronous SGD algorithms coordinated across a many-thread CPU worker
+// and a large-batch GPU worker sharing one model:
+//
+//   - Hogbatch CPU (Hogwild at one example per thread),
+//   - Hogbatch GPU (large-batch mini-batch SGD),
+//   - CPU+GPU Hogbatch (static small CPU batches + large GPU batches),
+//   - Adaptive Hogbatch (batch sizes continuously rebalanced from live
+//     per-worker update counts — the paper's Algorithm 2),
+//
+// plus a TensorFlow-style op-graph baseline for comparison.
+//
+// Two engines execute the identical algorithm code: RunReal uses goroutines
+// and the wall clock (the live system), while RunSim runs the same
+// arithmetic on a virtual clock driven by calibrated Xeon/V100 cost models,
+// reproducing the paper's 236–317× CPU/GPU epoch-speed gap on any host.
+//
+// Quick start:
+//
+//	spec := heterosgd.CovtypeSpec.Scaled(0.01)
+//	ds := heterosgd.Generate(spec, 1)
+//	net := heterosgd.MustNetwork(spec.Arch())
+//	cfg := heterosgd.NewConfig(heterosgd.AlgAdaptiveHogbatch, net, ds, heterosgd.DefaultPreset())
+//	res, err := heterosgd.RunSim(cfg, time.Second)
+//
+// See examples/ for complete programs and cmd/hogbench for the paper's
+// tables and figures.
+package heterosgd
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/omnivore"
+	"heterosgd/internal/opt"
+	"heterosgd/internal/tfbaseline"
+)
+
+// Algorithm selection (see core.Algorithm).
+type Algorithm = core.Algorithm
+
+// The paper's SGD variants.
+const (
+	AlgHogbatchCPU      = core.AlgHogbatchCPU
+	AlgHogbatchGPU      = core.AlgHogbatchGPU
+	AlgCPUGPUHogbatch   = core.AlgCPUGPUHogbatch
+	AlgAdaptiveHogbatch = core.AlgAdaptiveHogbatch
+	AlgMinibatchCPU     = core.AlgMinibatchCPU
+	AlgTensorFlow       = core.AlgTensorFlow
+	AlgAdaptiveLR       = core.AlgAdaptiveLR
+	AlgOmnivore         = core.AlgOmnivore
+	AlgSVRG             = core.AlgSVRG
+)
+
+// Training configuration and results.
+type (
+	// Config fully specifies a training run.
+	Config = core.Config
+	// WorkerConfig describes one worker.
+	WorkerConfig = core.WorkerConfig
+	// Preset bundles per-device batch thresholds.
+	Preset = core.Preset
+	// Result captures a finished run's measurements.
+	Result = core.Result
+)
+
+// Network types.
+type (
+	// Arch describes an MLP topology.
+	Arch = nn.Arch
+	// Network is a validated topology.
+	Network = nn.Network
+	// Params holds model weights.
+	Params = nn.Params
+)
+
+// Dataset types.
+type (
+	// Dataset is an in-memory training set.
+	Dataset = data.Dataset
+	// SynthSpec describes a synthetic dataset shape.
+	SynthSpec = data.SynthSpec
+	// LIBSVMOptions controls LIBSVM parsing.
+	LIBSVMOptions = data.LIBSVMOptions
+)
+
+// Shape specifications of the paper's four datasets (Table II).
+var (
+	CovtypeSpec   = data.Covtype
+	W8aSpec       = data.W8a
+	DeliciousSpec = data.Delicious
+	RealSimSpec   = data.RealSim
+)
+
+// ParseAlgorithm maps a name ("adaptive", "cpu+gpu", …) to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
+
+// DefaultPreset returns the paper's batch thresholds (§VII-A).
+func DefaultPreset() Preset { return core.DefaultPreset() }
+
+// NewConfig assembles a ready-to-run configuration for an algorithm.
+func NewConfig(alg Algorithm, net *Network, ds *Dataset, p Preset) Config {
+	return core.NewConfig(alg, net, ds, p)
+}
+
+// RunSim trains on the simulated CPU+GPU machine for a virtual-time budget.
+func RunSim(cfg Config, horizon time.Duration) (*Result, error) { return core.RunSim(cfg, horizon) }
+
+// RunReal trains with live goroutines for a wall-clock budget.
+func RunReal(cfg Config, budget time.Duration) (*Result, error) { return core.RunReal(cfg, budget) }
+
+// RunTensorFlowBaseline trains with the op-graph synchronous baseline.
+func RunTensorFlowBaseline(cfg tfbaseline.Config, horizon time.Duration) (*Result, error) {
+	return tfbaseline.Run(cfg, horizon)
+}
+
+// TensorFlowConfig is the baseline's configuration.
+type TensorFlowConfig = tfbaseline.Config
+
+// OmnivoreConfig configures the §II static-proportional baseline.
+type OmnivoreConfig = omnivore.Config
+
+// DefaultOmnivoreConfig returns Omnivore defaults for a problem.
+func DefaultOmnivoreConfig(net *Network, ds *Dataset) OmnivoreConfig {
+	return omnivore.DefaultConfig(net, ds)
+}
+
+// RunOmnivoreBaseline trains with synchronized speed-proportional rounds.
+func RunOmnivoreBaseline(cfg OmnivoreConfig, horizon time.Duration) (*Result, error) {
+	return omnivore.Run(cfg, horizon)
+}
+
+// Optimizer selection for Config.Optimizer.
+type OptimizerKind = opt.Kind
+
+// Update rules available to workers.
+const (
+	OptSGD      = opt.KindSGD
+	OptMomentum = opt.KindMomentum
+	OptAdaGrad  = opt.KindAdaGrad
+	OptAdam     = opt.KindAdam
+)
+
+// LRSchedule shapes the learning rate over epochs (Config.Schedule).
+type LRSchedule = core.LRSchedule
+
+// Learning-rate schedules.
+const (
+	ScheduleConstant = core.ScheduleConstant
+	ScheduleStep     = core.ScheduleStep
+	ScheduleInvT     = core.ScheduleInvT
+	ScheduleWarmup   = core.ScheduleWarmup
+)
+
+// DefaultTensorFlowConfig returns the baseline defaults for a problem.
+func DefaultTensorFlowConfig(net *Network, ds *Dataset) TensorFlowConfig {
+	return tfbaseline.DefaultConfig(net, ds)
+}
+
+// Generate materializes a synthetic dataset from a shape specification.
+func Generate(spec SynthSpec, seed uint64) *Dataset { return data.Generate(spec, seed) }
+
+// ReadLIBSVMFile loads a LIBSVM-format dataset (e.g. the real covtype).
+func ReadLIBSVMFile(path string, opts LIBSVMOptions) (*Dataset, error) {
+	return data.ReadLIBSVMFile(path, opts)
+}
+
+// MustNetwork builds a Network from a statically-known architecture.
+func MustNetwork(arch Arch) *Network { return nn.MustNetwork(arch) }
+
+// NewNetwork builds and validates a Network.
+func NewNetwork(arch Arch) (*Network, error) { return nn.NewNetwork(arch) }
+
+// NewRNG returns the deterministic random source used by runs with the
+// given seed.
+func NewRNG(seed uint64) *rand.Rand { return core.RunRNG(seed) }
+
+// NewMultiConfig assembles a topology with several CPU sockets and GPUs
+// (the paper's future work).
+func NewMultiConfig(alg Algorithm, net *Network, ds *Dataset, p Preset, numCPU, numGPU int) (Config, error) {
+	return core.NewMultiConfig(alg, net, ds, p, numCPU, numGPU)
+}
+
+// SaveModel writes trained parameters to a checkpoint file.
+func SaveModel(path string, p *Params) error { return nn.SaveParamsFile(path, p) }
+
+// LoadModel reads a checkpoint for the network (use Config.InitialParams
+// to warm-start a run from it).
+func LoadModel(path string, net *Network) (*Params, error) { return nn.LoadParamsFile(path, net) }

@@ -1,0 +1,367 @@
+// Package core implements the paper's contribution: the heterogeneous
+// CPU+GPU deep-learning framework (coordinator + asynchronous workers,
+// §V) and the SGD algorithms built on it — Hogbatch (Algorithm 1), the
+// static CPU+GPU Hogbatch (§VI-B), and Adaptive Hogbatch (Algorithm 2) —
+// plus single-device mini-batch and Hogwild baselines.
+//
+// Two interchangeable execution engines run the same coordinator logic:
+//
+//   - RunSim: a discrete-event engine on a virtual clock driven by the
+//     device cost models (internal/device). Every gradient is computed for
+//     real; elapsed time is simulated, reproducing the paper's CPU/GPU
+//     speed ratios faithfully on any host (DESIGN.md §2).
+//   - RunReal: goroutines and wall-clock time, with the coordinator and
+//     workers as concurrent threads communicating over internal/msgq —
+//     the live system, structured exactly like the paper's pthreads code.
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/opt"
+	"heterosgd/internal/tensor"
+)
+
+// Algorithm identifies an SGD variant from the paper's evaluation (§VII-B).
+type Algorithm int
+
+const (
+	// AlgHogbatchCPU is Hogbatch on CPU only; with one example per thread
+	// it degenerates to Hogwild, the paper's CPU configuration.
+	AlgHogbatchCPU Algorithm = iota
+	// AlgHogbatchGPU is large-batch mini-batch SGD on GPU only.
+	AlgHogbatchGPU
+	// AlgCPUGPUHogbatch runs small static batches on CPU and large static
+	// batches on GPU, updating one shared model asynchronously (§VI-B).
+	AlgCPUGPUHogbatch
+	// AlgAdaptiveHogbatch continuously rebalances batch sizes from the
+	// per-worker update counts (Algorithm 2).
+	AlgAdaptiveHogbatch
+	// AlgMinibatchCPU is synchronous mini-batch SGD on CPU (baseline).
+	AlgMinibatchCPU
+	// AlgTensorFlow labels results produced by the internal/tfbaseline
+	// op-graph executor; it is not runnable through core's engines.
+	AlgTensorFlow
+	// AlgSVRG is the variance-reduced heterogeneous algorithm §II alludes
+	// to: the GPU periodically computes a large-batch anchor gradient μ at
+	// a model snapshot w̃ while the CPU performs Hogwild updates with the
+	// SVRG correction ∇f(w) − ∇f(w̃) + μ. Simulated engine only.
+	AlgSVRG
+	// AlgOmnivore labels results from the internal/omnivore comparator
+	// (static speed-proportional batches with synchronized rounds, §II);
+	// it is not runnable through core's engines.
+	AlgOmnivore
+	// AlgAdaptiveLR is the related-work comparator from §II's distributed
+	// parameter-server setting [10]: batch sizes stay static (as in
+	// CPU+GPU Hogbatch) and the coordinator instead rebalances per-worker
+	// *learning rates* from the update counts. The paper argues
+	// "learning rate maintenance is more complex than modifying the
+	// batch size"; this algorithm lets the claim be tested.
+	AlgAdaptiveLR
+)
+
+// String returns the algorithm's display name as used in the figures.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgHogbatchCPU:
+		return "Hogbatch CPU"
+	case AlgHogbatchGPU:
+		return "Hogbatch GPU"
+	case AlgCPUGPUHogbatch:
+		return "CPU+GPU"
+	case AlgAdaptiveHogbatch:
+		return "Adaptive"
+	case AlgMinibatchCPU:
+		return "Minibatch CPU"
+	case AlgTensorFlow:
+		return "TensorFlow"
+	case AlgAdaptiveLR:
+		return "AdaptiveLR"
+	case AlgOmnivore:
+		return "Omnivore"
+	case AlgSVRG:
+		return "SVRG CPU+GPU"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseAlgorithm maps a CLI name to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "cpu", "hogbatch-cpu", "hogwild":
+		return AlgHogbatchCPU, nil
+	case "gpu", "hogbatch-gpu", "minibatch-gpu":
+		return AlgHogbatchGPU, nil
+	case "cpu+gpu", "cpugpu", "hybrid":
+		return AlgCPUGPUHogbatch, nil
+	case "adaptive":
+		return AlgAdaptiveHogbatch, nil
+	case "minibatch-cpu":
+		return AlgMinibatchCPU, nil
+	case "tensorflow", "tf":
+		return AlgTensorFlow, nil
+	case "adaptive-lr", "adaptivelr":
+		return AlgAdaptiveLR, nil
+	case "omnivore":
+		return AlgOmnivore, nil
+	case "svrg":
+		return AlgSVRG, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", name)
+	}
+}
+
+// WorkerConfig describes one worker thread: its device model, parallelism,
+// batch-size range, and replica discipline.
+type WorkerConfig struct {
+	// Device is the worker's cost model; its Kind also selects the
+	// worker implementation (CPU Hogbatch vs GPU mini-batch).
+	Device device.Device
+	// Threads is the CPU worker's intra-worker parallelism t (§VI-C):
+	// each ExecuteWork batch splits into Threads sub-batches whose
+	// gradients update the shared model independently. Ignored on GPUs.
+	Threads int
+	// InitialBatch, MinBatch, MaxBatch bound the worker's batch size
+	// (Algorithm 2's min_b/max_b thresholds). For static algorithms
+	// MinBatch == InitialBatch == MaxBatch.
+	InitialBatch, MinBatch, MaxBatch int
+	// DeepReplica forces a deep model copy per iteration (always true
+	// for GPU workers — the replica is the PCIe transfer buffer).
+	DeepReplica bool
+}
+
+// Config fully specifies a training run.
+type Config struct {
+	// Algorithm selects the SGD variant (drives preset construction and
+	// whether the adaptive policy is active).
+	Algorithm Algorithm
+	// Net and Dataset define the learning problem.
+	Net     *nn.Network
+	Dataset *data.Dataset
+	// Workers lists the participating workers.
+	Workers []WorkerConfig
+	// BaseLR is the learning rate at RefBatch examples. When LRScaling
+	// is set, a worker processing batches of b examples uses
+	// BaseLR·min(b, LRScalingCap·RefBatch)/RefBatch following the
+	// linear-scaling rule the paper adopts (§VI-B, Goyal et al.).
+	BaseLR       float64
+	RefBatch     int
+	LRScaling    bool
+	LRScalingCap float64
+	// Alpha is Algorithm 2's batch-size scale factor (default 2).
+	Alpha float64
+	// Beta is Algorithm 2's surviving-update fraction for CPU workers
+	// (default 1).
+	Beta float64
+	// UpdateMode selects atomic (race-free) or racy (paper-exact) shared
+	// model writes.
+	UpdateMode tensor.UpdateMode
+	// StaleDamping scales a stale gradient's learning rate by
+	// 1/(1+StaleDamping·staleUpdates), the §VI-B mitigation. 0 disables.
+	StaleDamping float64
+	// Optimizer selects the per-worker update rule (plain SGD by default;
+	// momentum/AdaGrad/Adam via internal/opt). Optimizer state is private
+	// to each worker thread.
+	Optimizer opt.Kind
+	// OptimizerHP carries the optimizer's hyperparameters.
+	OptimizerHP opt.HyperParams
+	// Schedule shapes the learning rate over epochs (constant by
+	// default); StepEvery, DecayRate and WarmupEpochs parameterize it.
+	Schedule     LRSchedule
+	StepEvery    float64
+	DecayRate    float64
+	WarmupEpochs float64
+	// Seed drives model initialization and shuffling.
+	Seed uint64
+	// WeightDecay adds an L2 penalty: every gradient becomes
+	// grad + WeightDecay·w (evaluated at the model the gradient was
+	// computed against). 0 disables.
+	WeightDecay float64
+	// InitialParams warm-starts training from an existing model (e.g. a
+	// checkpoint loaded with nn.LoadParamsFile); nil uses the seeded
+	// Xavier initialization. The engines clone it, so the caller's copy
+	// is never mutated.
+	InitialParams *nn.Params
+	// Shuffle reshuffles the training data between epochs.
+	Shuffle bool
+	// EvalSubset bounds the number of examples used per loss evaluation
+	// (0 = full dataset). Loss evaluation time is excluded from the
+	// convergence clock, following §VII-A.
+	EvalSubset int
+	// SampleEvery inserts additional loss samples at this virtual-time
+	// period so slow algorithms produce curves before their first epoch
+	// completes (Figure 5's Hogwild CPU line). 0 samples only at epochs.
+	SampleEvery time.Duration
+	// EvalDevice performs the end-of-epoch loss computation (the paper
+	// always uses the GPU, Figure 7); nil falls back to the first worker.
+	EvalDevice device.Device
+	// TargetLoss stops the run early once an evaluation reaches it
+	// (early stopping; the paper's alternative stopping rule in §III:
+	// "when there is no significant drop in the loss"). 0 disables.
+	TargetLoss float64
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.Net == nil {
+		return fmt.Errorf("core: config needs a network")
+	}
+	if c.Dataset == nil {
+		return fmt.Errorf("core: config needs a dataset")
+	}
+	if err := c.Dataset.Validate(); err != nil {
+		return err
+	}
+	if c.Net.Arch.InputDim != c.Dataset.Dim() {
+		return fmt.Errorf("core: network input %d ≠ dataset dim %d", c.Net.Arch.InputDim, c.Dataset.Dim())
+	}
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("core: config needs at least one worker")
+	}
+	for i, w := range c.Workers {
+		if w.Device == nil {
+			return fmt.Errorf("core: worker %d has no device", i)
+		}
+		if w.MinBatch < 1 || w.MaxBatch < w.MinBatch {
+			return fmt.Errorf("core: worker %d batch range [%d,%d] invalid", i, w.MinBatch, w.MaxBatch)
+		}
+		if w.InitialBatch < w.MinBatch || w.InitialBatch > w.MaxBatch {
+			return fmt.Errorf("core: worker %d initial batch %d outside [%d,%d]", i, w.InitialBatch, w.MinBatch, w.MaxBatch)
+		}
+		if w.Device.Kind() == device.KindCPU && w.Threads < 1 {
+			return fmt.Errorf("core: CPU worker %d needs Threads ≥ 1", i)
+		}
+	}
+	if c.BaseLR <= 0 {
+		return fmt.Errorf("core: base learning rate %v must be positive", c.BaseLR)
+	}
+	if c.Alpha <= 1 {
+		return fmt.Errorf("core: alpha %v must exceed 1", c.Alpha)
+	}
+	if c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("core: beta %v outside (0,1]", c.Beta)
+	}
+	return nil
+}
+
+// LRFor returns the learning rate for batches of b examples under the
+// linear-scaling rule, or BaseLR when scaling is disabled.
+func (c *Config) LRFor(b int) float64 {
+	if !c.LRScaling || c.RefBatch <= 0 {
+		return c.BaseLR
+	}
+	scale := float64(b) / float64(c.RefBatch)
+	if cap := c.LRScalingCap; cap > 0 && scale > cap {
+		scale = cap
+	}
+	if scale < 1.0/float64(c.RefBatch) {
+		scale = 1.0 / float64(c.RefBatch)
+	}
+	return c.BaseLR * scale
+}
+
+// adaptive reports whether the batch-size policy is active.
+func (c *Config) adaptive() bool { return c.Algorithm == AlgAdaptiveHogbatch }
+
+// Preset bundles the paper's per-device batch thresholds (§VII-A: CPU 1–64
+// examples per thread, GPU 64–8192).
+type Preset struct {
+	// CPUThreads is the CPU worker's update-thread count (paper: 56).
+	CPUThreads int
+	// CPUMinPerThread/CPUMaxPerThread bound the per-thread batch share.
+	CPUMinPerThread, CPUMaxPerThread int
+	// GPUMin/GPUMax bound the GPU batch size.
+	GPUMin, GPUMax int
+}
+
+// DefaultPreset returns the paper's thresholds.
+func DefaultPreset() Preset {
+	return Preset{CPUThreads: 56, CPUMinPerThread: 1, CPUMaxPerThread: 64, GPUMin: 512, GPUMax: 8192}
+}
+
+// NewConfig assembles a Config for the given algorithm with the paper's
+// hardware models and batch thresholds, a network matching ds, and sensible
+// hyperparameter defaults. Callers tune BaseLR and horizon afterwards.
+func NewConfig(alg Algorithm, net *nn.Network, ds *data.Dataset, p Preset) Config {
+	cpu := device.NewXeon("cpu0", p.CPUThreads)
+	gpu := device.NewV100("gpu0")
+	cpuWorker := func(initialPerThread int, adaptive bool) WorkerConfig {
+		minB, maxB := p.CPUThreads*p.CPUMinPerThread, p.CPUThreads*p.CPUMaxPerThread
+		if !adaptive {
+			minB, maxB = p.CPUThreads*initialPerThread, p.CPUThreads*initialPerThread
+		}
+		return WorkerConfig{
+			Device: cpu, Threads: p.CPUThreads,
+			InitialBatch: p.CPUThreads * initialPerThread, MinBatch: minB, MaxBatch: maxB,
+		}
+	}
+	gpuWorker := func(initial int, adaptive bool) WorkerConfig {
+		minB, maxB := p.GPUMin, p.GPUMax
+		if !adaptive {
+			minB, maxB = initial, initial
+		}
+		return WorkerConfig{
+			Device: gpu, InitialBatch: initial, MinBatch: minB, MaxBatch: maxB,
+			DeepReplica: true,
+		}
+	}
+
+	cfg := Config{
+		Algorithm:    alg,
+		Net:          net,
+		Dataset:      ds,
+		BaseLR:       0.05,
+		RefBatch:     p.CPUThreads,
+		LRScaling:    true,
+		LRScalingCap: 16,
+		Alpha:        2,
+		Beta:         1,
+		UpdateMode:   tensor.UpdateAtomic,
+		Seed:         1,
+		EvalSubset:   4096,
+		EvalDevice:   gpu,
+	}
+	switch alg {
+	case AlgHogbatchCPU:
+		cfg.Workers = []WorkerConfig{cpuWorker(p.CPUMinPerThread, false)}
+	case AlgHogbatchGPU:
+		cfg.Workers = []WorkerConfig{gpuWorker(p.GPUMax, false)}
+	case AlgCPUGPUHogbatch:
+		cfg.Workers = []WorkerConfig{cpuWorker(p.CPUMinPerThread, false), gpuWorker(p.GPUMax, false)}
+	case AlgAdaptiveHogbatch:
+		// Initial sizes per §VII-A: CPU at the lower threshold (Hogwild),
+		// GPU at the upper threshold.
+		cfg.Workers = []WorkerConfig{cpuWorker(p.CPUMinPerThread, true), gpuWorker(p.GPUMax, true)}
+	case AlgAdaptiveLR:
+		// Static batches like CPU+GPU Hogbatch; the adaptation happens on
+		// the learning rates instead.
+		cfg.Workers = []WorkerConfig{cpuWorker(p.CPUMinPerThread, false), gpuWorker(p.GPUMax, false)}
+	case AlgMinibatchCPU:
+		w := cpuWorker(8, false)
+		w.Threads = 1 // single gradient over the whole batch
+		cfg.Workers = []WorkerConfig{w}
+	case AlgSVRG:
+		// CPU at Hogwild granularity; GPU at the upper threshold so each
+		// anchor gradient is as accurate as possible.
+		cfg.Workers = []WorkerConfig{cpuWorker(p.CPUMinPerThread, false), gpuWorker(p.GPUMax, false)}
+	}
+	return cfg
+}
+
+// RunRNG returns the deterministic random source a run with this seed uses
+// for model initialization and shuffling. Exported so comparison baselines
+// (internal/tfbaseline) can start from the identical model, as the paper's
+// methodology requires ("all the algorithms are initialized with the same
+// model", §VII-A).
+func RunRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+}
+
+// newRNG returns the config's deterministic random source.
+func (c *Config) newRNG() *rand.Rand { return RunRNG(c.Seed) }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"heterosgd/internal/data"
+)
+
+// coordinator holds the framework's scheduling state — the epoch's batch
+// pool and the per-worker batch sizes and update counts — and implements
+// the ScheduleWork message handlers of Algorithm 1 (static batch sizes) and
+// Algorithm 2 (adaptive batch sizes).
+//
+// Both execution engines drive one coordinator. In the real engine it is
+// confined to the coordinator goroutine; in the simulated engine everything
+// is single-threaded. It therefore needs no internal locking, mirroring the
+// paper's sequential message processing.
+type coordinator struct {
+	cfg *Config
+	rng *rand.Rand
+
+	// cursor is the next unassigned example of the current epoch; the
+	// pool B is the range [cursor, N).
+	cursor int
+	// epoch counts completed passes; examplesDone accumulates assigned
+	// examples across epochs for fractional-epoch bookkeeping.
+	epoch        int
+	examplesDone int64
+
+	// batch[i] is worker i's current batch size b^E; updates[i] is its
+	// β-weighted update count u^E.
+	batch   []int
+	updates []int64
+
+	// lrMult is the per-worker learning-rate multiplier maintained by the
+	// AdaptiveLR comparator (1 everywhere otherwise).
+	lrMult []float64
+
+	// resizes counts adaptive batch-size changes per worker (diagnostic).
+	resizes []int
+}
+
+func newCoordinator(cfg *Config) *coordinator {
+	c := &coordinator{
+		cfg:     cfg,
+		rng:     cfg.newRNG(),
+		batch:   make([]int, len(cfg.Workers)),
+		updates: make([]int64, len(cfg.Workers)),
+		resizes: make([]int, len(cfg.Workers)),
+	}
+	c.lrMult = make([]float64, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		c.batch[i] = w.InitialBatch
+		c.lrMult[i] = 1
+	}
+	return c
+}
+
+// n returns the dataset size.
+func (c *coordinator) n() int { return c.cfg.Dataset.N() }
+
+// epochFrac returns fractional training progress in epochs.
+func (c *coordinator) epochFrac() float64 {
+	return float64(c.examplesDone) / float64(c.n())
+}
+
+// adapt applies Algorithm 2's batch-size update for worker id: a worker
+// lagging every other worker's update count gets a smaller batch (more,
+// noisier updates); a worker leading every other gets a larger one. The new
+// size is clamped to the worker's [MinBatch, MaxBatch] thresholds.
+func (c *coordinator) adapt(id int) {
+	if !c.cfg.adaptive() || len(c.batch) < 2 {
+		return
+	}
+	minU, maxU := int64(0), int64(0)
+	first := true
+	for i, u := range c.updates {
+		if i == id {
+			continue
+		}
+		if first {
+			minU, maxU = u, u
+			first = false
+			continue
+		}
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	w := c.cfg.Workers[id]
+	old := c.batch[id]
+	switch {
+	case c.updates[id] < minU:
+		b := int(float64(c.batch[id]) / c.cfg.Alpha)
+		if b < w.MinBatch {
+			b = w.MinBatch
+		}
+		c.batch[id] = b
+	case c.updates[id] > maxU:
+		b := int(float64(c.batch[id]) * c.cfg.Alpha)
+		if b > w.MaxBatch {
+			b = w.MaxBatch
+		}
+		c.batch[id] = b
+	}
+	if c.batch[id] != old {
+		c.resizes[id]++
+	}
+}
+
+// adaptLR applies the AdaptiveLR comparator's policy: the update-count
+// leader's learning rate shrinks by α, the laggard's grows, clamped to
+// [1/16, 16]× — rate-based balancing in place of batch-based balancing.
+func (c *coordinator) adaptLR(id int) {
+	if c.cfg.Algorithm != AlgAdaptiveLR || len(c.lrMult) < 2 {
+		return
+	}
+	minU, maxU := int64(0), int64(0)
+	first := true
+	for i, u := range c.updates {
+		if i == id {
+			continue
+		}
+		if first {
+			minU, maxU = u, u
+			first = false
+			continue
+		}
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	const clamp = 16
+	switch {
+	case c.updates[id] < minU:
+		c.lrMult[id] = min(c.lrMult[id]*c.cfg.Alpha, clamp)
+	case c.updates[id] > maxU:
+		c.lrMult[id] = max(c.lrMult[id]/c.cfg.Alpha, 1.0/clamp)
+	}
+}
+
+// lrScale returns worker id's learning-rate multiplier.
+func (c *coordinator) lrScale(id int) float64 { return c.lrMult[id] }
+
+// scheduleWork handles worker id's ScheduleWork request: apply the adaptive
+// policy, then extract the next batch from the epoch pool. ok is false when
+// the pool is exhausted (the worker must wait for the epoch to end).
+// A trailing fragment smaller than b^E is still assigned, so no example is
+// left behind.
+func (c *coordinator) scheduleWork(id int) (data.Batch, bool) {
+	c.adapt(id)
+	c.adaptLR(id)
+	remaining := c.n() - c.cursor
+	if remaining <= 0 {
+		return data.Batch{}, false
+	}
+	b := c.batch[id]
+	if b > remaining {
+		b = remaining
+	}
+	batch := c.cfg.Dataset.View(c.cursor, c.cursor+b)
+	c.cursor += b
+	c.examplesDone += int64(b)
+	return batch, true
+}
+
+// reportUpdates handles the completion half of the ScheduleWork message:
+// worker id performed n raw model updates; its policy counter advances by
+// β·n for CPU workers (β quantifies Hogwild update survival, §VI-C) and n
+// for GPU workers.
+func (c *coordinator) reportUpdates(id int, n int64) {
+	w := c.cfg.Workers[id]
+	if w.Threads > 1 {
+		c.updates[id] += int64(float64(n)*c.cfg.Beta + 0.5)
+		return
+	}
+	c.updates[id] += n
+}
+
+// poolEmpty reports whether the current epoch has no unassigned examples.
+func (c *coordinator) poolEmpty() bool { return c.cursor >= c.n() }
+
+// refill starts the next epoch, reshuffling when configured.
+func (c *coordinator) refill() {
+	c.cursor = 0
+	c.epoch++
+	if c.cfg.Shuffle {
+		c.cfg.Dataset.Shuffle(c.rng)
+	}
+}
+
+// updateGap returns the difference between the largest and smallest
+// per-worker update counts — the quantity Algorithm 2 keeps bounded.
+func (c *coordinator) updateGap() int64 {
+	if len(c.updates) == 0 {
+		return 0
+	}
+	minU, maxU := c.updates[0], c.updates[0]
+	for _, u := range c.updates[1:] {
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	return maxU - minU
+}

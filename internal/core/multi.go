@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+	"heterosgd/internal/nn"
+)
+
+// NewMultiConfig assembles a heterogeneous configuration with numCPU CPU
+// socket workers and numGPU GPU workers — the multi-device topology of the
+// paper's Figures 2–3 and its stated future work ("we plan to scale these
+// algorithms to multi-GPU architectures"). Worker devices are named
+// cpu0…cpuN, gpu0…gpuM. The scheduling, adaptive policy, and both engines
+// are worker-count agnostic, so everything from NewConfig carries over.
+//
+// CPU threads are divided evenly across the socket workers (the paper's
+// single 56-thread worker becomes e.g. 2×28) so total CPU parallelism is
+// held constant while the update streams multiply.
+func NewMultiConfig(alg Algorithm, net *nn.Network, ds *data.Dataset, p Preset, numCPU, numGPU int) (Config, error) {
+	if numCPU < 0 || numGPU < 0 || numCPU+numGPU == 0 {
+		return Config{}, fmt.Errorf("core: topology needs at least one worker (got %d CPU + %d GPU)", numCPU, numGPU)
+	}
+	adaptive := alg == AlgAdaptiveHogbatch
+	cfg := Config{
+		Algorithm:    alg,
+		Net:          net,
+		Dataset:      ds,
+		BaseLR:       0.05,
+		RefBatch:     p.CPUThreads,
+		LRScaling:    true,
+		LRScalingCap: 16,
+		Alpha:        2,
+		Beta:         1,
+		Seed:         1,
+		EvalSubset:   4096,
+	}
+	threadsPer := p.CPUThreads
+	if numCPU > 1 {
+		threadsPer = max(1, p.CPUThreads/numCPU)
+	}
+	for i := 0; i < numCPU; i++ {
+		dev := device.NewXeon(fmt.Sprintf("cpu%d", i), threadsPer)
+		minB, maxB := threadsPer*p.CPUMinPerThread, threadsPer*p.CPUMaxPerThread
+		initB := minB
+		if !adaptive {
+			maxB = minB
+		}
+		cfg.Workers = append(cfg.Workers, WorkerConfig{
+			Device: dev, Threads: threadsPer,
+			InitialBatch: initB, MinBatch: minB, MaxBatch: maxB,
+		})
+	}
+	for i := 0; i < numGPU; i++ {
+		dev := device.NewV100(fmt.Sprintf("gpu%d", i))
+		minB, maxB := p.GPUMin, p.GPUMax
+		if !adaptive {
+			minB = p.GPUMax
+		}
+		cfg.Workers = append(cfg.Workers, WorkerConfig{
+			Device: dev, InitialBatch: p.GPUMax, MinBatch: minB, MaxBatch: maxB,
+			DeepReplica: true,
+		})
+		if cfg.EvalDevice == nil {
+			cfg.EvalDevice = dev
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// GPUMemoryCheck verifies that a GPU worker's peak memory footprint — the
+// model replica, its gradient, the batch, and the layer activations the
+// worker keeps resident (§V: "the intermediate output of kernel invocations
+// is kept in the GPU memory") — fits in the device's global memory, the
+// constraint §VI-B says bounds the GPU batch size.
+func GPUMemoryCheck(net *nn.Network, w WorkerConfig) error {
+	if w.Device.Kind() != device.KindGPU {
+		return nil
+	}
+	spec := w.Device.Spec()
+	budget := int64(spec.MemoryGB) << 30
+	if budget == 0 {
+		return nil
+	}
+	model := int64(net.Arch.NumParameters()) * 8
+	dims := net.Arch.LayerDims()
+	var actCols int64
+	for _, d := range dims {
+		actCols += int64(d)
+	}
+	// Model + gradient + batch input + activations + deltas.
+	need := 2*model + int64(w.MaxBatch)*8*(int64(net.Arch.InputDim)+2*actCols)
+	if need > budget {
+		return fmt.Errorf("core: GPU worker %s needs %.2f GiB at batch %d, device has %d GiB (reduce MaxBatch, §VI-B)",
+			w.Device.Name(), float64(need)/float64(1<<30), w.MaxBatch, spec.MemoryGB)
+	}
+	return nil
+}

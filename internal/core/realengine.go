@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/msgq"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/opt"
+	"heterosgd/internal/tensor"
+)
+
+// schedMsg is the worker→coordinator ScheduleWork message (Algorithm 1/2).
+type schedMsg struct {
+	workerID int
+	updates  int64
+}
+
+// workMsg is the coordinator→worker ExecuteWork message carrying a batch
+// reference and the learning rate for this iteration.
+type workMsg struct {
+	batch data.Batch
+	lr    float64
+}
+
+// realWorker bundles a worker goroutine's private state.
+type realWorker struct {
+	id      int
+	name    string
+	wc      WorkerConfig
+	inbox   *msgq.Queue[workMsg]
+	ws      []*nn.Workspace // one per CPU sub-batch thread (GPU uses ws[0])
+	grads   []*nn.Params
+	optims  []opt.Optimizer // per-lane optimizer state (nil for plain SGD)
+	deltas  []*nn.Params
+	replica *nn.Params // deep-copy buffer (GPU workers)
+}
+
+// RunReal trains cfg's model for a wall-clock budget using live goroutines:
+// one coordinator (this goroutine) and one goroutine per worker, exchanging
+// ScheduleWork/ExecuteWork messages over unbounded async queues — the
+// paper's pthreads architecture (§V, Figure 3) mapped onto Go.
+//
+// CPU workers split each batch into Threads concurrently-running
+// sub-batches whose gradients are applied straight to the shared model
+// (reference replicas); GPU workers copy the model into a private replica,
+// compute one large-batch gradient against it, and push the update back
+// asynchronously (deep replicas). Note the Hogwild read path is
+// unsynchronized by design; run with tensor.UpdateLocked for a fully
+// race-detector-clean execution (gradients then read under an RWMutex).
+//
+// Loss is sampled at epoch barriers (every worker idle) and at the end of
+// the run, when no concurrent writers exist.
+func RunReal(cfg Config, budget time.Duration) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Algorithm == AlgSVRG {
+		return nil, fmt.Errorf("core: AlgSVRG is implemented on the simulated engine only (use RunSim)")
+	}
+	rng := cfg.newRNG()
+	net := cfg.Net
+	ds := cfg.Dataset
+	global := net.NewParams(nn.InitXavier, rng)
+	if cfg.InitialParams != nil {
+		global.CopyFrom(cfg.InitialParams)
+	}
+	coord := newCoordinator(&cfg)
+	raw := metrics.NewUpdateCounter()
+	util := metrics.NewUtilizationTrace()
+	trace := &metrics.Trace{Name: cfg.Algorithm.String()}
+
+	// modelMu guards the shared model only in UpdateLocked mode.
+	var modelMu sync.RWMutex
+	locked := cfg.UpdateMode == tensor.UpdateLocked
+
+	workers := make([]*realWorker, len(cfg.Workers))
+	for i, wc := range cfg.Workers {
+		w := &realWorker{id: i, name: wc.Device.Name(), wc: wc, inbox: msgq.New[workMsg]()}
+		lanes := 1
+		if wc.Device.Kind() == device.KindCPU && wc.Threads > 1 {
+			lanes = wc.Threads
+		}
+		maxPerLane := (wc.MaxBatch + lanes - 1) / lanes
+		for l := 0; l < lanes; l++ {
+			w.ws = append(w.ws, net.NewWorkspace(min(maxPerLane, ds.N())))
+			w.grads = append(w.grads, net.NewParams(nn.InitZero, rng))
+			if cfg.Optimizer != opt.KindSGD {
+				w.optims = append(w.optims, opt.New(cfg.Optimizer, global, cfg.OptimizerHP))
+				w.deltas = append(w.deltas, net.NewParams(nn.InitZero, rng))
+			} else {
+				w.optims = append(w.optims, nil)
+				w.deltas = append(w.deltas, nil)
+			}
+		}
+		if wc.DeepReplica {
+			w.replica = global.Clone()
+		}
+		workers[i] = w
+	}
+
+	coordQ := msgq.New[schedMsg]()
+	start := time.Now()
+	var wg sync.WaitGroup
+	gemmWorkers := runtime.GOMAXPROCS(0)
+
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *realWorker) {
+			defer wg.Done()
+			for {
+				msg, ok := w.inbox.Pop()
+				if !ok {
+					return
+				}
+				t0 := time.Since(start)
+				var n int64
+				if w.wc.Device.Kind() == device.KindCPU {
+					n = realCPUIteration(net, global, w, msg, &cfg, &modelMu, locked)
+				} else {
+					n = realGPUIteration(net, global, w, msg, &cfg, &modelMu, locked, gemmWorkers)
+				}
+				t1 := time.Since(start)
+				util.AddBusy(w.name, t0, t1, w.wc.Device.Utilization(net.Arch, msg.batch.Size()))
+				raw.Add(w.name, n)
+				coordQ.Push(schedMsg{workerID: w.id, updates: n})
+			}
+		}(w)
+	}
+
+	evalN := ds.N()
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < evalN {
+		evalN = cfg.EvalSubset
+	}
+	evalWS := net.NewWorkspace(evalN)
+	evalLoss := func() float64 {
+		v := ds.View(0, evalN)
+		return net.Loss(global, evalWS, v.X, v.Y, gemmWorkers)
+	}
+
+	trace.Add(0, 0, evalLoss())
+
+	// The coordinator loop: sequential message processing, exactly like
+	// the paper's coordinator thread.
+	outstanding := 0
+	converged := false
+	overBudget := func() bool { return converged || time.Since(start) >= budget }
+	lastBatch := make([]int, len(workers))
+	var batchTrace []BatchEvent
+	dispatch := func(id int) bool {
+		if overBudget() {
+			return false
+		}
+		batch, ok := coord.scheduleWork(id)
+		if !ok {
+			return false
+		}
+		if coord.batch[id] != lastBatch[id] {
+			lastBatch[id] = coord.batch[id]
+			batchTrace = append(batchTrace, BatchEvent{At: time.Since(start), Worker: workers[id].name, Size: coord.batch[id]})
+		}
+		workers[id].inbox.Push(workMsg{batch: batch, lr: cfg.ScheduledLR(batch.Size(), coord.epochFrac()) * coord.lrScale(id)})
+		outstanding++
+		return true
+	}
+	for i := range workers {
+		dispatch(i)
+	}
+	for outstanding > 0 {
+		msg, ok := coordQ.Pop()
+		if !ok {
+			break
+		}
+		outstanding--
+		coord.reportUpdates(msg.workerID, msg.updates)
+		dispatch(msg.workerID)
+		if outstanding == 0 && !overBudget() && coord.poolEmpty() {
+			// Epoch barrier: all workers idle, pool drained — evaluate
+			// loss (no concurrent writers) and start the next epoch.
+			loss := evalLoss()
+			trace.Add(time.Since(start), coord.epochFrac(), loss)
+			if cfg.TargetLoss > 0 && loss <= cfg.TargetLoss {
+				converged = true
+				break
+			}
+			coord.refill()
+			for i := range workers {
+				dispatch(i)
+			}
+		}
+	}
+	for _, w := range workers {
+		w.inbox.Close()
+	}
+	wg.Wait()
+	coordQ.Close()
+
+	elapsed := time.Since(start)
+	final := evalLoss()
+	trace.Add(elapsed, coord.epochFrac(), final)
+	if cfg.TargetLoss > 0 && final <= cfg.TargetLoss {
+		converged = true
+	}
+
+	return &Result{
+		Algorithm:         cfg.Algorithm,
+		Trace:             trace,
+		Updates:           raw,
+		Utilization:       util,
+		Epochs:            coord.epochFrac(),
+		Duration:          elapsed,
+		FinalLoss:         final,
+		MinLoss:           trace.MinLoss(),
+		ExamplesProcessed: coord.examplesDone,
+		FinalBatch:        append([]int(nil), coord.batch...),
+		Resizes:           append([]int(nil), coord.resizes...),
+		BatchTrace:        batchTrace,
+		Converged:         converged,
+		Params:            global,
+	}, nil
+}
+
+// realCPUIteration runs one CPU Hogbatch iteration with live parallelism:
+// the batch splits into Threads sub-batches processed by concurrent
+// goroutines, each applying its gradient directly to the shared model.
+func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool) int64 {
+	size := msg.batch.Size()
+	t := w.wc.Threads
+	if t < 1 {
+		t = 1
+	}
+	if t > size {
+		t = size
+	}
+	var updates int64
+	var wg sync.WaitGroup
+	var updMu sync.Mutex
+	for i := 0; i < t; i++ {
+		lo := i * size / t
+		hi := (i + 1) * size / t
+		if hi <= lo {
+			continue
+		}
+		wg.Add(1)
+		go func(lane, lo, hi int) {
+			defer wg.Done()
+			sub := data.Batch{X: msg.batch.X.RowView(lo, hi-lo), Y: msg.batch.Y.Slice(lo, hi)}
+			if locked {
+				mu.RLock()
+			}
+			net.Gradient(global, w.ws[lane], sub.X, sub.Y, w.grads[lane], 1)
+			if cfg.WeightDecay > 0 {
+				w.grads[lane].AddScaled(cfg.WeightDecay, global)
+			}
+			if locked {
+				mu.RUnlock()
+				mu.Lock()
+			}
+			applyStep(w.optims[lane], w.grads[lane], w.deltas[lane], global, cfg.UpdateMode, msg.lr)
+			if locked {
+				mu.Unlock()
+			}
+			updMu.Lock()
+			updates++
+			updMu.Unlock()
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	return updates
+}
+
+// realGPUIteration runs one large-batch iteration through the deep-replica
+// path: copy the model, compute the batch gradient against the replica with
+// maximal intra-op parallelism, and push the update to the global model.
+func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool, gemmWorkers int) int64 {
+	if locked {
+		mu.RLock()
+	}
+	w.replica.CopyFrom(global)
+	if locked {
+		mu.RUnlock()
+	}
+	net.Gradient(w.replica, w.ws[0], msg.batch.X, msg.batch.Y, w.grads[0], gemmWorkers)
+	if cfg.WeightDecay > 0 {
+		w.grads[0].AddScaled(cfg.WeightDecay, w.replica)
+	}
+	if locked {
+		mu.Lock()
+	}
+	applyStep(w.optims[0], w.grads[0], w.deltas[0], global, cfg.UpdateMode, msg.lr)
+	if locked {
+		mu.Unlock()
+	}
+	return 1
+}

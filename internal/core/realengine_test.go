@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"heterosgd/internal/tensor"
+)
+
+// realBudget keeps wall-clock tests short.
+const realBudget = 300 * time.Millisecond
+
+func TestRealAllAlgorithmsReduceLoss(t *testing.T) {
+	for _, alg := range []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch, AlgMinibatchCPU} {
+		cfg := tinyConfig(t, alg)
+		cfg.UpdateMode = tensor.UpdateLocked // race-detector-clean
+		res, err := RunReal(cfg, realBudget)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		first := res.Trace.Points[0].Loss
+		if res.FinalLoss >= first*0.9 {
+			t.Fatalf("%v: loss %v → %v did not drop", alg, first, res.FinalLoss)
+		}
+		if res.Updates.Total() == 0 {
+			t.Fatalf("%v: no updates recorded", alg)
+		}
+	}
+}
+
+func TestRealAtomicModeConverges(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateAtomic
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= res.Trace.Points[0].Loss*0.9 {
+		t.Fatalf("atomic hybrid run failed to learn: %v → %v", res.Trace.Points[0].Loss, res.FinalLoss)
+	}
+}
+
+func TestRealRespectsBudgetOrder(t *testing.T) {
+	cfg := tinyConfig(t, AlgHogbatchGPU)
+	cfg.UpdateMode = tensor.UpdateLocked
+	start := time.Now()
+	res, err := RunReal(cfg, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	// The run may overshoot by in-flight iterations, but not wildly.
+	if wall > 5*time.Second {
+		t.Fatalf("run took %v for a 150ms budget", wall)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("no duration recorded")
+	}
+}
+
+func TestRealEpochAccounting(t *testing.T) {
+	cfg := tinyConfig(t, AlgHogbatchGPU)
+	cfg.UpdateMode = tensor.UpdateLocked
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs < 1 {
+		t.Fatalf("only %.2f epochs in %v — tiny problem should complete many", res.Epochs, realBudget)
+	}
+	if res.ExamplesProcessed < int64(cfg.Dataset.N()) {
+		t.Fatal("examples processed below one epoch")
+	}
+	// Trace has the initial point, ≥1 epoch barrier, and the final point.
+	if len(res.Trace.Points) < 3 {
+		t.Fatalf("only %d trace points", len(res.Trace.Points))
+	}
+}
+
+func TestRealUtilizationAndUpdateShares(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization.Devices()) == 0 {
+		t.Fatal("no utilization recorded")
+	}
+	share := res.CPUShare()
+	if share <= 0 || share >= 1 {
+		t.Fatalf("CPU share %v — both workers should contribute", share)
+	}
+}
+
+func TestRealAdaptiveStaysInBounds(t *testing.T) {
+	cfg := tinyConfig(t, AlgAdaptiveHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range cfg.Workers {
+		if res.FinalBatch[i] < w.MinBatch || res.FinalBatch[i] > w.MaxBatch {
+			t.Fatalf("worker %d final batch %d outside [%d,%d]", i, res.FinalBatch[i], w.MinBatch, w.MaxBatch)
+		}
+	}
+}
+
+func TestRealRejectsInvalidConfig(t *testing.T) {
+	cfg := tinyConfig(t, AlgHogbatchCPU)
+	cfg.Alpha = 0.5
+	if _, err := RunReal(cfg, realBudget); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestRealAndSimAgreeOnUpdateAccounting(t *testing.T) {
+	// Same problem, both engines: per processed batch, the CPU worker must
+	// report Threads updates and the GPU worker one — so the ratio
+	// updates/examples must match between engines for a GPU-only run.
+	sim, err := RunSim(tinyConfig(t, AlgHogbatchGPU), simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgR := tinyConfig(t, AlgHogbatchGPU)
+	cfgR.UpdateMode = tensor.UpdateLocked
+	real, err := RunReal(cfgR, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRatio := float64(sim.Updates.Total()) / float64(sim.ExamplesProcessed)
+	realRatio := float64(real.Updates.Total()) / float64(real.ExamplesProcessed)
+	if simRatio <= 0 || realRatio <= 0 {
+		t.Fatal("degenerate ratios")
+	}
+	if diff := simRatio/realRatio - 1; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("engines disagree on updates/example: sim %v vs real %v", simRatio, realRatio)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+)
+
+// BatchEvent records one adaptive batch-size change: worker id's batch
+// became Size at time At (eval-corrected virtual time in RunSim, wall time
+// in RunReal).
+type BatchEvent struct {
+	At     time.Duration
+	Worker string
+	Size   int
+}
+
+// Result captures everything the paper measures about one training run.
+type Result struct {
+	// Algorithm identifies the run.
+	Algorithm Algorithm
+	// Trace is the loss curve (both time- and epoch-indexed; Figures 5–6).
+	Trace *metrics.Trace
+	// Updates counts raw model updates per worker (Figure 8).
+	Updates *metrics.UpdateCounter
+	// Utilization records per-device busy intervals (Figure 7).
+	Utilization *metrics.UtilizationTrace
+	// Epochs is the fractional number of passes completed.
+	Epochs float64
+	// Duration is the run's simulated (RunSim) or wall (RunReal) length.
+	Duration time.Duration
+	// FinalLoss and MinLoss summarize the trace.
+	FinalLoss, MinLoss float64
+	// ExamplesProcessed counts assigned training examples.
+	ExamplesProcessed int64
+	// FinalBatch reports each worker's last batch size (adaptive runs
+	// show where Algorithm 2 converged).
+	FinalBatch []int
+	// Resizes counts adaptive batch-size changes per worker.
+	Resizes []int
+	// BatchTrace records the batch-size evolution (Algorithm 2's visible
+	// behaviour); static algorithms record only the initial sizes.
+	BatchTrace []BatchEvent
+	// Converged reports that TargetLoss was reached before the budget.
+	Converged bool
+	// Params is the trained model.
+	Params *nn.Params
+}
+
+// CPUShare returns the fraction of raw updates performed by CPU workers
+// (workers named "cpu*"), the Figure 8 statistic.
+func (r *Result) CPUShare() float64 {
+	snap := r.Updates.Snapshot()
+	var cpu, total int64
+	for name, n := range snap {
+		total += n
+		if len(name) >= 3 && name[:3] == "cpu" {
+			cpu += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cpu) / float64(total)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %.2f epochs in %v, loss %.4f→%.4f, %d updates (CPU share %.0f%%)",
+		r.Algorithm, r.Epochs, r.Duration.Round(time.Millisecond), firstLoss(r.Trace), r.FinalLoss,
+		r.Updates.Total(), 100*r.CPUShare())
+}
+
+func firstLoss(t *metrics.Trace) float64 {
+	if t == nil || len(t.Points) == 0 {
+		return 0
+	}
+	return t.Points[0].Loss
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// LRSchedule shapes the learning rate over training progress. The paper
+// uses a constant rate chosen by grid search (§VII-A) and mentions
+// decreasing the rate to compensate for stale gradients (§VI-B); warmup is
+// the standard companion of the linear batch-scaling rule (Goyal et al.).
+type LRSchedule int
+
+const (
+	// ScheduleConstant keeps the tuned rate throughout (paper default).
+	ScheduleConstant LRSchedule = iota
+	// ScheduleStep halves the rate every StepEvery epochs.
+	ScheduleStep
+	// ScheduleInvT decays the rate as 1/(1+DecayRate·epoch).
+	ScheduleInvT
+	// ScheduleWarmup ramps linearly from 0 over WarmupEpochs, then holds.
+	ScheduleWarmup
+)
+
+// String returns the schedule name.
+func (s LRSchedule) String() string {
+	switch s {
+	case ScheduleConstant:
+		return "constant"
+	case ScheduleStep:
+		return "step"
+	case ScheduleInvT:
+		return "inv-t"
+	case ScheduleWarmup:
+		return "warmup"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseLRSchedule maps a name to a schedule.
+func ParseLRSchedule(name string) (LRSchedule, error) {
+	switch name {
+	case "constant", "":
+		return ScheduleConstant, nil
+	case "step":
+		return ScheduleStep, nil
+	case "inv-t", "invt":
+		return ScheduleInvT, nil
+	case "warmup":
+		return ScheduleWarmup, nil
+	default:
+		return 0, fmt.Errorf("core: unknown LR schedule %q", name)
+	}
+}
+
+// ScheduledLR returns the learning rate for a batch of b examples at the
+// given training progress (fractional epochs): the batch-scaled base rate
+// shaped by the configured schedule.
+func (c *Config) ScheduledLR(b int, epoch float64) float64 {
+	lr := c.LRFor(b)
+	switch c.Schedule {
+	case ScheduleStep:
+		every := c.StepEvery
+		if every <= 0 {
+			every = 5
+		}
+		for e := every; e <= epoch; e += every {
+			lr *= 0.5
+		}
+	case ScheduleInvT:
+		rate := c.DecayRate
+		if rate <= 0 {
+			rate = 0.1
+		}
+		lr /= 1 + rate*epoch
+	case ScheduleWarmup:
+		warm := c.WarmupEpochs
+		if warm <= 0 {
+			warm = 1
+		}
+		if epoch < warm {
+			frac := epoch / warm
+			// Never fully zero — the first batch must still move.
+			if frac < 0.05 {
+				frac = 0.05
+			}
+			lr *= frac
+		}
+	}
+	return lr
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"time"
+
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/opt"
+	"heterosgd/internal/simclock"
+	"heterosgd/internal/tensor"
+)
+
+// simWorker is one worker's state inside the discrete-event engine.
+type simWorker struct {
+	id   int
+	name string
+	wc   WorkerConfig
+	ws   *nn.Workspace
+	grad *nn.Params
+	// replica is the deep-copy buffer for workers with DeepReplica set
+	// (always GPU workers; optionally CPU workers, as an ablation of the
+	// paper's reference-replica design).
+	replica *nn.Params
+	// optim and delta implement the configured update rule; optimizer
+	// state is private to the worker.
+	optim opt.Optimizer
+	delta *nn.Params
+	// scratch holds the ∇f(w̃) term of SVRG's corrected gradient.
+	scratch *nn.Params
+	idle    bool
+}
+
+// RunSim trains cfg's model for a virtual-time budget of horizon using the
+// discrete-event engine. Every gradient and model update is computed for
+// real with the same kernels as RunReal; only elapsed time is virtual,
+// produced by the per-device cost models — this is how the paper's
+// wall-clock figures are reproduced without a physical V100 (DESIGN.md §2).
+//
+// Per the paper's methodology (§VII-A), loss-evaluation time is excluded
+// from the convergence clock: trace timestamps subtract the accumulated
+// end-of-epoch evaluation durations, while the utilization trace keeps them
+// (Figure 7's end-of-epoch GPU bumps).
+func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := cfg.newRNG()
+	net := cfg.Net
+	ds := cfg.Dataset
+	global := net.NewParams(nn.InitXavier, rng)
+	if cfg.InitialParams != nil {
+		global.CopyFrom(cfg.InitialParams)
+	}
+	modelBytes := global.SizeBytes()
+	coord := newCoordinator(&cfg)
+	clk := simclock.New()
+	raw := metrics.NewUpdateCounter()
+	util := metrics.NewUtilizationTrace()
+	trace := &metrics.Trace{Name: cfg.Algorithm.String()}
+
+	workers := make([]*simWorker, len(cfg.Workers))
+	for i, wc := range cfg.Workers {
+		w := &simWorker{
+			id:   i,
+			name: wc.Device.Name(),
+			wc:   wc,
+			ws:   net.NewWorkspace(min(wc.MaxBatch, ds.N())),
+			grad: net.NewParams(nn.InitZero, rng),
+		}
+		if wc.DeepReplica && wc.Device.Kind() == device.KindCPU {
+			w.replica = global.Clone()
+		}
+		if cfg.Optimizer != opt.KindSGD {
+			w.optim = opt.New(cfg.Optimizer, global, cfg.OptimizerHP)
+			w.delta = net.NewParams(nn.InitZero, rng)
+		}
+		if cfg.Algorithm == AlgSVRG && wc.Device.Kind() == device.KindCPU {
+			w.scratch = net.NewParams(nn.InitZero, rng)
+		}
+		workers[i] = w
+	}
+	var svrg *svrgState
+	if cfg.Algorithm == AlgSVRG {
+		svrg = newSVRGState(net)
+	}
+
+	evalN := ds.N()
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < evalN {
+		evalN = cfg.EvalSubset
+	}
+	evalWS := net.NewWorkspace(evalN)
+	evalLoss := func() float64 {
+		v := ds.View(0, evalN)
+		return net.Loss(global, evalWS, v.X, v.Y, 1)
+	}
+	evalDev := cfg.EvalDevice
+	if evalDev == nil {
+		evalDev = cfg.Workers[0].Device
+	}
+
+	// evalDebt is the accumulated loss-evaluation time excluded from the
+	// convergence clock; globalUpdates drives staleness accounting.
+	var evalDebt time.Duration
+	var globalUpdates int64
+	elapsed := func() time.Duration { return clk.Now() - evalDebt }
+
+	// addPoint stamps a trace sample with the eval-corrected clock,
+	// clamped monotonically: a sample landing inside an excluded eval
+	// window would otherwise appear to travel back in time.
+	var lastStamp time.Duration
+	converged := false
+	addPoint := func(epoch, loss float64) {
+		at := elapsed()
+		if at < lastStamp {
+			at = lastStamp
+		}
+		lastStamp = at
+		trace.Add(at, epoch, loss)
+		if cfg.TargetLoss > 0 && loss <= cfg.TargetLoss && !converged {
+			converged = true
+			// Shrink the horizon so no further work is dispatched; the
+			// run drains its in-flight iterations and stops.
+			horizon = at
+		}
+	}
+
+	addPoint(0, evalLoss())
+
+	var dispatch func(w *simWorker)
+	allIdle := func() bool {
+		for _, w := range workers {
+			if !w.idle {
+				return false
+			}
+		}
+		return true
+	}
+	// maybeEpochEnd performs the end-of-epoch barrier: when the pool is
+	// drained and every worker has gone idle, the loss is evaluated on the
+	// eval device (paper: always the GPU), then the pool refills and all
+	// workers are redispatched.
+	maybeEpochEnd := func() {
+		if !coord.poolEmpty() || !allIdle() {
+			return
+		}
+		evalDur := evalDev.EvalTime(net.Arch, ds.N())
+		util.AddBusy(evalDevName(evalDev, &cfg, workers), clk.Now(), clk.Now()+evalDur, 0.95)
+		addPoint(coord.epochFrac(), evalLoss())
+		evalDebt += evalDur
+		clk.Schedule(evalDur, func() {
+			if elapsed() >= horizon {
+				return
+			}
+			coord.refill()
+			for _, w := range workers {
+				if w.idle {
+					w.idle = false
+					dispatch(w)
+				}
+			}
+		})
+	}
+
+	lastBatch := make([]int, len(workers))
+	var batchTrace []BatchEvent
+	dispatch = func(w *simWorker) {
+		if elapsed() >= horizon {
+			w.idle = true
+			return
+		}
+		batch, ok := coord.scheduleWork(w.id)
+		if !ok {
+			w.idle = true
+			maybeEpochEnd()
+			return
+		}
+		if coord.batch[w.id] != lastBatch[w.id] {
+			lastBatch[w.id] = coord.batch[w.id]
+			batchTrace = append(batchTrace, BatchEvent{At: elapsed(), Worker: w.name, Size: coord.batch[w.id]})
+		}
+		b := batch.Size()
+		dur := w.wc.Device.IterTime(net.Arch, b, modelBytes)
+		util.AddBusy(w.name, clk.Now(), clk.Now()+dur, w.wc.Device.Utilization(net.Arch, b))
+		lr := cfg.ScheduledLR(b, coord.epochFrac()) * coord.lrScale(w.id)
+
+		if w.wc.Device.Kind() == device.KindCPU {
+			// CPU worker (reference replica): the batch splits into
+			// Threads sub-batches whose gradients update the shared
+			// model one after another — sequentialized Hogwild, the
+			// event-driven equivalent of Algorithm 2's parallel loop.
+			n := cpuIteration(net, global, w, batch, lr, &cfg, svrg)
+			globalUpdates += n
+			raw.Add(w.name, n)
+			clk.Schedule(dur, func() {
+				coord.reportUpdates(w.id, n)
+				dispatch(w)
+			})
+			return
+		}
+
+		if svrg != nil {
+			// SVRG GPU worker: its large batch becomes the anchor sample.
+			// w̃ and μ are computed against the dispatch-time model and
+			// become visible to CPU workers at completion — the "rare
+			// jump using a compass" (§II) as an explicit anchor refresh.
+			svrg.beginAnchor(net, global, w.ws, batch)
+			clk.Schedule(dur, func() {
+				svrg.publishAnchor()
+				raw.Add(w.name, 1)
+				coord.reportUpdates(w.id, 1)
+				dispatch(w)
+			})
+			return
+		}
+
+		// GPU worker (deep replica): the gradient is computed against the
+		// model as of dispatch time — the state the replica was copied
+		// from — and applied when the iteration completes, which is how
+		// replica staleness arises (§VI-B).
+		net.Gradient(global, w.ws, batch.X, batch.Y, w.grad, 1)
+		if cfg.WeightDecay > 0 {
+			w.grad.AddScaled(cfg.WeightDecay, global)
+		}
+		snapshot := globalUpdates
+		clk.Schedule(dur, func() {
+			lrEff := lr
+			if cfg.StaleDamping > 0 {
+				stale := globalUpdates - snapshot
+				lrEff = lr / (1 + cfg.StaleDamping*float64(stale))
+			}
+			applyStep(w.optim, w.grad, w.delta, global, cfg.UpdateMode, lrEff)
+			globalUpdates++
+			raw.Add(w.name, 1)
+			coord.reportUpdates(w.id, 1)
+			dispatch(w)
+		})
+	}
+
+	if cfg.SampleEvery > 0 {
+		var sample func()
+		sample = func() {
+			if elapsed() >= horizon {
+				return
+			}
+			addPoint(coord.epochFrac(), evalLoss())
+			clk.Schedule(cfg.SampleEvery, sample)
+		}
+		clk.Schedule(cfg.SampleEvery, sample)
+	}
+
+	for _, w := range workers {
+		dispatch(w)
+	}
+	clk.RunAll()
+
+	final := evalLoss()
+	if horizon < lastStamp {
+		horizon = lastStamp
+	}
+	trace.Add(horizon, coord.epochFrac(), final)
+	if cfg.TargetLoss > 0 && final <= cfg.TargetLoss {
+		converged = true
+	}
+
+	return &Result{
+		Algorithm:         cfg.Algorithm,
+		Trace:             trace,
+		Updates:           raw,
+		Utilization:       util,
+		Epochs:            coord.epochFrac(),
+		Duration:          horizon,
+		FinalLoss:         final,
+		MinLoss:           trace.MinLoss(),
+		ExamplesProcessed: coord.examplesDone,
+		FinalBatch:        append([]int(nil), coord.batch...),
+		Resizes:           append([]int(nil), coord.resizes...),
+		BatchTrace:        batchTrace,
+		Converged:         converged,
+		Params:            global,
+	}, nil
+}
+
+// cpuIteration performs one CPU Hogbatch iteration: split the batch into
+// the worker's Threads sub-batches and apply each sub-batch gradient to the
+// shared model in turn. Returns the number of model updates performed.
+//
+// With a reference replica (the default, §V) each sub-batch gradient is
+// computed against the live shared model; with a deep replica (ablation)
+// all gradients are computed against a snapshot taken at dispatch, so
+// intra-batch updates do not see each other.
+func cpuIteration(net *nn.Network, global *nn.Params, w *simWorker, batch data.Batch, lr float64, cfg *Config, svrg *svrgState) int64 {
+	t := w.wc.Threads
+	if t < 1 {
+		t = 1
+	}
+	if t > batch.Size() {
+		t = batch.Size()
+	}
+	readModel := global
+	if w.replica != nil {
+		w.replica.CopyFrom(global)
+		readModel = w.replica
+	}
+	var updates int64
+	size := batch.Size()
+	for i := 0; i < t; i++ {
+		lo := i * size / t
+		hi := (i + 1) * size / t
+		if hi <= lo {
+			continue
+		}
+		sub := data.Batch{X: batch.X.RowView(lo, hi-lo), Y: batch.Y.Slice(lo, hi)}
+		if svrg != nil {
+			svrg.correctedGradient(net, readModel, w.ws, sub, w.grad, w.scratch)
+		} else {
+			net.Gradient(readModel, w.ws, sub.X, sub.Y, w.grad, 1)
+		}
+		if cfg.WeightDecay > 0 {
+			w.grad.AddScaled(cfg.WeightDecay, readModel)
+		}
+		applyStep(w.optim, w.grad, w.delta, global, cfg.UpdateMode, lr)
+		updates++
+	}
+	return updates
+}
+
+// applyStep applies one gradient step to the shared model: the plain SGD
+// fast path writes −lr·grad directly; other optimizers first transform the
+// gradient into a delta using their private state.
+func applyStep(o opt.Optimizer, grad, delta, global *nn.Params, mode tensor.UpdateMode, lr float64) {
+	if o == nil {
+		global.ApplyUpdate(mode, -lr, grad)
+		return
+	}
+	o.Step(grad, delta, lr)
+	global.ApplyUpdate(mode, 1, delta)
+}
+
+// evalDevName returns the utilization-trace key for the eval device: when
+// the eval device is also a worker, reuse that worker's name so the busy
+// interval lands on the right series.
+func evalDevName(dev device.Device, cfg *Config, workers []*simWorker) string {
+	for _, w := range workers {
+		if w.wc.Device == dev {
+			return w.name
+		}
+	}
+	return dev.Name()
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"heterosgd/internal/data"
+	"heterosgd/internal/nn"
+)
+
+// svrgState is the shared variance-reduction state of AlgSVRG: the anchor
+// model w̃ and its large-sample gradient μ, refreshed by the GPU worker and
+// consumed read-only by the CPU worker's corrected updates.
+//
+// §II motivates the paper's heterogeneous mixture through exactly this
+// structure: "we can think of the CPU updates as many small steps in a
+// guessed direction, while the GPU updates are rare jumps using a compass.
+// This combination of updates … is at the origin of the SVRG family of
+// algorithms [9]." AlgSVRG makes the connection literal — the GPU's role
+// becomes computing the SVRG anchor gradient over its large batch, and
+// every CPU Hogwild update applies the variance-reduced correction
+//
+//	w ← w − η·(∇f_B(w) − ∇f_B(w̃) + μ).
+type svrgState struct {
+	anchor *nn.Params // w̃: model snapshot the anchor gradient was taken at
+	mu     *nn.Params // μ: gradient over the anchor sample at w̃
+	ready  bool
+}
+
+func newSVRGState(net *nn.Network) *svrgState {
+	return &svrgState{
+		anchor: net.NewParams(nn.InitZero, nil),
+		mu:     net.NewParams(nn.InitZero, nil),
+	}
+}
+
+// beginAnchor snapshots the current model as w̃ and computes μ over the
+// anchor batch. Called by the GPU worker at dispatch (the math runs against
+// the dispatch-time model, like every deep-replica gradient).
+func (st *svrgState) beginAnchor(net *nn.Network, global *nn.Params, ws *nn.Workspace, batch data.Batch) {
+	st.anchor.CopyFrom(global)
+	net.Gradient(st.anchor, ws, batch.X, batch.Y, st.mu, 1)
+}
+
+// publishAnchor marks the freshly-computed anchor visible to CPU workers
+// (called at the GPU iteration's completion event).
+func (st *svrgState) publishAnchor() { st.ready = true }
+
+// correctedGradient computes the variance-reduced gradient for a sub-batch
+// into grad: ∇f_B(w) − ∇f_B(w̃) + μ, using scratch for the w̃ term. Before
+// the first anchor is published it computes the plain gradient (warm-up
+// phase). Returns the sub-batch loss at w.
+func (st *svrgState) correctedGradient(net *nn.Network, global *nn.Params, ws *nn.Workspace,
+	batch data.Batch, grad, scratch *nn.Params) float64 {
+	loss := net.Gradient(global, ws, batch.X, batch.Y, grad, 1)
+	if !st.ready {
+		return loss
+	}
+	net.Gradient(st.anchor, ws, batch.X, batch.Y, scratch, 1)
+	grad.AddScaled(-1, scratch)
+	grad.AddScaled(1, st.mu)
+	return loss
+}

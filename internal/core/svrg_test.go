@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"heterosgd/internal/nn"
+)
+
+func TestSVRGConverges(t *testing.T) {
+	cfg := tinyConfig(t, AlgSVRG)
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Trace.Points[0].Loss
+	if res.FinalLoss >= first*0.5 {
+		t.Fatalf("SVRG failed to learn: %v → %v", first, res.FinalLoss)
+	}
+	// Both streams must be active: CPU corrected updates and GPU anchors.
+	if res.Updates.Get("cpu0") == 0 || res.Updates.Get("gpu0") == 0 {
+		t.Fatalf("missing update streams: %v", res.Updates.Snapshot())
+	}
+}
+
+func TestSVRGRejectedByRealEngine(t *testing.T) {
+	cfg := tinyConfig(t, AlgSVRG)
+	if _, err := RunReal(cfg, realBudget); err == nil {
+		t.Fatal("real engine must reject AlgSVRG explicitly")
+	}
+}
+
+func TestSVRGCorrectionIsExactAtAnchor(t *testing.T) {
+	// At w == w̃ over the anchor batch itself, the corrected gradient
+	// equals μ: ∇f(w) − ∇f(w̃) cancels. This is the defining identity of
+	// the SVRG estimator.
+	cfg := tinyConfig(t, AlgSVRG)
+	net := cfg.Net
+	rng := RunRNG(7)
+	global := net.NewParams(nn.InitXavier, rng)
+	st := newSVRGState(net)
+	ws := net.NewWorkspace(64)
+	batch := cfg.Dataset.View(0, 64)
+	st.beginAnchor(net, global, ws, batch)
+	st.publishAnchor()
+
+	grad := net.NewParams(nn.InitZero, nil)
+	scratch := net.NewParams(nn.InitZero, nil)
+	st.correctedGradient(net, global, ws, batch, grad, scratch)
+	if d := grad.MaxAbsDiff(st.mu); d > 1e-12 {
+		t.Fatalf("corrected gradient at the anchor must equal μ (diff %v)", d)
+	}
+}
+
+func TestSVRGWarmupUsesPlainGradient(t *testing.T) {
+	cfg := tinyConfig(t, AlgSVRG)
+	net := cfg.Net
+	rng := RunRNG(9)
+	global := net.NewParams(nn.InitXavier, rng)
+	st := newSVRGState(net) // never published
+	ws := net.NewWorkspace(16)
+	batch := cfg.Dataset.View(0, 16)
+
+	grad := net.NewParams(nn.InitZero, nil)
+	scratch := net.NewParams(nn.InitZero, nil)
+	st.correctedGradient(net, global, ws, batch, grad, scratch)
+
+	plain := net.NewParams(nn.InitZero, nil)
+	net.Gradient(global, ws, batch.X, batch.Y, plain, 1)
+	if d := grad.MaxAbsDiff(plain); d != 0 {
+		t.Fatalf("warm-up gradient must be the plain gradient (diff %v)", d)
+	}
+}
+
+func TestSVRGVarianceReduction(t *testing.T) {
+	// Near the anchor, corrected single-example gradients must vary less
+	// across examples than plain single-example gradients — the point of
+	// the estimator. Compare the spread of gradient norms.
+	cfg := tinyConfig(t, AlgSVRG)
+	net := cfg.Net
+	rng := RunRNG(11)
+	global := net.NewParams(nn.InitXavier, rng)
+	st := newSVRGState(net)
+	ws := net.NewWorkspace(cfg.Dataset.N())
+	st.beginAnchor(net, global, ws, cfg.Dataset.View(0, cfg.Dataset.N()))
+	st.publishAnchor()
+
+	grad := net.NewParams(nn.InitZero, nil)
+	scratch := net.NewParams(nn.InitZero, nil)
+	var plainVar, corrVar float64
+	const samples = 32
+	for i := 0; i < samples; i++ {
+		b := cfg.Dataset.View(i, i+1)
+		net.Gradient(global, ws, b.X, b.Y, grad, 1)
+		plainVar += grad.GradNorm() * grad.GradNorm()
+		st.correctedGradient(net, global, ws, b, grad, scratch)
+		// Corrected gradient fluctuates around μ; measure deviation from μ.
+		grad.AddScaled(-1, st.mu)
+		corrVar += grad.GradNorm() * grad.GradNorm()
+	}
+	// Plain per-example gradients fluctuate around the (nonzero) full
+	// gradient; corrected ones fluctuate around zero deviation from μ. At
+	// w == w̃ the deviation is exactly zero.
+	if corrVar > 1e-18 {
+		t.Fatalf("at the anchor the corrected deviation must vanish, got %v", corrVar)
+	}
+	if plainVar == 0 {
+		t.Fatal("plain gradients cannot all be zero")
+	}
+}

@@ -1,0 +1,159 @@
+// Package data provides the training datasets used by the heterosgd
+// framework: an in-memory dense Dataset with zero-copy batch views (the
+// paper's "reference to a range in the training data"), a LIBSVM
+// reader/writer for the real datasets the paper evaluates (covtype, w8a,
+// delicious, real-sim), and synthetic generators matched to those datasets'
+// shapes for environments where the originals are unavailable.
+package data
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+)
+
+// Dataset is a dense, fully-materialized training set. The coordinator
+// shares it with workers by reference; batches are views, never copies.
+type Dataset struct {
+	// Name identifies the dataset in logs and experiment output.
+	Name string
+	// X holds one example per row.
+	X *tensor.Matrix
+	// Y holds the labels (Class for multiclass, Multi for multi-label).
+	Y nn.Labels
+	// NumClasses is the number of classes (or labels when MultiLabel).
+	NumClasses int
+	// MultiLabel marks per-example label *sets* (delicious).
+	MultiLabel bool
+}
+
+// N returns the number of examples.
+func (d *Dataset) N() int { return d.X.Rows }
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int { return d.X.Cols }
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if d.X == nil {
+		return fmt.Errorf("data: %s has no feature matrix", d.Name)
+	}
+	if d.NumClasses < 2 {
+		return fmt.Errorf("data: %s has %d classes, need ≥2", d.Name, d.NumClasses)
+	}
+	if d.MultiLabel {
+		if len(d.Y.Multi) != d.N() {
+			return fmt.Errorf("data: %s has %d label sets for %d examples", d.Name, len(d.Y.Multi), d.N())
+		}
+		for i, ls := range d.Y.Multi {
+			for _, l := range ls {
+				if l < 0 || int(l) >= d.NumClasses {
+					return fmt.Errorf("data: %s example %d label %d out of range [0,%d)", d.Name, i, l, d.NumClasses)
+				}
+			}
+		}
+		return nil
+	}
+	if len(d.Y.Class) != d.N() {
+		return fmt.Errorf("data: %s has %d labels for %d examples", d.Name, len(d.Y.Class), d.N())
+	}
+	for i, c := range d.Y.Class {
+		if c < 0 || c >= d.NumClasses {
+			return fmt.Errorf("data: %s example %d class %d out of range [0,%d)", d.Name, i, c, d.NumClasses)
+		}
+	}
+	return nil
+}
+
+// Batch is a zero-copy view of a contiguous example range: the paper's unit
+// of work handed from coordinator to worker.
+type Batch struct {
+	X *tensor.Matrix
+	Y nn.Labels
+	// Lo, Hi record the source range [Lo, Hi) within the dataset.
+	Lo, Hi int
+}
+
+// Size returns the number of examples in the batch.
+func (b Batch) Size() int { return b.Hi - b.Lo }
+
+// View returns the batch covering examples [lo, hi).
+func (d *Dataset) View(lo, hi int) Batch {
+	if lo < 0 || hi > d.N() || lo > hi {
+		panic(fmt.Sprintf("data: view [%d,%d) out of range for %d examples", lo, hi, d.N()))
+	}
+	return Batch{X: d.X.RowView(lo, hi-lo), Y: d.Y.Slice(lo, hi), Lo: lo, Hi: hi}
+}
+
+// Shuffle permutes examples in place (Fisher-Yates), keeping X and Y aligned.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	n := d.N()
+	rowBuf := make([]float64, d.Dim())
+	for i := n - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		if i == j {
+			continue
+		}
+		ri, rj := d.X.Row(i), d.X.Row(j)
+		copy(rowBuf, ri)
+		copy(ri, rj)
+		copy(rj, rowBuf)
+		if d.MultiLabel {
+			d.Y.Multi[i], d.Y.Multi[j] = d.Y.Multi[j], d.Y.Multi[i]
+		} else {
+			d.Y.Class[i], d.Y.Class[j] = d.Y.Class[j], d.Y.Class[i]
+		}
+	}
+}
+
+// Split partitions the dataset into a train set with the first
+// round(frac·N) examples and a test set with the rest. Both share the
+// original backing storage.
+func (d *Dataset) Split(frac float64) (train, test *Dataset) {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("data: split fraction %v outside (0,1]", frac))
+	}
+	cut := int(float64(d.N())*frac + 0.5)
+	mk := func(name string, lo, hi int) *Dataset {
+		v := d.View(lo, hi)
+		return &Dataset{Name: name, X: v.X, Y: v.Y, NumClasses: d.NumClasses, MultiLabel: d.MultiLabel}
+	}
+	return mk(d.Name+"/train", 0, cut), mk(d.Name+"/test", cut, d.N())
+}
+
+// Subset returns a dataset view of the first n examples (n is clamped to N).
+func (d *Dataset) Subset(n int) *Dataset {
+	if n > d.N() {
+		n = d.N()
+	}
+	v := d.View(0, n)
+	return &Dataset{Name: d.Name, X: v.X, Y: v.Y, NumClasses: d.NumClasses, MultiLabel: d.MultiLabel}
+}
+
+// ClassCounts returns a histogram of class labels (multiclass only).
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses)
+	if d.MultiLabel {
+		for _, ls := range d.Y.Multi {
+			for _, l := range ls {
+				counts[l]++
+			}
+		}
+		return counts
+	}
+	for _, c := range d.Y.Class {
+		counts[c]++
+	}
+	return counts
+}
+
+// String summarizes the dataset in Table II style.
+func (d *Dataset) String() string {
+	kind := "multiclass"
+	if d.MultiLabel {
+		kind = "multi-label"
+	}
+	return fmt.Sprintf("%s: %d examples × %d features, %d classes (%s)", d.Name, d.N(), d.Dim(), d.NumClasses, kind)
+}

@@ -1,0 +1,171 @@
+package data
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+)
+
+func smallDataset(n int) *Dataset {
+	x := tensor.NewMatrix(n, 3)
+	y := nn.Labels{Class: make([]int, n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, float64(10*i+j))
+		}
+		y.Class[i] = i % 2
+	}
+	return &Dataset{Name: "small", X: x, Y: y, NumClasses: 2}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := smallDataset(6)
+	if d.N() != 6 || d.Dim() != 3 {
+		t.Fatalf("shape %d×%d", d.N(), d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestValidateCatchesBadLabels(t *testing.T) {
+	d := smallDataset(4)
+	d.Y.Class[2] = 9
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected out-of-range class error")
+	}
+	d2 := smallDataset(4)
+	d2.Y.Class = d2.Y.Class[:3]
+	if err := d2.Validate(); err == nil {
+		t.Fatal("expected label-count error")
+	}
+	ml := &Dataset{Name: "ml", X: tensor.NewMatrix(2, 2), NumClasses: 3, MultiLabel: true,
+		Y: nn.Labels{Multi: [][]int32{{0}, {5}}}}
+	if err := ml.Validate(); err == nil {
+		t.Fatal("expected out-of-range multi-label error")
+	}
+}
+
+func TestViewIsZeroCopy(t *testing.T) {
+	d := smallDataset(6)
+	b := d.View(2, 5)
+	if b.Size() != 3 || b.Lo != 2 || b.Hi != 5 {
+		t.Fatalf("bad batch bounds: %+v", b)
+	}
+	if b.X.At(0, 0) != 20 {
+		t.Fatalf("batch row 0 = %v, want 20", b.X.At(0, 0))
+	}
+	b.X.Set(0, 0, -1)
+	if d.X.At(2, 0) != -1 {
+		t.Fatal("batch must alias dataset storage")
+	}
+	if b.Y.Class[0] != 0 {
+		t.Fatalf("batch label = %d", b.Y.Class[0])
+	}
+}
+
+func TestViewBoundsPanic(t *testing.T) {
+	d := smallDataset(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.View(3, 5)
+}
+
+func TestShuffleKeepsAlignmentAndIsPermutation(t *testing.T) {
+	d := smallDataset(64)
+	// Mark each row's first feature with its original label parity scaled.
+	sums := map[float64]int{}
+	for i := 0; i < d.N(); i++ {
+		sums[d.X.At(i, 0)]++
+	}
+	d.Shuffle(rand.New(rand.NewPCG(1, 1)))
+	after := map[float64]int{}
+	moved := false
+	for i := 0; i < d.N(); i++ {
+		after[d.X.At(i, 0)]++
+		// Label alignment: row value 10i ↔ label i%2.
+		orig := int(d.X.At(i, 0)) / 10
+		if d.Y.Class[i] != orig%2 {
+			t.Fatalf("row %d: label %d not aligned with row origin %d", i, d.Y.Class[i], orig)
+		}
+		if i != orig {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("shuffle did not move anything")
+	}
+	for k, v := range sums {
+		if after[k] != v {
+			t.Fatal("shuffle is not a permutation")
+		}
+	}
+}
+
+func TestShuffleMultiLabelAlignment(t *testing.T) {
+	n := 32
+	x := tensor.NewMatrix(n, 1)
+	y := nn.Labels{Multi: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		y.Multi[i] = []int32{int32(i % 5)}
+	}
+	d := &Dataset{Name: "ml", X: x, Y: y, NumClasses: 5, MultiLabel: true}
+	d.Shuffle(rand.New(rand.NewPCG(2, 2)))
+	for i := 0; i < n; i++ {
+		if int32(int(d.X.At(i, 0))%5) != d.Y.Multi[i][0] {
+			t.Fatalf("row %d multi-label misaligned", i)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := smallDataset(10)
+	train, test := d.Split(0.8)
+	if train.N() != 8 || test.N() != 2 {
+		t.Fatalf("split sizes %d/%d", train.N(), test.N())
+	}
+	if test.X.At(0, 0) != 80 {
+		t.Fatalf("test starts at %v", test.X.At(0, 0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad fraction")
+		}
+	}()
+	d.Split(0)
+}
+
+func TestSubsetClamps(t *testing.T) {
+	d := smallDataset(5)
+	s := d.Subset(100)
+	if s.N() != 5 {
+		t.Fatalf("clamped subset N = %d", s.N())
+	}
+	s2 := d.Subset(2)
+	if s2.N() != 2 {
+		t.Fatalf("subset N = %d", s2.N())
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	d := smallDataset(7)
+	counts := d.ClassCounts()
+	if counts[0] != 4 || counts[1] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	ml := &Dataset{Name: "ml", X: tensor.NewMatrix(2, 1), NumClasses: 3, MultiLabel: true,
+		Y: nn.Labels{Multi: [][]int32{{0, 1}, {1}}}}
+	c := ml.ClassCounts()
+	if c[0] != 1 || c[1] != 2 || c[2] != 0 {
+		t.Fatalf("multi counts = %v", c)
+	}
+}

@@ -1,0 +1,200 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+)
+
+// LIBSVMOptions controls parsing of LIBSVM/SVMlight-format files.
+type LIBSVMOptions struct {
+	// Dim forces the feature dimensionality; 0 infers it from the data.
+	Dim int
+	// MultiLabel parses comma-separated label lists (delicious).
+	MultiLabel bool
+	// NumClasses forces the class count; 0 infers it from the labels.
+	NumClasses int
+	// Name sets the dataset name.
+	Name string
+}
+
+// ReadLIBSVM parses a LIBSVM-format stream into a dense Dataset (the paper
+// processes all datasets in dense format, §VII-A). Feature indices are
+// 1-based per the format. Multiclass labels may be arbitrary integers
+// (including ±1, remapped to {0, 1}); multi-label lines start with a
+// comma-separated label list.
+func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
+	type row struct {
+		idx  []int
+		val  []float64
+		cls  int
+		lbls []int32
+	}
+	var rows []row
+	maxDim := opts.Dim
+	maxLabel := -1
+	classSet := map[int]int{} // raw label → class id (multiclass)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var rw row
+		if opts.MultiLabel {
+			for _, part := range strings.Split(fields[0], ",") {
+				if part == "" {
+					continue
+				}
+				l, err := strconv.Atoi(part)
+				if err != nil {
+					return nil, fmt.Errorf("data: line %d: bad label %q: %w", lineNo, part, err)
+				}
+				rw.lbls = append(rw.lbls, int32(l))
+				if l > maxLabel {
+					maxLabel = l
+				}
+			}
+		} else {
+			raw, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad label %q: %w", lineNo, fields[0], err)
+			}
+			key := int(raw)
+			id, ok := classSet[key]
+			if !ok {
+				id = len(classSet)
+				classSet[key] = id
+			}
+			rw.cls = id
+		}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("data: line %d: malformed feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("data: line %d: bad feature index %q", lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad feature value %q", lineNo, f[colon+1:])
+			}
+			rw.idx = append(rw.idx, idx-1)
+			rw.val = append(rw.val, val)
+			if idx > maxDim {
+				maxDim = idx
+			}
+		}
+		rows = append(rows, rw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: scanning LIBSVM input: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("data: empty LIBSVM input")
+	}
+
+	d := &Dataset{Name: opts.Name, MultiLabel: opts.MultiLabel}
+	d.X = tensor.NewMatrix(len(rows), maxDim)
+	if opts.MultiLabel {
+		d.Y = nn.Labels{Multi: make([][]int32, len(rows))}
+		d.NumClasses = maxLabel + 1
+	} else {
+		d.Y = nn.Labels{Class: make([]int, len(rows))}
+		d.NumClasses = len(classSet)
+	}
+	if opts.NumClasses > 0 {
+		d.NumClasses = opts.NumClasses
+	}
+	for i, rw := range rows {
+		dst := d.X.Row(i)
+		for k, idx := range rw.idx {
+			dst[idx] = rw.val[k]
+		}
+		if opts.MultiLabel {
+			d.Y.Multi[i] = rw.lbls
+		} else {
+			d.Y.Class[i] = rw.cls
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadLIBSVMFile is ReadLIBSVM over a file path.
+func ReadLIBSVMFile(path string, opts LIBSVMOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts.Name == "" {
+		opts.Name = path
+	}
+	return ReadLIBSVM(f, opts)
+}
+
+// WriteLIBSVM renders the dataset in LIBSVM format (zero features omitted;
+// indices 1-based). Multi-label datasets emit comma-separated label lists.
+func WriteLIBSVM(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.N(); i++ {
+		if d.MultiLabel {
+			for k, l := range d.Y.Multi[i] {
+				if k > 0 {
+					if _, err := bw.WriteString(","); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(strconv.Itoa(int(l))); err != nil {
+					return err
+				}
+			}
+		} else {
+			if _, err := bw.WriteString(strconv.Itoa(d.Y.Class[i])); err != nil {
+				return err
+			}
+		}
+		row := d.X.Row(i)
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteLIBSVMFile is WriteLIBSVM to a file path.
+func WriteLIBSVMFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteLIBSVM(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,88 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// FeatureStats holds per-feature first and second moments for
+// standardization, computed on a training set and reusable on test data.
+type FeatureStats struct {
+	Mean, Std []float64
+}
+
+// ComputeStats returns per-feature mean and standard deviation. Features
+// with zero variance get Std = 1 so standardization is a no-op for them.
+func ComputeStats(d *Dataset) *FeatureStats {
+	n, dim := d.N(), d.Dim()
+	stats := &FeatureStats{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		for j, v := range row {
+			stats.Mean[j] += v
+		}
+	}
+	inv := 1 / float64(n)
+	for j := range stats.Mean {
+		stats.Mean[j] *= inv
+	}
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		for j, v := range row {
+			dev := v - stats.Mean[j]
+			stats.Std[j] += dev * dev
+		}
+	}
+	for j := range stats.Std {
+		s := math.Sqrt(stats.Std[j] * inv)
+		if s == 0 {
+			s = 1
+		}
+		stats.Std[j] = s
+	}
+	return stats
+}
+
+// Apply standardizes d in place: x ← (x − mean)/std feature-wise, using
+// statistics computed elsewhere (normally the training split, so test data
+// never leaks into the preprocessing).
+func (s *FeatureStats) Apply(d *Dataset) error {
+	if len(s.Mean) != d.Dim() {
+		return fmt.Errorf("data: stats cover %d features, dataset has %d", len(s.Mean), d.Dim())
+	}
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return nil
+}
+
+// Standardize computes statistics on d and applies them in place,
+// returning the statistics for reuse on held-out data.
+func Standardize(d *Dataset) *FeatureStats {
+	stats := ComputeStats(d)
+	stats.Apply(d) // cannot fail: stats were computed on d
+	return stats
+}
+
+// ScaleToUnitNorm rescales each example to unit Euclidean norm (the
+// preprocessing commonly applied to real-sim and other text datasets).
+// Zero rows are left untouched.
+func ScaleToUnitNorm(d *Dataset) {
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		sum := 0.0
+		for _, v := range row {
+			sum += v * v
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+)
+
+func TestStandardizeZeroMeanUnitVar(t *testing.T) {
+	d := Generate(Covtype.Scaled(0.002), 5)
+	Standardize(d)
+	n := float64(d.N())
+	for j := 0; j < d.Dim(); j++ {
+		var mean, sq float64
+		for i := 0; i < d.N(); i++ {
+			mean += d.X.At(i, j)
+		}
+		mean /= n
+		for i := 0; i < d.N(); i++ {
+			dev := d.X.At(i, j) - mean
+			sq += dev * dev
+		}
+		std := math.Sqrt(sq / n)
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("feature %d mean %v after standardization", j, mean)
+		}
+		if math.Abs(std-1) > 1e-9 && std != 0 {
+			t.Fatalf("feature %d std %v after standardization", j, std)
+		}
+	}
+}
+
+func TestStatsApplyToHeldOut(t *testing.T) {
+	d := Generate(W8a.Scaled(0.01), 6)
+	train, test := d.Split(0.8)
+	stats := ComputeStats(train)
+	if err := stats.Apply(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := stats.Apply(test); err != nil {
+		t.Fatal(err)
+	}
+	// Test mean won't be exactly 0 (different sample) but must be near it.
+	var mean float64
+	for i := 0; i < test.N(); i++ {
+		mean += test.X.At(i, 0)
+	}
+	mean /= float64(test.N())
+	if math.Abs(mean) > 1 {
+		t.Fatalf("held-out mean %v suspiciously large", mean)
+	}
+}
+
+func TestStatsApplyDimMismatch(t *testing.T) {
+	a := Generate(Covtype.Scaled(0.0002), 1)
+	b := Generate(W8a.Scaled(0.002), 1)
+	if err := ComputeStats(a).Apply(b); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestZeroVarianceFeatureUntouched(t *testing.T) {
+	x := tensor.NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		x.Set(i, 0, 7) // constant feature
+		x.Set(i, 1, float64(i))
+	}
+	d := &Dataset{Name: "c", X: x, Y: nn.Labels{Class: []int{0, 1, 0}}, NumClasses: 2}
+	Standardize(d)
+	for i := 0; i < 3; i++ {
+		if d.X.At(i, 0) != 0 {
+			t.Fatalf("constant feature should become 0 (mean-centered, std 1), got %v", d.X.At(i, 0))
+		}
+	}
+}
+
+func TestScaleToUnitNorm(t *testing.T) {
+	x := tensor.NewMatrixFrom(2, 2, []float64{3, 4, 0, 0})
+	d := &Dataset{Name: "u", X: x, Y: nn.Labels{Class: []int{0, 1}}, NumClasses: 2}
+	ScaleToUnitNorm(d)
+	if math.Abs(x.At(0, 0)-0.6) > 1e-12 || math.Abs(x.At(0, 1)-0.8) > 1e-12 {
+		t.Fatalf("row 0 not unit norm: %v %v", x.At(0, 0), x.At(0, 1))
+	}
+	if x.At(1, 0) != 0 || x.At(1, 1) != 0 {
+		t.Fatal("zero row must stay zero")
+	}
+}

@@ -1,0 +1,66 @@
+package device
+
+import (
+	"sync/atomic"
+	"time"
+
+	"heterosgd/internal/nn"
+)
+
+// Throttled wraps a Device and stretches its iteration times by Factor
+// after SlowAfter iterations have been issued. It models the runtime
+// slowdowns — thermal throttling, co-tenant interference, clock changes —
+// that §II argues break Omnivore-style static speed estimates and that
+// Adaptive Hogbatch absorbs by rebalancing batch sizes on the fly.
+//
+// Factor > 1 slows the device; SlowAfter = 0 applies it from the start.
+type Throttled struct {
+	// Inner is the wrapped device model.
+	Inner Device
+	// Factor multiplies IterTime once the throttle engages.
+	Factor float64
+	// SlowAfter is the number of IterTime calls before the throttle
+	// engages.
+	SlowAfter int64
+
+	calls atomic.Int64
+}
+
+// NewThrottled wraps dev so its iterations take factor× longer after
+// slowAfter iterations.
+func NewThrottled(dev Device, factor float64, slowAfter int64) *Throttled {
+	return &Throttled{Inner: dev, Factor: factor, SlowAfter: slowAfter}
+}
+
+// Name implements Device.
+func (t *Throttled) Name() string { return t.Inner.Name() }
+
+// Kind implements Device.
+func (t *Throttled) Kind() Kind { return t.Inner.Kind() }
+
+// Spec implements Device.
+func (t *Throttled) Spec() Spec { return t.Inner.Spec() }
+
+// IterTime implements Device, engaging the throttle after SlowAfter calls.
+func (t *Throttled) IterTime(arch nn.Arch, batchSize int, modelBytes int64) time.Duration {
+	n := t.calls.Add(1)
+	base := t.Inner.IterTime(arch, batchSize, modelBytes)
+	if n <= t.SlowAfter || t.Factor <= 0 {
+		return base
+	}
+	return time.Duration(float64(base) * t.Factor)
+}
+
+// EvalTime implements Device (never throttled — loss evaluation happens on
+// the device's compute either way and is excluded from convergence time).
+func (t *Throttled) EvalTime(arch nn.Arch, n int) time.Duration {
+	return t.Inner.EvalTime(arch, n)
+}
+
+// Utilization implements Device.
+func (t *Throttled) Utilization(arch nn.Arch, batchSize int) float64 {
+	return t.Inner.Utilization(arch, batchSize)
+}
+
+// Calls reports how many iterations the device has been asked to time.
+func (t *Throttled) Calls() int64 { return t.calls.Load() }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+)
+
+// Plan prints paper-scale predictions straight from the calibrated cost
+// models — per-device epoch times, example and update rates, and the
+// utilizations each algorithm's batch sizes imply — for every dataset at
+// the full Table II sizes with 512-unit networks. No gradient arithmetic
+// runs, so this is instant and exact at any experiment scale; it is the
+// quantitative skeleton behind Figures 5, 7 and 8.
+func Plan() string {
+	cpu := device.NewXeon("cpu0", 56)
+	gpu := device.NewV100("gpu0")
+	preset := core.DefaultPreset()
+	var b strings.Builder
+	b.WriteString("Full-scale predictions from the device cost models (no simulation)\n")
+	for _, spec := range data.AllSpecs() {
+		arch := spec.Arch()
+		mb := int64(arch.NumParameters()) * 8
+		fmt.Fprintf(&b, "\n%s: %d×%d, %d classes, DNN %s (%.1f MB model)\n",
+			spec.Name, spec.N, spec.Dim, spec.Classes, arch, float64(mb)/(1<<20))
+
+		cpuBatch := preset.CPUThreads * preset.CPUMinPerThread
+		cpuIter := cpu.IterTime(arch, cpuBatch, mb)
+		cpuMaxBatch := preset.CPUThreads * preset.CPUMaxPerThread
+		cpuMaxIter := cpu.IterTime(arch, cpuMaxBatch, mb)
+		gpuIter := gpu.IterTime(arch, preset.GPUMax, mb)
+		gpuMinIter := gpu.IterTime(arch, preset.GPUMin, mb)
+
+		rows := []struct {
+			name  string
+			batch int
+			iter  time.Duration
+			upd   float64 // updates per iteration
+			util  float64
+		}{
+			{"CPU @ 1/thread (Hogwild)", cpuBatch, cpuIter, float64(preset.CPUThreads), cpu.Utilization(arch, cpuBatch)},
+			{"CPU @ 64/thread (max)", cpuMaxBatch, cpuMaxIter, float64(preset.CPUThreads), cpu.Utilization(arch, cpuMaxBatch)},
+			{"GPU @ min threshold", preset.GPUMin, gpuMinIter, 1, gpu.Utilization(arch, preset.GPUMin)},
+			{"GPU @ max threshold", preset.GPUMax, gpuIter, 1, gpu.Utilization(arch, preset.GPUMax)},
+		}
+		fmt.Fprintf(&b, "  %-26s %8s %12s %14s %12s %6s\n",
+			"worker", "batch", "iter", "examples/s", "updates/s", "util")
+		for _, r := range rows {
+			exRate := float64(r.batch) / r.iter.Seconds()
+			updRate := r.upd / r.iter.Seconds()
+			fmt.Fprintf(&b, "  %-26s %8d %12v %14.0f %12.0f %5.0f%%\n",
+				r.name, r.batch, r.iter.Round(time.Microsecond), exRate, updRate, 100*r.util)
+		}
+
+		// Derived headline quantities.
+		cpuEpoch := time.Duration(float64(spec.N) / float64(cpuBatch) * float64(cpuIter))
+		gpuEpoch := time.Duration(float64(spec.N) / float64(preset.GPUMax) * float64(gpuIter))
+		fmt.Fprintf(&b, "  epoch: CPU %v, GPU %v (ratio %.0f×)\n",
+			cpuEpoch.Round(time.Millisecond), gpuEpoch.Round(time.Millisecond),
+			cpuEpoch.Seconds()/gpuEpoch.Seconds())
+
+		// Static CPU+GPU Hogbatch update shares (Figure 8 left bars).
+		cpuUpd := float64(preset.CPUThreads) / cpuIter.Seconds()
+		gpuUpd := 1 / gpuIter.Seconds()
+		fmt.Fprintf(&b, "  CPU+GPU Hogbatch predicted update share: CPU %.1f%% / GPU %.1f%%\n",
+			100*cpuUpd/(cpuUpd+gpuUpd), 100*gpuUpd/(cpuUpd+gpuUpd))
+
+		// Adaptive equilibrium (Figure 8 right bars): CPU at max batch,
+		// GPU at min batch — where Algorithm 2 pushes the two streams.
+		cpuUpdEq := float64(preset.CPUThreads) / cpuMaxIter.Seconds()
+		gpuUpdEq := 1 / gpuMinIter.Seconds()
+		fmt.Fprintf(&b, "  Adaptive equilibrium predicted share:    CPU %.1f%% / GPU %.1f%%\n",
+			100*cpuUpdEq/(cpuUpdEq+gpuUpdEq), 100*gpuUpdEq/(cpuUpdEq+gpuUpdEq))
+	}
+	return b.String()
+}

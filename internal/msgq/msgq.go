@@ -1,0 +1,111 @@
+// Package msgq implements the asynchronous message queue the heterosgd
+// framework uses between the coordinator and its workers, mirroring the
+// paper's custom pthreads queue (§VII-A): unbounded, multi-producer,
+// single-consumer, FIFO. Producers never block — the coordinator must stay
+// responsive while every worker posts completion messages — and the consumer
+// blocks until a message or Close arrives.
+package msgq
+
+import "sync"
+
+// Queue is an unbounded MPSC FIFO queue. The zero value is not usable; use
+// New.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	// Two-stack queue: Push appends to back; Pop drains front, refilling
+	// it by reversing back when empty. Amortized O(1) with no per-element
+	// allocation.
+	front, back []T
+	closed      bool
+	pushed      uint64
+	popped      uint64
+}
+
+// New returns an empty open queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.nonEmp = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues v. It never blocks. Push on a closed queue reports false
+// and drops the message.
+func (q *Queue[T]) Push(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.back = append(q.back, v)
+	q.pushed++
+	q.nonEmp.Signal()
+	return true
+}
+
+// Pop dequeues the oldest message, blocking until one is available. It
+// reports false only when the queue is closed and fully drained.
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if v, ok := q.popLocked(); ok {
+			return v, true
+		}
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.nonEmp.Wait()
+	}
+}
+
+// TryPop dequeues without blocking; ok is false when the queue is empty.
+func (q *Queue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+func (q *Queue[T]) popLocked() (T, bool) {
+	if len(q.front) == 0 {
+		if len(q.back) == 0 {
+			var zero T
+			return zero, false
+		}
+		// Reverse back into front.
+		for i := len(q.back) - 1; i >= 0; i-- {
+			q.front = append(q.front, q.back[i])
+		}
+		q.back = q.back[:0]
+	}
+	v := q.front[len(q.front)-1]
+	var zero T
+	q.front[len(q.front)-1] = zero // release reference
+	q.front = q.front[:len(q.front)-1]
+	q.popped++
+	return v, true
+}
+
+// Close marks the queue closed. Blocked and future Pops drain remaining
+// messages, then report false. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmp.Broadcast()
+}
+
+// Len returns the number of queued messages.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.front) + len(q.back)
+}
+
+// Stats reports lifetime pushed/popped counts (for utilization accounting).
+func (q *Queue[T]) Stats() (pushed, popped uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed, q.popped
+}

@@ -1,0 +1,352 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"heterosgd/internal/tensor"
+)
+
+// Arch describes a fully-connected MLP topology: InputDim → Hidden… →
+// OutputDim. The paper's networks use 4–8 hidden layers of 512 units with
+// sigmoid activations and a softmax (or, for delicious, per-label sigmoid)
+// output whose nonlinearity is folded into the loss.
+type Arch struct {
+	// InputDim is d₁, the feature count.
+	InputDim int
+	// Hidden lists the width of each hidden layer.
+	Hidden []int
+	// OutputDim is the number of classes (multiclass) or labels
+	// (multi-label).
+	OutputDim int
+	// Activation is the hidden-layer nonlinearity.
+	Activation ActKind
+	// MultiLabel selects the per-label sigmoid + binary cross-entropy
+	// loss (delicious) instead of softmax + cross-entropy.
+	MultiLabel bool
+}
+
+// Validate reports whether the architecture is well-formed.
+func (a Arch) Validate() error {
+	if a.InputDim <= 0 {
+		return fmt.Errorf("nn: input dimension %d must be positive", a.InputDim)
+	}
+	if a.OutputDim <= 0 {
+		return fmt.Errorf("nn: output dimension %d must be positive", a.OutputDim)
+	}
+	for i, h := range a.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("nn: hidden layer %d has width %d", i, h)
+		}
+	}
+	return nil
+}
+
+// LayerDims returns the full dimension sequence d₁…d_{P+1}.
+func (a Arch) LayerDims() []int {
+	dims := make([]int, 0, len(a.Hidden)+2)
+	dims = append(dims, a.InputDim)
+	dims = append(dims, a.Hidden...)
+	return append(dims, a.OutputDim)
+}
+
+// NumLayers returns the number of weight layers P.
+func (a Arch) NumLayers() int { return len(a.Hidden) + 1 }
+
+// NumParameters returns the scalar parameter count of the architecture.
+func (a Arch) NumParameters() int {
+	dims := a.LayerDims()
+	n := 0
+	for l := 0; l+1 < len(dims); l++ {
+		n += dims[l+1]*dims[l] + dims[l+1]
+	}
+	return n
+}
+
+// FlopsPerExample estimates the floating-point operations of one forward +
+// backward pass for a single training example (the classic ≈3× forward cost:
+// one GEMM forward, two backward). Used by the device cost models.
+func (a Arch) FlopsPerExample() float64 {
+	dims := a.LayerDims()
+	flops := 0.0
+	for l := 0; l+1 < len(dims); l++ {
+		flops += 2 * float64(dims[l]) * float64(dims[l+1]) // forward GEMM
+	}
+	return 3 * flops
+}
+
+// String renders the topology, e.g. "54-512x6-7 (sigmoid)".
+func (a Arch) String() string {
+	return fmt.Sprintf("%d-%dx%d-%d (%s)", a.InputDim, widthOf(a.Hidden), len(a.Hidden), a.OutputDim, a.Activation)
+}
+
+func widthOf(hidden []int) int {
+	if len(hidden) == 0 {
+		return 0
+	}
+	return hidden[0]
+}
+
+// Network is an immutable MLP topology; parameters live in separate Params
+// values so many replicas (shared global model, deep GPU copies) can use the
+// same Network concurrently.
+type Network struct {
+	Arch Arch
+	dims []int
+}
+
+// NewNetwork validates the architecture and returns a Network.
+func NewNetwork(arch Arch) (*Network, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{Arch: arch, dims: arch.LayerDims()}, nil
+}
+
+// MustNetwork is NewNetwork for statically-known architectures.
+func MustNetwork(arch Arch) *Network {
+	n, err := NewNetwork(arch)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NewParams allocates parameters for the network, initialized per mode.
+// Xavier initialization is scaled by the activation's gain (4 for sigmoid,
+// whose maximum slope is ¼ — without the gain, gradients vanish through the
+// paper's 6–8 sigmoid layers and nothing trains).
+func (n *Network) NewParams(mode InitMode, rng *rand.Rand) *Params {
+	p := &Params{
+		Weights: make([]*tensor.Matrix, n.Arch.NumLayers()),
+		Biases:  make([]*tensor.Vector, n.Arch.NumLayers()),
+	}
+	for l := 0; l+1 < len(n.dims); l++ {
+		p.Weights[l] = tensor.NewMatrix(n.dims[l+1], n.dims[l])
+		p.Biases[l] = tensor.NewVector(n.dims[l+1])
+	}
+	p.init(mode, rng, activationGain(n.Arch.Activation), n.Arch.Activation == ActSigmoid)
+	return p
+}
+
+// activationGain returns the init-σ multiplier that preserves gradient
+// magnitude through the given nonlinearity.
+func activationGain(k ActKind) float64 {
+	switch k {
+	case ActSigmoid:
+		return 4
+	case ActReLU:
+		return 1.4142135623730951 // √2
+	default:
+		return 1
+	}
+}
+
+// Workspace holds the per-worker forward/backward scratch buffers for
+// batches up to a capacity; Grow reallocates when a larger batch arrives.
+// A Workspace must not be shared between concurrent gradient computations.
+type Workspace struct {
+	net *Network
+	cap int
+	// acts[0] aliases the input batch; acts[l] holds layer-l activations.
+	acts   []*tensor.Matrix
+	deltas []*tensor.Matrix
+}
+
+// NewWorkspace allocates scratch space for batches of up to maxBatch rows.
+func (n *Network) NewWorkspace(maxBatch int) *Workspace {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	ws := &Workspace{net: n}
+	ws.grow(maxBatch)
+	return ws
+}
+
+func (ws *Workspace) grow(batch int) {
+	n := ws.net
+	ws.cap = batch
+	ws.acts = make([]*tensor.Matrix, len(n.dims))
+	ws.deltas = make([]*tensor.Matrix, len(n.dims))
+	for l := 1; l < len(n.dims); l++ {
+		ws.acts[l] = tensor.NewMatrix(batch, n.dims[l])
+		ws.deltas[l] = tensor.NewMatrix(batch, n.dims[l])
+	}
+}
+
+// ensure prepares the workspace for a batch of b rows and returns batch-sized
+// views of the activation and delta buffers.
+func (ws *Workspace) ensure(b int) {
+	if b > ws.cap {
+		ws.grow(b)
+	}
+}
+
+// Forward computes logits for the batch x (rows = examples) using parameters
+// p, with linear algebra parallelized over workers goroutines. The returned
+// matrix aliases workspace storage and is valid until the next call.
+func (n *Network) Forward(p *Params, ws *Workspace, x *tensor.Matrix, workers int) *tensor.Matrix {
+	if x.Cols != n.Arch.InputDim {
+		panic(fmt.Sprintf("nn: input has %d features, network expects %d", x.Cols, n.Arch.InputDim))
+	}
+	b := x.Rows
+	ws.ensure(b)
+	ws.acts[0] = x
+	for l := 0; l < n.Arch.NumLayers(); l++ {
+		in := ws.acts[l]
+		if l == 0 {
+			in = x
+		} else {
+			in = in.RowView(0, b)
+		}
+		out := ws.acts[l+1].RowView(0, b)
+		// out = in · Wᵀ  (+ bias broadcast)
+		tensor.ParallelGemm(false, true, 1, in, p.Weights[l], 0, out, workers)
+		bias := p.Biases[l]
+		for i := 0; i < b; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] += bias.Data[j]
+			}
+		}
+		if l < n.Arch.NumLayers()-1 { // hidden layer
+			applyActivation(n.Arch.Activation, out.Data[:b*out.Stride])
+		}
+	}
+	return ws.acts[n.Arch.NumLayers()].RowView(0, b)
+}
+
+// Gradient runs a forward and backward pass over the batch (x, y), writes
+// the mean gradient into grad, and returns the mean loss. grad must have the
+// network's shape; it is overwritten, not accumulated.
+func (n *Network) Gradient(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, grad *Params, workers int) float64 {
+	b := x.Rows
+	logits := n.Forward(p, ws, x, workers)
+	P := n.Arch.NumLayers()
+	outDelta := ws.deltas[P].RowView(0, b)
+	var loss float64
+	if n.Arch.MultiLabel {
+		loss = sigmoidBCEBackward(logits, y, outDelta)
+	} else {
+		loss = softmaxCEBackward(logits, y, outDelta)
+	}
+	invB := 1 / float64(b)
+	for l := P - 1; l >= 0; l-- {
+		in := ws.acts[l]
+		if l == 0 {
+			in = x
+		} else {
+			in = in.RowView(0, b)
+		}
+		delta := ws.deltas[l+1].RowView(0, b)
+		// dW = (1/b) deltaᵀ · in ; db = (1/b) colsums(delta)
+		tensor.ParallelGemm(true, false, invB, delta, in, 0, grad.Weights[l], workers)
+		tensor.ColSums(delta, grad.Biases[l])
+		grad.Biases[l].Scale(invB)
+		if l > 0 {
+			// prevDelta = delta · W, then ⊙ f'(act)
+			prev := ws.deltas[l].RowView(0, b)
+			tensor.ParallelGemm(false, false, 1, delta, p.Weights[l], 0, prev, workers)
+			applyActivationGrad(n.Arch.Activation, in.Data[:b*in.Stride], prev.Data[:b*prev.Stride])
+		}
+	}
+	return loss
+}
+
+// Loss computes the mean loss of the batch without producing gradients.
+func (n *Network) Loss(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, workers int) float64 {
+	logits := n.Forward(p, ws, x, workers)
+	if n.Arch.MultiLabel {
+		return sigmoidBCELoss(logits, y)
+	}
+	return softmaxCELoss(logits, y)
+}
+
+// Predict returns the argmax class for each row of x (multiclass networks).
+func (n *Network) Predict(p *Params, ws *Workspace, x *tensor.Matrix, workers int) []int {
+	logits := n.Forward(p, ws, x, workers)
+	out := make([]int, x.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax prediction matches the
+// class label.
+func (n *Network) Accuracy(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, workers int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := n.Predict(p, ws, x, workers)
+	correct := 0
+	for i, c := range pred {
+		if c == y.Class[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// PrecisionAtK evaluates a multi-label model the way the extreme-
+// classification literature evaluates delicious: for each example, take the
+// k highest-scoring labels and count how many are in the true label set.
+// Returns the mean fraction over the batch.
+func (n *Network) PrecisionAtK(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, k, workers int) float64 {
+	if !n.Arch.MultiLabel {
+		panic("nn: PrecisionAtK requires a multi-label network")
+	}
+	if k < 1 || x.Rows == 0 {
+		return 0
+	}
+	logits := n.Forward(p, ws, x, workers)
+	total := 0.0
+	top := make([]int, k)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		topK(row, top)
+		truth := make(map[int32]bool, len(y.Multi[i]))
+		for _, l := range y.Multi[i] {
+			truth[l] = true
+		}
+		hits := 0
+		for _, j := range top {
+			if truth[int32(j)] {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(k)
+	}
+	return total / float64(logits.Rows)
+}
+
+// topK fills out with the indices of the largest values in row (simple
+// selection — k is small).
+func topK(row []float64, out []int) {
+	for slot := range out {
+		best := -1
+		for j, v := range row {
+			taken := false
+			for _, prev := range out[:slot] {
+				if prev == j {
+					taken = true
+					break
+				}
+			}
+			if taken {
+				continue
+			}
+			if best < 0 || v > row[best] {
+				best = j
+			}
+		}
+		out[slot] = best
+	}
+}

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"heterosgd/internal/tensor"
+)
+
+// InitMode selects the weight-initialization scheme.
+type InitMode int
+
+const (
+	// InitXavier draws weights from N(0, 1/fan_in), the standard choice
+	// for sigmoid networks. Default.
+	InitXavier InitMode = iota
+	// InitPaper follows the paper's §VII-A description ("standard
+	// deviation equal to the number of units in the current layer"),
+	// interpreted as σ = 1/units — the literal reading (σ = units)
+	// saturates every sigmoid and is unusable; see DESIGN.md §6.
+	InitPaper
+	// InitZero zeroes all parameters (used for gradient accumulators).
+	InitZero
+)
+
+// String returns the init-mode name.
+func (m InitMode) String() string {
+	switch m {
+	case InitXavier:
+		return "xavier"
+	case InitPaper:
+		return "paper"
+	case InitZero:
+		return "zero"
+	default:
+		return "unknown"
+	}
+}
+
+// Params holds the model W = {W¹ … Wᴾ} plus biases. Weights[l] has shape
+// d_{l+1}×d_l, matching the paper's Wˡ ∈ ℝ^{d_{l+1}×d_l}: row r holds the
+// incoming weights of unit r in layer l+1.
+type Params struct {
+	Weights []*tensor.Matrix
+	Biases  []*tensor.Vector
+}
+
+// NumLayers returns the number of weight layers P.
+func (p *Params) NumLayers() int { return len(p.Weights) }
+
+// NumParameters returns the total scalar parameter count.
+func (p *Params) NumParameters() int {
+	n := 0
+	for i, w := range p.Weights {
+		n += w.Rows*w.Cols + p.Biases[i].Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy (the paper's "deep replica" used by GPU workers).
+func (p *Params) Clone() *Params {
+	out := &Params{
+		Weights: make([]*tensor.Matrix, len(p.Weights)),
+		Biases:  make([]*tensor.Vector, len(p.Biases)),
+	}
+	for i, w := range p.Weights {
+		out.Weights[i] = w.Clone()
+		out.Biases[i] = p.Biases[i].Clone()
+	}
+	return out
+}
+
+// CopyFrom copies src's values into p. Shapes must match.
+func (p *Params) CopyFrom(src *Params) {
+	if len(p.Weights) != len(src.Weights) {
+		panic(fmt.Sprintf("nn: params layer count mismatch %d vs %d", len(p.Weights), len(src.Weights)))
+	}
+	for i := range p.Weights {
+		p.Weights[i].CopyFrom(src.Weights[i])
+		p.Biases[i].CopyFrom(src.Biases[i])
+	}
+}
+
+// Zero clears all parameters (useful for gradient accumulators).
+func (p *Params) Zero() {
+	for i := range p.Weights {
+		p.Weights[i].Zero()
+		p.Biases[i].Zero()
+	}
+}
+
+// Scale multiplies every parameter by a.
+func (p *Params) Scale(a float64) {
+	for i := range p.Weights {
+		p.Weights[i].Scale(a)
+		p.Biases[i].Scale(a)
+	}
+}
+
+// AddScaled performs p += a·src with plain (unsynchronized) writes.
+func (p *Params) AddScaled(a float64, src *Params) {
+	for i := range p.Weights {
+		p.Weights[i].AddScaled(a, src.Weights[i])
+		p.Biases[i].AddScaled(a, src.Biases[i])
+	}
+}
+
+// ApplyUpdate performs p += a·src under the given shared-write discipline.
+// With tensor.UpdateAtomic the write is race-free against concurrent
+// ApplyUpdate calls (lock-free CAS per element); with tensor.UpdateRacy it
+// reproduces the paper's unsynchronized Hogwild update.
+func (p *Params) ApplyUpdate(mode tensor.UpdateMode, a float64, src *Params) {
+	for i := range p.Weights {
+		tensor.ApplyUpdate(mode, p.Weights[i], a, src.Weights[i])
+		tensor.ApplyUpdateVec(mode, p.Biases[i], a, src.Biases[i])
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between
+// p and other (diagnostic; used to measure replica staleness).
+func (p *Params) MaxAbsDiff(other *Params) float64 {
+	max := 0.0
+	for i := range p.Weights {
+		a, b := p.Weights[i], other.Weights[i]
+		for j := range a.Data {
+			if d := math.Abs(a.Data[j] - b.Data[j]); d > max {
+				max = d
+			}
+		}
+		av, bv := p.Biases[i], other.Biases[i]
+		for j := range av.Data {
+			if d := math.Abs(av.Data[j] - bv.Data[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// GradNorm returns the Euclidean norm over all parameters.
+func (p *Params) GradNorm() float64 {
+	sum := 0.0
+	for i := range p.Weights {
+		for _, v := range p.Weights[i].Data {
+			sum += v * v
+		}
+		for _, v := range p.Biases[i].Data {
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// SizeBytes returns the in-memory footprint of the parameters, used by the
+// GPU simulator's PCIe transfer model.
+func (p *Params) SizeBytes() int64 {
+	return int64(p.NumParameters()) * 8
+}
+
+func (p *Params) init(mode InitMode, rng *rand.Rand, gain float64, centerBias bool) {
+	for i, w := range p.Weights {
+		switch mode {
+		case InitZero:
+			w.Zero()
+		case InitPaper:
+			// σ scaled by the unit count of the current (input) layer.
+			w.Randomize(rng, 1/float64(w.Cols))
+		default: // InitXavier (scaled by the activation gain)
+			w.Randomize(rng, gain/math.Sqrt(float64(w.Cols)))
+		}
+		p.Biases[i].Zero()
+		if centerBias && i > 0 && mode != InitZero {
+			// Sigmoid activations have mean ≈ ½, not 0; without
+			// compensation the pre-activation mean performs a random
+			// walk that saturates deep sigmoid stacks. Initialize each
+			// bias to −½·Σⱼwᵢⱼ so initial pre-activations are centered.
+			for r := 0; r < w.Rows; r++ {
+				sum := 0.0
+				for _, v := range w.Row(r) {
+					sum += v
+				}
+				p.Biases[i].Set(r, -0.5*sum)
+			}
+		}
+	}
+}

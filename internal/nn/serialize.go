@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary model format: magic, version, layer count, then per layer the
+// weight shape and row-major float64 data followed by the bias data.
+// Everything is little-endian.
+const (
+	paramsMagic   = 0x48474D31 // "HGM1"
+	paramsVersion = 1
+)
+
+// WriteParams serializes p to w.
+func WriteParams(w io.Writer, p *Params) error {
+	bw := bufio.NewWriter(w)
+	head := []uint32{paramsMagic, paramsVersion, uint32(len(p.Weights))}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("nn: writing model header: %w", err)
+		}
+	}
+	for l, wm := range p.Weights {
+		if err := binary.Write(bw, binary.LittleEndian, [2]uint32{uint32(wm.Rows), uint32(wm.Cols)}); err != nil {
+			return fmt.Errorf("nn: writing layer %d shape: %w", l, err)
+		}
+		if err := writeFloats(bw, wm.Data[:wm.Rows*wm.Cols]); err != nil {
+			return fmt.Errorf("nn: writing layer %d weights: %w", l, err)
+		}
+		if err := writeFloats(bw, p.Biases[l].Data); err != nil {
+			return fmt.Errorf("nn: writing layer %d biases: %w", l, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParams deserializes parameters written by WriteParams. The result's
+// shape is validated against net's architecture.
+func ReadParams(r io.Reader, net *Network) (*Params, error) {
+	br := bufio.NewReader(r)
+	var magic, version, layers uint32
+	for _, v := range []*uint32{&magic, &version, &layers} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("nn: reading model header: %w", err)
+		}
+	}
+	if magic != paramsMagic {
+		return nil, fmt.Errorf("nn: bad model magic %#x", magic)
+	}
+	if version != paramsVersion {
+		return nil, fmt.Errorf("nn: unsupported model version %d", version)
+	}
+	if int(layers) != net.Arch.NumLayers() {
+		return nil, fmt.Errorf("nn: model has %d layers, network needs %d", layers, net.Arch.NumLayers())
+	}
+	p := net.NewParams(InitZero, nil)
+	for l := 0; l < int(layers); l++ {
+		var shape [2]uint32
+		if err := binary.Read(br, binary.LittleEndian, &shape); err != nil {
+			return nil, fmt.Errorf("nn: reading layer %d shape: %w", l, err)
+		}
+		wm := p.Weights[l]
+		if int(shape[0]) != wm.Rows || int(shape[1]) != wm.Cols {
+			return nil, fmt.Errorf("nn: layer %d is %d×%d, network needs %d×%d",
+				l, shape[0], shape[1], wm.Rows, wm.Cols)
+		}
+		if err := readFloats(br, wm.Data[:wm.Rows*wm.Cols]); err != nil {
+			return nil, fmt.Errorf("nn: reading layer %d weights: %w", l, err)
+		}
+		if err := readFloats(br, p.Biases[l].Data); err != nil {
+			return nil, fmt.Errorf("nn: reading layer %d biases: %w", l, err)
+		}
+	}
+	return p, nil
+}
+
+// SaveParamsFile writes the model to path atomically (via a temp file).
+func SaveParamsFile(path string, p *Params) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteParams(f, p); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadParamsFile reads a model checkpoint for the network.
+func LoadParamsFile(path string, net *Network) (*Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadParams(f, net)
+}
+
+func writeFloats(w io.Writer, data []float64) error {
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, data []float64) error {
+	buf := make([]byte, 8*len(data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}

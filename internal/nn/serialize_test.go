@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+)
+
+func TestParamsRoundTrip(t *testing.T) {
+	net := MustNetwork(testArch(false, ActSigmoid))
+	rng := rand.New(rand.NewPCG(61, 1))
+	p := net.NewParams(InitXavier, rng)
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadParams(&buf, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxAbsDiff(back) != 0 {
+		t.Fatal("round trip changed parameters")
+	}
+}
+
+func TestReadParamsRejectsGarbage(t *testing.T) {
+	net := MustNetwork(testArch(false, ActSigmoid))
+	if _, err := ReadParams(bytes.NewReader([]byte("not a model")), net); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+	if _, err := ReadParams(bytes.NewReader(nil), net); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestReadParamsRejectsWrongArchitecture(t *testing.T) {
+	net := MustNetwork(testArch(false, ActSigmoid))
+	rng := rand.New(rand.NewPCG(62, 1))
+	p := net.NewParams(InitXavier, rng)
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different layer count.
+	shallow := MustNetwork(Arch{InputDim: 5, OutputDim: 4, Activation: ActSigmoid})
+	if _, err := ReadParams(bytes.NewReader(buf.Bytes()), shallow); err == nil {
+		t.Fatal("expected layer-count error")
+	}
+
+	// Same depth, different widths.
+	other := MustNetwork(Arch{InputDim: 5, Hidden: []int{9, 6}, OutputDim: 4, Activation: ActSigmoid})
+	if _, err := ReadParams(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestReadParamsRejectsTruncation(t *testing.T) {
+	net := MustNetwork(testArch(false, ActSigmoid))
+	rng := rand.New(rand.NewPCG(63, 1))
+	p := net.NewParams(InitXavier, rng)
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadParams(bytes.NewReader(cut), net); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestParamsFileRoundTrip(t *testing.T) {
+	net := MustNetwork(testArch(true, ActTanh))
+	rng := rand.New(rand.NewPCG(64, 1))
+	p := net.NewParams(InitXavier, rng)
+	path := filepath.Join(t.TempDir(), "model.hgm")
+	if err := SaveParamsFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadParamsFile(path, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxAbsDiff(back) != 0 {
+		t.Fatal("file round trip changed parameters")
+	}
+	if _, err := LoadParamsFile(filepath.Join(t.TempDir(), "missing"), net); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,246 @@
+// Package omnivore implements the second related-work comparator from §II:
+// Omnivore-style heterogeneous training. Training data is split each round
+// into per-device batches whose sizes are *statically* proportional to the
+// devices' estimated speeds, and the devices execute in lockstep — "the
+// goal is to have perfectly synchronized execution with no delay across
+// devices. The problem is that the actual speed at runtime can be quite
+// different from the estimated one."
+//
+// The runner reproduces exactly that failure mode: batch proportions come
+// from the device cost models evaluated once at startup, optionally skewed
+// by a misestimation factor, and every round lasts as long as its slowest
+// device (the barrier). Compare with core's Adaptive Hogbatch, which fixes
+// the problem with dynamic batch sizes and asynchronous updates.
+package omnivore
+
+import (
+	"fmt"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+)
+
+// Config configures an Omnivore-style run.
+type Config struct {
+	// Net and Dataset define the problem.
+	Net     *nn.Network
+	Dataset *data.Dataset
+	// CPU and GPU are the device models.
+	CPU *device.CPUDevice
+	GPU *device.GPUDevice
+	// RoundBatch is the total examples processed per synchronized round.
+	RoundBatch int
+	// LR is the learning rate applied to the round's combined gradient.
+	LR float64
+	// SpeedError skews the static speed estimate: the planner believes
+	// the GPU is SpeedError× as fast as the cost model says. 1 = perfect
+	// estimate; the paper's critique is that production estimates are
+	// not perfect.
+	SpeedError float64
+	// Seed initializes the model like a core run with the same seed.
+	Seed uint64
+	// EvalSubset bounds loss-evaluation cost.
+	EvalSubset int
+	// SampleEvery adds time-based loss samples.
+	SampleEvery time.Duration
+}
+
+// DefaultConfig returns an Omnivore configuration with the paper's device
+// models and a perfect speed estimate.
+func DefaultConfig(net *nn.Network, ds *data.Dataset) Config {
+	return Config{
+		Net: net, Dataset: ds,
+		CPU: device.NewXeon("cpu0", 56), GPU: device.NewV100("gpu0"),
+		RoundBatch: 2048, LR: 0.05, SpeedError: 1, Seed: 1, EvalSubset: 4096,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Net == nil || c.Dataset == nil {
+		return fmt.Errorf("omnivore: config needs a network and dataset")
+	}
+	if c.Net.Arch.InputDim != c.Dataset.Dim() {
+		return fmt.Errorf("omnivore: network input %d ≠ dataset dim %d", c.Net.Arch.InputDim, c.Dataset.Dim())
+	}
+	if c.RoundBatch < 2 {
+		return fmt.Errorf("omnivore: round batch %d too small", c.RoundBatch)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("omnivore: learning rate %v must be positive", c.LR)
+	}
+	if c.SpeedError <= 0 {
+		return fmt.Errorf("omnivore: speed error %v must be positive", c.SpeedError)
+	}
+	if c.CPU == nil || c.GPU == nil {
+		return fmt.Errorf("omnivore: config needs both device models")
+	}
+	return nil
+}
+
+// Plan computes the static split of RoundBatch between CPU and GPU from the
+// (possibly skewed) speed estimates. Returned sizes sum to RoundBatch and
+// each is at least 1.
+func Plan(cfg *Config) (cpuBatch, gpuBatch int) {
+	arch := cfg.Net.Arch
+	modelBytes := int64(arch.NumParameters()) * 8
+	probe := cfg.RoundBatch / 2
+	if probe < 1 {
+		probe = 1
+	}
+	cpuRate := float64(probe) / cfg.CPU.IterTime(arch, probe, modelBytes).Seconds()
+	gpuRate := float64(probe) / cfg.GPU.IterTime(arch, probe, modelBytes).Seconds()
+	gpuRate *= cfg.SpeedError // planner's belief, not reality
+	frac := cpuRate / (cpuRate + gpuRate)
+	cpuBatch = int(frac*float64(cfg.RoundBatch) + 0.5)
+	if cpuBatch < 1 {
+		cpuBatch = 1
+	}
+	if cpuBatch >= cfg.RoundBatch {
+		cpuBatch = cfg.RoundBatch - 1
+	}
+	return cpuBatch, cfg.RoundBatch - cpuBatch
+}
+
+// Run trains with synchronized proportional rounds for the virtual-time
+// budget and returns a core.Result. Each round both devices compute
+// gradients on their static shares of the round batch; the round lasts
+// max(cpuTime, gpuTime) (the barrier), after which the weighted-average
+// gradient is applied once.
+func Run(cfg Config, horizon time.Duration) (*core.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, ds := cfg.Net, cfg.Dataset
+	rng := core.RunRNG(cfg.Seed)
+	params := net.NewParams(nn.InitXavier, rng)
+	cpuGrad := net.NewParams(nn.InitZero, rng)
+	gpuGrad := net.NewParams(nn.InitZero, rng)
+	modelBytes := params.SizeBytes()
+
+	cpuBatch, gpuBatch := Plan(&cfg)
+	cpuWS := net.NewWorkspace(min(cpuBatch, ds.N()))
+	gpuWS := net.NewWorkspace(min(gpuBatch, ds.N()))
+
+	evalN := ds.N()
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < evalN {
+		evalN = cfg.EvalSubset
+	}
+	evalWS := net.NewWorkspace(evalN)
+	evalLoss := func() float64 {
+		v := ds.View(0, evalN)
+		return net.Loss(params, evalWS, v.X, v.Y, 1)
+	}
+
+	trace := &metrics.Trace{Name: "Omnivore"}
+	raw := metrics.NewUpdateCounter()
+	util := metrics.NewUtilizationTrace()
+
+	arch := net.Arch
+	now := time.Duration(0)
+	var examples int64
+	cursor := 0
+	nextSample := cfg.SampleEvery
+	trace.Add(0, 0, evalLoss())
+
+	for {
+		// Carve this round's shares from the pool (wrapping at epochs).
+		cb, gb := cpuBatch, gpuBatch
+		if rem := ds.N() - cursor; cb+gb > rem {
+			// Shrink proportionally into the remaining pool.
+			if rem < 2 {
+				cursor = 0
+				continue
+			}
+			cb = cb * rem / (cb + gb)
+			if cb < 1 {
+				cb = 1
+			}
+			gb = rem - cb
+		}
+		cpuView := ds.View(cursor, cursor+cb)
+		gpuView := ds.View(cursor+cb, cursor+cb+gb)
+
+		cpuTime := cfg.CPU.IterTime(arch, cb, modelBytes)
+		gpuTime := cfg.GPU.IterTime(arch, gb, modelBytes)
+		round := cpuTime
+		if gpuTime > round {
+			round = gpuTime
+		}
+		if now+round > horizon {
+			break
+		}
+
+		// Both devices are busy only for their own compute; the rest of
+		// the round is the barrier stall the paper criticizes.
+		util.AddBusy("cpu0", now, now+cpuTime, cfg.CPU.Utilization(arch, cb))
+		util.AddBusy("gpu0", now, now+gpuTime, cfg.GPU.Utilization(arch, gb))
+
+		net.Gradient(params, cpuWS, cpuView.X, cpuView.Y, cpuGrad, 1)
+		net.Gradient(params, gpuWS, gpuView.X, gpuView.Y, gpuGrad, 1)
+		// Weighted average by share size, applied as one synchronous update.
+		wc := float64(cb) / float64(cb+gb)
+		params.AddScaled(-cfg.LR*wc, cpuGrad)
+		params.AddScaled(-cfg.LR*(1-wc), gpuGrad)
+		raw.Add("cpu0", 1)
+		raw.Add("gpu0", 1)
+
+		now += round
+		cursor += cb + gb
+		examples += int64(cb + gb)
+		if cursor >= ds.N() {
+			cursor = 0
+			trace.Add(now, float64(examples)/float64(ds.N()), evalLoss())
+		}
+		if cfg.SampleEvery > 0 && now >= nextSample {
+			trace.Add(now, float64(examples)/float64(ds.N()), evalLoss())
+			nextSample += cfg.SampleEvery
+		}
+	}
+
+	final := evalLoss()
+	trace.Add(horizon, float64(examples)/float64(ds.N()), final)
+	return &core.Result{
+		Algorithm:         core.AlgOmnivore,
+		Trace:             trace,
+		Updates:           raw,
+		Utilization:       util,
+		Epochs:            float64(examples) / float64(ds.N()),
+		Duration:          horizon,
+		FinalLoss:         final,
+		MinLoss:           trace.MinLoss(),
+		ExamplesProcessed: examples,
+		FinalBatch:        []int{cpuBatch, gpuBatch},
+		Resizes:           []int{0, 0},
+		Params:            params,
+	}, nil
+}
+
+// StallFraction reports the fraction of a round the faster device spends
+// waiting at the barrier — the inefficiency Adaptive Hogbatch eliminates.
+func StallFraction(cfg *Config) float64 {
+	if err := cfg.Validate(); err != nil {
+		return 0
+	}
+	arch := cfg.Net.Arch
+	modelBytes := int64(arch.NumParameters()) * 8
+	cb, gb := Plan(cfg)
+	cpuTime := cfg.CPU.IterTime(arch, cb, modelBytes).Seconds()
+	gpuTime := cfg.GPU.IterTime(arch, gb, modelBytes).Seconds()
+	round := cpuTime
+	if gpuTime > round {
+		round = gpuTime
+	}
+	fast := cpuTime
+	if gpuTime < fast {
+		fast = gpuTime
+	}
+	if round == 0 {
+		return 0
+	}
+	return 1 - fast/round
+}

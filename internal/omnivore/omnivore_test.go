@@ -1,0 +1,138 @@
+package omnivore
+
+import (
+	"testing"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/nn"
+)
+
+func tinyProblem() (*nn.Network, *data.Dataset) {
+	spec := data.SynthSpec{
+		Name: "tiny", N: 512, Dim: 10, Classes: 2,
+		Density: 1.0, Separation: 2.5, Noise: 0.5,
+		HiddenLayers: 2, HiddenUnits: 16,
+	}
+	return nn.MustNetwork(spec.Arch()), data.Generate(spec, 42)
+}
+
+func tinyOmniConfig() Config {
+	net, ds := tinyProblem()
+	cfg := DefaultConfig(net, ds)
+	cfg.RoundBatch = 128
+	cfg.LR = 0.3
+	cfg.EvalSubset = 256
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	good := tinyOmniConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(*Config){
+		"no net":      func(c *Config) { c.Net = nil },
+		"small round": func(c *Config) { c.RoundBatch = 1 },
+		"lr":          func(c *Config) { c.LR = 0 },
+		"speed":       func(c *Config) { c.SpeedError = 0 },
+		"no cpu":      func(c *Config) { c.CPU = nil },
+	} {
+		cfg := tinyOmniConfig()
+		f(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPlanProportionalToSpeed(t *testing.T) {
+	cfg := tinyOmniConfig()
+	cb, gb := Plan(&cfg)
+	if cb+gb != cfg.RoundBatch || cb < 1 || gb < 1 {
+		t.Fatalf("plan %d+%d must partition %d", cb, gb, cfg.RoundBatch)
+	}
+	// Believing the GPU is 100× faster shifts work to the GPU.
+	fast := tinyOmniConfig()
+	fast.SpeedError = 100
+	fcb, _ := Plan(&fast)
+	if fcb >= cb {
+		t.Fatalf("GPU-optimistic plan should give CPU less: %d vs %d", fcb, cb)
+	}
+	// Believing the GPU is 100× slower shifts work to the CPU.
+	slow := tinyOmniConfig()
+	slow.SpeedError = 0.01
+	scb, _ := Plan(&slow)
+	if scb <= cb {
+		t.Fatalf("GPU-pessimistic plan should give CPU more: %d vs %d", scb, cb)
+	}
+}
+
+func TestRunConvergesAndLabels(t *testing.T) {
+	cfg := tinyOmniConfig()
+	res, err := Run(cfg, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != core.AlgOmnivore || res.Trace.Name != "Omnivore" {
+		t.Fatalf("labels wrong: %v %q", res.Algorithm, res.Trace.Name)
+	}
+	first := res.Trace.Points[0].Loss
+	if res.FinalLoss >= first*0.9 {
+		t.Fatalf("loss %v → %v did not drop", first, res.FinalLoss)
+	}
+	if res.Epochs <= 0 {
+		t.Fatal("no epochs")
+	}
+	// Synchronized rounds: both devices perform the same number of updates.
+	if res.Updates.Get("cpu0") != res.Updates.Get("gpu0") {
+		t.Fatalf("lockstep violated: %d vs %d", res.Updates.Get("cpu0"), res.Updates.Get("gpu0"))
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	cfg := tinyOmniConfig()
+	cfg.LR = -1
+	if _, err := Run(cfg, time.Millisecond); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStallFractionGrowsWithMisestimation(t *testing.T) {
+	exact := tinyOmniConfig()
+	skewed := tinyOmniConfig()
+	skewed.SpeedError = 20
+	se, ss := StallFraction(&exact), StallFraction(&skewed)
+	if ss <= se {
+		t.Fatalf("misestimation must increase the barrier stall: %v vs %v", ss, se)
+	}
+	if se < 0 || se >= 1 || ss < 0 || ss >= 1 {
+		t.Fatalf("stall fractions out of range: %v %v", se, ss)
+	}
+	bad := tinyOmniConfig()
+	bad.LR = 0
+	if StallFraction(&bad) != 0 {
+		t.Fatal("invalid config should report 0")
+	}
+}
+
+func TestMisestimationHurtsThroughput(t *testing.T) {
+	// Same time budget: a badly-skewed plan should process fewer examples
+	// (its rounds stall at the barrier) — the paper's critique of static
+	// proportional splitting.
+	exact, err := Run(tinyOmniConfig(), 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewCfg := tinyOmniConfig()
+	skewCfg.SpeedError = 50
+	skewed, err := Run(skewCfg, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.ExamplesProcessed >= exact.ExamplesProcessed {
+		t.Fatalf("skewed plan should be slower: %d vs %d examples",
+			skewed.ExamplesProcessed, exact.ExamplesProcessed)
+	}
+}

@@ -1,0 +1,245 @@
+// Package opt implements the gradient-descent update rules the framework's
+// workers can apply: plain SGD (the paper's default), momentum SGD,
+// AdaGrad, and Adam. The paper's framework section (§V) claims support for
+// "most existing SGD algorithms [15]"; this package is that extension
+// point: an Optimizer turns a gradient into a parameter delta, and the
+// engines apply the delta to the shared model under the configured write
+// discipline.
+//
+// Optimizer state (momentum buffers, second moments) is worker-private:
+// each worker adapts its own trajectory while the model itself stays
+// shared, which is the only coherent option under asynchronous updates.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+)
+
+// Kind names an update rule.
+type Kind int
+
+const (
+	// KindSGD is plain stochastic gradient descent (the paper's rule).
+	KindSGD Kind = iota
+	// KindMomentum is SGD with heavy-ball momentum.
+	KindMomentum
+	// KindAdaGrad scales each coordinate by accumulated squared gradients.
+	KindAdaGrad
+	// KindAdam combines first- and second-moment estimates.
+	KindAdam
+)
+
+// String returns the optimizer name.
+func (k Kind) String() string {
+	switch k {
+	case KindSGD:
+		return "sgd"
+	case KindMomentum:
+		return "momentum"
+	case KindAdaGrad:
+		return "adagrad"
+	case KindAdam:
+		return "adam"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseKind maps a name to a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "sgd", "":
+		return KindSGD, nil
+	case "momentum":
+		return KindMomentum, nil
+	case "adagrad":
+		return KindAdaGrad, nil
+	case "adam":
+		return KindAdam, nil
+	default:
+		return 0, fmt.Errorf("opt: unknown optimizer %q", name)
+	}
+}
+
+// Optimizer transforms gradients into model updates. Implementations are
+// stateful and must not be shared between concurrent workers.
+type Optimizer interface {
+	// Name identifies the rule.
+	Name() string
+	// Step writes the parameter delta for the given gradient and learning
+	// rate into delta (delta = −lr·adjusted(grad)); the caller applies it
+	// to the shared model. grad and delta may not alias.
+	Step(grad, delta *nn.Params, lr float64)
+	// Reset clears optimizer state.
+	Reset()
+}
+
+// New builds an optimizer of the given kind with state shaped like proto.
+func New(kind Kind, proto *nn.Params, cfg HyperParams) Optimizer {
+	switch kind {
+	case KindMomentum:
+		return &momentum{mu: cfg.momentumOrDefault(), velocity: zeroLike(proto)}
+	case KindAdaGrad:
+		return &adagrad{eps: cfg.epsOrDefault(), accum: zeroLike(proto)}
+	case KindAdam:
+		return &adam{
+			beta1: cfg.beta1OrDefault(), beta2: cfg.beta2OrDefault(), eps: cfg.epsOrDefault(),
+			m: zeroLike(proto), v: zeroLike(proto),
+		}
+	default:
+		return sgd{}
+	}
+}
+
+// HyperParams carries optimizer hyperparameters; zero values select the
+// standard defaults.
+type HyperParams struct {
+	// Momentum is the heavy-ball coefficient (default 0.9).
+	Momentum float64
+	// Beta1, Beta2 are Adam's moment decays (defaults 0.9, 0.999).
+	Beta1, Beta2 float64
+	// Eps is the denominator floor (default 1e-8).
+	Eps float64
+}
+
+func (h HyperParams) momentumOrDefault() float64 {
+	if h.Momentum == 0 {
+		return 0.9
+	}
+	return h.Momentum
+}
+
+func (h HyperParams) beta1OrDefault() float64 {
+	if h.Beta1 == 0 {
+		return 0.9
+	}
+	return h.Beta1
+}
+
+func (h HyperParams) beta2OrDefault() float64 {
+	if h.Beta2 == 0 {
+		return 0.999
+	}
+	return h.Beta2
+}
+
+func (h HyperParams) epsOrDefault() float64 {
+	if h.Eps == 0 {
+		return 1e-8
+	}
+	return h.Eps
+}
+
+func zeroLike(proto *nn.Params) *nn.Params {
+	p := proto.Clone()
+	p.Zero()
+	return p
+}
+
+// sgd is the stateless plain-SGD rule: delta = −lr·grad.
+type sgd struct{}
+
+func (sgd) Name() string { return "sgd" }
+
+func (sgd) Step(grad, delta *nn.Params, lr float64) {
+	delta.Zero()
+	delta.AddScaled(-lr, grad)
+}
+
+func (sgd) Reset() {}
+
+// momentum is heavy-ball SGD: v ← µv + grad; delta = −lr·v.
+type momentum struct {
+	mu       float64
+	velocity *nn.Params
+}
+
+func (m *momentum) Name() string { return "momentum" }
+
+func (m *momentum) Step(grad, delta *nn.Params, lr float64) {
+	m.velocity.Scale(m.mu)
+	m.velocity.AddScaled(1, grad)
+	delta.Zero()
+	delta.AddScaled(-lr, m.velocity)
+}
+
+func (m *momentum) Reset() { m.velocity.Zero() }
+
+// adagrad scales coordinates by accumulated squared gradients.
+type adagrad struct {
+	eps   float64
+	accum *nn.Params
+}
+
+func (a *adagrad) Name() string { return "adagrad" }
+
+func (a *adagrad) Step(grad, delta *nn.Params, lr float64) {
+	forEach(grad, a.accum, delta, func(g, acc, d *float64) {
+		*acc += g2(*g)
+		*d = -lr * *g / (math.Sqrt(*acc) + a.eps)
+	})
+}
+
+func (a *adagrad) Reset() { a.accum.Zero() }
+
+// adam keeps exponential first and second gradient moments with bias
+// correction.
+type adam struct {
+	beta1, beta2, eps float64
+	t                 int
+	m, v              *nn.Params
+}
+
+func (a *adam) Name() string { return "adam" }
+
+func (a *adam) Step(grad, delta *nn.Params, lr float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	b1, b2 := a.beta1, a.beta2
+	// Walk m and v alongside grad/delta.
+	for i := range grad.Weights {
+		stepAdamSlice(grad.Weights[i].Data, a.m.Weights[i].Data, a.v.Weights[i].Data,
+			delta.Weights[i].Data, lr, b1, b2, c1, c2, a.eps)
+		stepAdamSlice(grad.Biases[i].Data, a.m.Biases[i].Data, a.v.Biases[i].Data,
+			delta.Biases[i].Data, lr, b1, b2, c1, c2, a.eps)
+	}
+}
+
+func (a *adam) Reset() {
+	a.t = 0
+	a.m.Zero()
+	a.v.Zero()
+}
+
+func stepAdamSlice(g, m, v, d []float64, lr, b1, b2, c1, c2, eps float64) {
+	for i, gi := range g {
+		m[i] = b1*m[i] + (1-b1)*gi
+		v[i] = b2*v[i] + (1-b2)*gi*gi
+		mHat := m[i] / c1
+		vHat := v[i] / c2
+		d[i] = -lr * mHat / (math.Sqrt(vHat) + eps)
+	}
+}
+
+func g2(x float64) float64 { return x * x }
+
+// forEach walks three same-shaped Params element-wise.
+func forEach(a, b, c *nn.Params, f func(x, y, z *float64)) {
+	visit := func(am, bm, cm *tensor.Matrix) {
+		for i := range am.Data {
+			f(&am.Data[i], &bm.Data[i], &cm.Data[i])
+		}
+	}
+	for i := range a.Weights {
+		visit(a.Weights[i], b.Weights[i], c.Weights[i])
+		av, bv, cv := a.Biases[i], b.Biases[i], c.Biases[i]
+		for j := range av.Data {
+			f(&av.Data[j], &bv.Data[j], &cv.Data[j])
+		}
+	}
+}

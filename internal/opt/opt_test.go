@@ -1,0 +1,152 @@
+package opt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"heterosgd/internal/nn"
+)
+
+func protoParams(t *testing.T) (*nn.Network, *nn.Params) {
+	t.Helper()
+	net := nn.MustNetwork(nn.Arch{InputDim: 3, Hidden: []int{4}, OutputDim: 2, Activation: nn.ActTanh})
+	rng := rand.New(rand.NewPCG(1, 1))
+	return net, net.NewParams(nn.InitXavier, rng)
+}
+
+func TestKindNamesAndParsing(t *testing.T) {
+	for _, k := range []Kind{KindSGD, KindMomentum, KindAdaGrad, KindAdam} {
+		name := k.String()
+		if name == "unknown" || name == "" {
+			t.Fatalf("bad name for kind %d", int(k))
+		}
+		got, err := ParseKind(name)
+		if err != nil || got != k {
+			t.Fatalf("round trip %q: %v %v", name, got, err)
+		}
+	}
+	if got, err := ParseKind(""); err != nil || got != KindSGD {
+		t.Fatal("empty name should default to sgd")
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestSGDStepIsScaledNegativeGradient(t *testing.T) {
+	_, proto := protoParams(t)
+	o := New(KindSGD, proto, HyperParams{})
+	grad := proto.Clone()
+	delta := proto.Clone()
+	o.Step(grad, delta, 0.5)
+	want := proto.Clone()
+	want.Zero()
+	want.AddScaled(-0.5, grad)
+	if delta.MaxAbsDiff(want) > 1e-15 {
+		t.Fatal("sgd delta wrong")
+	}
+	o.Reset() // must not panic on stateless optimizer
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	_, proto := protoParams(t)
+	o := New(KindMomentum, proto, HyperParams{Momentum: 0.5})
+	grad := proto.Clone()
+	delta := proto.Clone()
+	// First step: v = g → delta = −lr·g.
+	o.Step(grad, delta, 1)
+	if diff := delta.Weights[0].At(0, 0) + grad.Weights[0].At(0, 0); math.Abs(diff) > 1e-15 {
+		t.Fatalf("first momentum step wrong: %v", diff)
+	}
+	// Second step: v = 0.5g + g = 1.5g → delta = −1.5g.
+	o.Step(grad, delta, 1)
+	if diff := delta.Weights[0].At(0, 0) + 1.5*grad.Weights[0].At(0, 0); math.Abs(diff) > 1e-15 {
+		t.Fatalf("second momentum step wrong: %v", diff)
+	}
+	o.Reset()
+	o.Step(grad, delta, 1)
+	if diff := delta.Weights[0].At(0, 0) + grad.Weights[0].At(0, 0); math.Abs(diff) > 1e-15 {
+		t.Fatal("reset did not clear velocity")
+	}
+}
+
+func TestAdaGradShrinksRepeatedCoordinates(t *testing.T) {
+	_, proto := protoParams(t)
+	o := New(KindAdaGrad, proto, HyperParams{})
+	grad := proto.Clone()
+	grad.Zero()
+	grad.Weights[0].Set(0, 0, 1)
+	delta := proto.Clone()
+	o.Step(grad, delta, 1)
+	first := math.Abs(delta.Weights[0].At(0, 0))
+	o.Step(grad, delta, 1)
+	second := math.Abs(delta.Weights[0].At(0, 0))
+	if second >= first {
+		t.Fatalf("adagrad must shrink repeated steps: %v → %v", first, second)
+	}
+	if delta.Weights[0].At(1, 1) != 0 {
+		t.Fatal("untouched coordinates must stay zero")
+	}
+}
+
+func TestAdamBiasCorrection(t *testing.T) {
+	_, proto := protoParams(t)
+	o := New(KindAdam, proto, HyperParams{})
+	grad := proto.Clone()
+	grad.Zero()
+	grad.Weights[0].Set(0, 0, 0.3)
+	delta := proto.Clone()
+	o.Step(grad, delta, 0.1)
+	// With bias correction the first step is ≈ −lr·sign(g) for any g.
+	got := delta.Weights[0].At(0, 0)
+	if math.Abs(got+0.1) > 1e-6 {
+		t.Fatalf("first adam step %v, want ≈ −0.1", got)
+	}
+}
+
+// Every optimizer must minimize a separable quadratic.
+func TestAllOptimizersMinimizeQuadratic(t *testing.T) {
+	for _, kind := range []Kind{KindSGD, KindMomentum, KindAdaGrad, KindAdam} {
+		_, proto := protoParams(t)
+		target := proto.Clone() // minimize ‖p − target‖²/2 starting from 0
+		p := proto.Clone()
+		p.Zero()
+		o := New(kind, proto, HyperParams{})
+		grad := proto.Clone()
+		delta := proto.Clone()
+		lr := 0.1
+		if kind == KindAdaGrad {
+			lr = 0.5
+		}
+		for it := 0; it < 500; it++ {
+			// grad = p − target.
+			grad.Zero()
+			grad.AddScaled(1, p)
+			grad.AddScaled(-1, target)
+			o.Step(grad, delta, lr)
+			p.AddScaled(1, delta)
+		}
+		if d := p.MaxAbsDiff(target); d > 0.05 {
+			t.Fatalf("%v: distance to optimum %v after 500 steps", kind, d)
+		}
+	}
+}
+
+func TestOptimizerStateIsIndependent(t *testing.T) {
+	_, proto := protoParams(t)
+	a := New(KindMomentum, proto, HyperParams{})
+	b := New(KindMomentum, proto, HyperParams{})
+	grad := proto.Clone()
+	delta := proto.Clone()
+	a.Step(grad, delta, 1)
+	a.Step(grad, delta, 1)
+	// b's first step must be unaffected by a's history.
+	b.Step(grad, delta, 1)
+	if diff := delta.Weights[0].At(0, 0) + grad.Weights[0].At(0, 0); math.Abs(diff) > 1e-15 {
+		t.Fatal("optimizers share state")
+	}
+}

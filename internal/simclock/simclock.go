@@ -1,0 +1,130 @@
+// Package simclock is a minimal deterministic discrete-event engine. The
+// simulated execution engine in internal/core uses it to interleave CPU and
+// GPU worker iterations on a virtual clock driven by the device cost models,
+// which is how the paper's wall-clock experiments (Figures 5, 7, 8) are
+// reproduced without the authors' hardware: the arithmetic of every SGD
+// iteration runs for real, but elapsed time is virtual.
+package simclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler. Events fire in
+// nondecreasing virtual-time order; ties fire in scheduling order, making
+// every simulation run deterministic for a fixed seed.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time. Inside an event callback it equals
+// the event's scheduled time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule enqueues run to fire delay after the current virtual time.
+// Negative delays are clamped to zero (fire "now", after already-queued
+// events at the same timestamp).
+func (e *Engine) Schedule(delay time.Duration, run func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, run)
+}
+
+// ScheduleAt enqueues run to fire at absolute virtual time at. Times before
+// the current clock are clamped to now.
+func (e *Engine) ScheduleAt(at time.Duration, run func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, run: run})
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// reports false when no events remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.run()
+	return true
+}
+
+// Peek returns the timestamp of the next pending event; ok is false when
+// the queue is empty.
+func (e *Engine) Peek() (at time.Duration, ok bool) {
+	if e.events.Len() == 0 {
+		return 0, false
+	}
+	return e.events.items[0].at, true
+}
+
+// Run fires events until the queue empties or the next event lies strictly
+// beyond until; the clock never advances past until. It returns the number
+// of events fired.
+func (e *Engine) Run(until time.Duration) int {
+	fired := 0
+	for e.events.Len() > 0 && e.events.items[0].at <= until {
+		e.Step()
+		fired++
+	}
+	if e.now < until && e.events.Len() == 0 {
+		// Idle to the horizon so Now() reflects the full window.
+		e.now = until
+	}
+	return fired
+}
+
+// RunAll fires every event regardless of time and returns the count.
+func (e *Engine) RunAll() int {
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	return fired
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	run func()
+}
+
+type eventHeap struct {
+	items []*event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *eventHeap) Push(x any) { h.items = append(h.items, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return ev
+}

@@ -1,0 +1,157 @@
+package simclock
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var fired []int
+	e.Schedule(30*time.Millisecond, func() { fired = append(fired, 3) })
+	e.Schedule(10*time.Millisecond, func() { fired = append(fired, 1) })
+	e.Schedule(20*time.Millisecond, func() { fired = append(fired, 2) })
+	if n := e.RunAll(); n != 3 {
+		t.Fatalf("fired %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if fired[i] != v {
+			t.Fatalf("order %v", fired)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock at %v", e.Now())
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { fired = append(fired, i) })
+	}
+	e.RunAll()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("tie order violated: %v", fired)
+		}
+	}
+}
+
+func TestNowInsideEventEqualsEventTime(t *testing.T) {
+	e := New()
+	var seen time.Duration
+	e.Schedule(42*time.Millisecond, func() { seen = e.Now() })
+	e.RunAll()
+	if seen != 42*time.Millisecond {
+		t.Fatalf("Now() inside event = %v", seen)
+	}
+}
+
+func TestSchedulingFromWithinEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.RunAll()
+	if count != 5 {
+		t.Fatalf("chained events fired %d times", count)
+	}
+	if e.Now() != 4*time.Millisecond {
+		t.Fatalf("clock at %v", e.Now())
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	n := e.Run(3 * time.Second)
+	if n != 3 || len(fired) != 3 {
+		t.Fatalf("fired %d events before horizon", n)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("%d events pending", e.Pending())
+	}
+	if at, ok := e.Peek(); !ok || at != 4*time.Second {
+		t.Fatalf("peek = %v %v", at, ok)
+	}
+	// Clock must not pass the horizon while events remain beyond it.
+	if e.Now() > 3*time.Second {
+		t.Fatalf("clock overran horizon: %v", e.Now())
+	}
+}
+
+func TestRunIdlesToHorizonWhenEmpty(t *testing.T) {
+	e := New()
+	e.Schedule(time.Second, func() {})
+	e.Run(10 * time.Second)
+	if e.Now() != 10*time.Second {
+		t.Fatalf("idle clock = %v, want 10s", e.Now())
+	}
+}
+
+func TestNegativeAndPastTimesClamp(t *testing.T) {
+	e := New()
+	e.Schedule(5*time.Millisecond, func() {
+		e.Schedule(-time.Hour, func() {})
+		e.ScheduleAt(0, func() {})
+	})
+	e.RunAll()
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("clamped events moved the clock: %v", e.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+	if _, ok := e.Peek(); ok {
+		t.Fatal("Peek on empty engine returned ok")
+	}
+}
+
+// Property: for any random schedule, events fire in sorted timestamp order.
+func TestQuickRandomSchedulesFireSorted(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		e := New()
+		count := int(n%50) + 1
+		times := make([]time.Duration, count)
+		var fired []time.Duration
+		for i := 0; i < count; i++ {
+			d := time.Duration(rng.IntN(1000)) * time.Microsecond
+			times[i] = d
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(fired) != count {
+			return false
+		}
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// UpdateMode selects how concurrent workers write into a shared model.
+type UpdateMode int
+
+const (
+	// UpdateAtomic applies each element with a compare-and-swap loop. This
+	// is lock-free, never loses a whole write, and is free of data races
+	// under the Go memory model. It is the default.
+	UpdateAtomic UpdateMode = iota
+	// UpdateRacy uses plain stores with no synchronization, exactly like
+	// the paper's Hogwild/Hogbatch C implementation. Concurrent writes may
+	// clobber each other; SGD tolerates this (Niu et al., 2011). It is
+	// faster but is flagged by the race detector.
+	UpdateRacy
+	// UpdateLocked guards the whole model with a mutex at the caller.
+	// Provided for ablation benchmarks only; the tensor kernels treat it
+	// as UpdateRacy because the caller holds the lock.
+	UpdateLocked
+)
+
+// String returns the mode name used in benchmark output.
+func (m UpdateMode) String() string {
+	switch m {
+	case UpdateAtomic:
+		return "atomic"
+	case UpdateRacy:
+		return "racy"
+	case UpdateLocked:
+		return "locked"
+	default:
+		return "unknown"
+	}
+}
+
+// atomicAddFloat64 adds delta to *addr with a CAS loop.
+func atomicAddFloat64(addr *float64, delta float64) {
+	bits := (*uint64)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint64(bits)
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(bits, old, next) {
+			return
+		}
+	}
+}
+
+// AtomicAddScaled performs dst += a*src element-wise using per-element CAS
+// additions, so concurrent callers never lose updates. Shapes must match.
+func AtomicAddScaled(dst *Matrix, a float64, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: atomicAddScaled shape mismatch")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		for j := range d {
+			if v := a * s[j]; v != 0 {
+				atomicAddFloat64(&d[j], v)
+			}
+		}
+	}
+}
+
+// AtomicAddScaledVec performs dst += a*src on vectors with CAS additions.
+func AtomicAddScaledVec(dst *Vector, a float64, src *Vector) {
+	if dst.Len() != src.Len() {
+		panic("tensor: atomicAddScaledVec length mismatch")
+	}
+	for i := range dst.Data {
+		if v := a * src.Data[i]; v != 0 {
+			atomicAddFloat64(&dst.Data[i], v)
+		}
+	}
+}
+
+// ApplyUpdate performs dst += a*src according to mode. UpdateLocked is
+// applied as a plain add; the caller is responsible for holding the lock.
+func ApplyUpdate(mode UpdateMode, dst *Matrix, a float64, src *Matrix) {
+	if mode == UpdateAtomic {
+		AtomicAddScaled(dst, a, src)
+		return
+	}
+	dst.AddScaled(a, src)
+}
+
+// ApplyUpdateVec is ApplyUpdate for vectors.
+func ApplyUpdateVec(mode UpdateMode, dst *Vector, a float64, src *Vector) {
+	if mode == UpdateAtomic {
+		AtomicAddScaledVec(dst, a, src)
+		return
+	}
+	dst.AddScaled(a, src)
+}

@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicAddScaledMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 4))
+	dst1 := randomMatrix(rng, 13, 7)
+	dst2 := dst1.Clone()
+	src := randomMatrix(rng, 13, 7)
+	dst1.AddScaled(0.3, src)
+	AtomicAddScaled(dst2, 0.3, src)
+	if !dst1.Equal(dst2, 1e-12) {
+		t.Fatal("atomic add disagrees with plain add")
+	}
+}
+
+func TestAtomicAddScaledConcurrentNoLostUpdates(t *testing.T) {
+	// With CAS adds, G goroutines each adding 1 to every element must
+	// produce exactly G — the defining property racy Hogwild lacks.
+	const goroutines, iters = 8, 50
+	dst := NewMatrix(4, 4)
+	ones := NewMatrix(4, 4)
+	ones.Fill(1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				AtomicAddScaled(dst, 1, ones)
+			}
+		}()
+	}
+	wg.Wait()
+	want := float64(goroutines * iters)
+	for _, v := range dst.Data {
+		if v != want {
+			t.Fatalf("lost updates: element = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestAtomicAddScaledVecConcurrent(t *testing.T) {
+	const goroutines, iters = 8, 50
+	dst := NewVector(16)
+	ones := NewVector(16)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				AtomicAddScaledVec(dst, 1, ones)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, v := range dst.Data {
+		if v != goroutines*iters {
+			t.Fatalf("lost vector updates: %v", v)
+		}
+	}
+}
+
+func TestApplyUpdateModes(t *testing.T) {
+	for _, mode := range []UpdateMode{UpdateAtomic, UpdateRacy, UpdateLocked} {
+		dst := NewMatrix(2, 2)
+		src := NewMatrix(2, 2)
+		src.Fill(2)
+		ApplyUpdate(mode, dst, -1, src)
+		if dst.At(0, 0) != -2 {
+			t.Fatalf("mode %v: got %v, want -2", mode, dst.At(0, 0))
+		}
+		dv := NewVector(2)
+		sv := NewVectorFrom([]float64{1, 1})
+		ApplyUpdateVec(mode, dv, 3, sv)
+		if dv.At(1) != 3 {
+			t.Fatalf("mode %v vec: got %v, want 3", mode, dv.At(1))
+		}
+	}
+}
+
+func TestUpdateModeString(t *testing.T) {
+	names := map[UpdateMode]string{UpdateAtomic: "atomic", UpdateRacy: "racy", UpdateLocked: "locked", UpdateMode(99): "unknown"}
+	for mode, want := range names {
+		if got := mode.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+// Property: atomic float add is exact relative to plain float add for any
+// single-threaded sequence of deltas.
+func TestQuickAtomicAddEquivalence(t *testing.T) {
+	f := func(deltas []float64) bool {
+		var plain, at float64
+		for _, d := range deltas {
+			plain += d
+			atomicAddFloat64(&at, d)
+		}
+		return plain == at || (plain != plain && at != at) // NaN == NaN handling
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddScaled is linear — (dst + a·s) + b·s == dst + (a+b)·s.
+func TestQuickAddScaledLinearity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	f := func(a, b float64) bool {
+		if a != a || b != b || a > 1e100 || a < -1e100 || b > 1e100 || b < -1e100 {
+			return true // skip NaN/huge inputs
+		}
+		src := randomMatrix(rng, 3, 3)
+		d1 := randomMatrix(rng, 3, 3)
+		d2 := d1.Clone()
+		d1.AddScaled(a, src)
+		d1.AddScaled(b, src)
+		d2.AddScaled(a+b, src)
+		return d1.Equal(d2, 1e-6*(1+absf(a)+absf(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockSize is the cache-blocking tile edge for GEMM. 64×64 float64 tiles
+// (32 KiB per operand pair) fit comfortably in an L1/L2 cache.
+const blockSize = 64
+
+// Gemm computes C = alpha * op(A) * op(B) + beta * C, where op(X) is X or
+// Xᵀ according to transA/transB. It panics on shape mismatch.
+//
+// The inner loops are ordered i-k-j so the innermost traversal is unit-stride
+// over both B and C, which is the standard cache-friendly layout for
+// row-major GEMM.
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = a.Cols, a.Rows
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = b.Cols, b.Rows
+	}
+	if k != kb {
+		panic(fmt.Sprintf("tensor: gemm inner dimension mismatch %d vs %d", k, kb))
+	}
+	if c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("tensor: gemm output shape %d×%d, need %d×%d", c.Rows, c.Cols, m, n))
+	}
+	gemmRange(transA, transB, alpha, a, b, beta, c, 0, m)
+}
+
+// gemmRange computes rows [i0, i1) of the GEMM output. It is the unit of
+// work handed to goroutines by ParallelGemm.
+func gemmRange(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix, i0, i1 int) {
+	k := a.Cols
+	if transA {
+		k = a.Rows
+	}
+	// Scale the target rows by beta once, then accumulate.
+	for i := i0; i < i1; i++ {
+		row := c.Row(i)
+		if beta == 0 {
+			clear(row)
+		} else if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	switch {
+	case !transA && !transB:
+		for i := i0; i < i1; i++ {
+			arow, crow := a.Row(i), c.Row(i)
+			for p0 := 0; p0 < k; p0 += blockSize {
+				pEnd := min(p0+blockSize, k)
+				for p := p0; p < pEnd; p++ {
+					s := alpha * arow[p]
+					if s == 0 {
+						continue
+					}
+					brow := b.Row(p)
+					for j, bv := range brow {
+						crow[j] += s * bv
+					}
+				}
+			}
+		}
+	case transA && !transB:
+		// op(A) row i is column i of A.
+		for p := 0; p < k; p++ {
+			arow, brow := a.Row(p), b.Row(p)
+			for i := i0; i < i1; i++ {
+				s := alpha * arow[i]
+				if s == 0 {
+					continue
+				}
+				crow := c.Row(i)
+				for j, bv := range brow {
+					crow[j] += s * bv
+				}
+			}
+		}
+	case !transA && transB:
+		// C[i][j] += alpha * dot(A row i, B row j).
+		for i := i0; i < i1; i++ {
+			arow, crow := a.Row(i), c.Row(i)
+			for j := 0; j < c.Cols; j++ {
+				brow := b.Row(j)
+				sum := 0.0
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+				crow[j] += alpha * sum
+			}
+		}
+	default: // transA && transB
+		for i := i0; i < i1; i++ {
+			crow := c.Row(i)
+			for j := 0; j < c.Cols; j++ {
+				brow := b.Row(j)
+				sum := 0.0
+				for p := 0; p < k; p++ {
+					sum += a.At(p, i) * brow[p]
+				}
+				crow[j] += alpha * sum
+			}
+		}
+	}
+}
+
+// ParallelGemm is Gemm with the output rows partitioned across at most
+// workers goroutines. workers <= 1 falls back to the serial kernel. It is
+// the stand-in for a multithreaded BLAS (MKL on CPU, cuBLAS in the GPU
+// simulator).
+func ParallelGemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix, workers int) {
+	m := a.Rows
+	if transA {
+		m = a.Cols
+	}
+	// Validate shapes up front (Gemm would panic inside a goroutine otherwise).
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = b.Cols, b.Rows
+	}
+	k := a.Cols
+	if transA {
+		k = a.Rows
+	}
+	if k != kb {
+		panic(fmt.Sprintf("tensor: gemm inner dimension mismatch %d vs %d", k, kb))
+	}
+	if c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("tensor: gemm output shape %d×%d, need %d×%d", c.Rows, c.Cols, m, n))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*n < 4096 {
+		gemmRange(transA, transB, alpha, a, b, beta, c, 0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for i0 := 0; i0 < m; i0 += chunk {
+		i1 := min(i0+chunk, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRange(transA, transB, alpha, a, b, beta, c, lo, hi)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// Gemv computes y = alpha * op(A) * x + beta * y.
+func Gemv(trans bool, alpha float64, a *Matrix, x *Vector, beta float64, y *Vector) {
+	m, n := a.Rows, a.Cols
+	if trans {
+		m, n = n, m
+	}
+	if x.Len() != n {
+		panic(fmt.Sprintf("tensor: gemv x length %d, need %d", x.Len(), n))
+	}
+	if y.Len() != m {
+		panic(fmt.Sprintf("tensor: gemv y length %d, need %d", y.Len(), m))
+	}
+	if beta == 0 {
+		y.Zero()
+	} else if beta != 1 {
+		y.Scale(beta)
+	}
+	if !trans {
+		for i := 0; i < a.Rows; i++ {
+			row := a.Row(i)
+			sum := 0.0
+			for j, v := range row {
+				sum += v * x.Data[j]
+			}
+			y.Data[i] += alpha * sum
+		}
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := alpha * x.Data[i]
+		if s == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			y.Data[j] += s * v
+		}
+	}
+}
+
+// Ger performs the rank-1 update A += alpha * x * yᵀ.
+func Ger(alpha float64, x, y *Vector, a *Matrix) {
+	if a.Rows != x.Len() || a.Cols != y.Len() {
+		panic(fmt.Sprintf("tensor: ger shape %d×%d, need %d×%d", a.Rows, a.Cols, x.Len(), y.Len()))
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := alpha * x.Data[i]
+		if s == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range y.Data {
+			row[j] += s * v
+		}
+	}
+}
+
+// ColSums accumulates the column sums of m into out (out[j] = Σ_i m[i][j]).
+func ColSums(m *Matrix, out *Vector) {
+	if out.Len() != m.Cols {
+		panic(fmt.Sprintf("tensor: colSums out length %d, need %d", out.Len(), m.Cols))
+	}
+	out.Zero()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package tensor
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is an obviously-correct reference implementation used to verify
+// the blocked and parallel kernels.
+func naiveGemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	get := func(m *Matrix, trans bool, i, j int) float64 {
+		if trans {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	k := a.Cols
+	if transA {
+		k = a.Rows
+	}
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			sum := 0.0
+			for p := 0; p < k; p++ {
+				sum += get(a, transA, i, p) * get(b, transB, p, j)
+			}
+			c.Set(i, j, alpha*sum+beta*c.At(i, j))
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	m.Randomize(rng, 1)
+	return m
+}
+
+func TestGemmAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	dims := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {17, 9, 33}, {64, 64, 64}, {65, 130, 7},
+	}
+	for _, d := range dims {
+		for _, ta := range []bool{false, true} {
+			for _, tb := range []bool{false, true} {
+				ar, ac := d.m, d.k
+				if ta {
+					ar, ac = d.k, d.m
+				}
+				br, bc := d.k, d.n
+				if tb {
+					br, bc = d.n, d.k
+				}
+				a := randomMatrix(rng, ar, ac)
+				b := randomMatrix(rng, br, bc)
+				c1 := randomMatrix(rng, d.m, d.n)
+				c2 := c1.Clone()
+				alpha, beta := 1.3, -0.7
+				Gemm(ta, tb, alpha, a, b, beta, c1)
+				naiveGemm(ta, tb, alpha, a, b, beta, c2)
+				if !c1.Equal(c2, 1e-9) {
+					t.Fatalf("gemm mismatch for %dx%dx%d ta=%v tb=%v", d.m, d.k, d.n, ta, tb)
+				}
+			}
+		}
+	}
+}
+
+func TestGemmBetaZeroOverwritesNaN(t *testing.T) {
+	// beta==0 must fully overwrite C even if it contains garbage.
+	a := NewMatrix(2, 2)
+	a.Fill(1)
+	b := NewMatrix(2, 2)
+	b.Fill(1)
+	c := NewMatrix(2, 2)
+	c.Fill(1e300)
+	Gemm(false, false, 1, a, b, 0, c)
+	if c.At(0, 0) != 2 {
+		t.Fatalf("got %v, want 2", c.At(0, 0))
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	cases := map[string]func(){
+		"inner": func() { Gemm(false, false, 1, NewMatrix(2, 3), NewMatrix(4, 2), 0, NewMatrix(2, 2)) },
+		"out":   func() { Gemm(false, false, 1, NewMatrix(2, 3), NewMatrix(3, 2), 0, NewMatrix(3, 2)) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParallelGemmMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, workers := range []int{1, 2, 4, 16} {
+		a := randomMatrix(rng, 120, 50)
+		b := randomMatrix(rng, 50, 90)
+		c1 := NewMatrix(120, 90)
+		c2 := NewMatrix(120, 90)
+		Gemm(false, false, 1, a, b, 0, c1)
+		ParallelGemm(false, false, 1, a, b, 0, c2, workers)
+		if !c1.Equal(c2, 1e-10) {
+			t.Fatalf("parallel gemm mismatch with %d workers", workers)
+		}
+	}
+}
+
+func TestParallelGemmTransposedLarge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	a := randomMatrix(rng, 50, 120) // op(A)=Aᵀ is 120×50
+	b := randomMatrix(rng, 50, 90)
+	c1 := NewMatrix(120, 90)
+	c2 := NewMatrix(120, 90)
+	naiveGemm(true, false, 2, a, b, 0, c1)
+	ParallelGemm(true, false, 2, a, b, 0, c2, 8)
+	if !c1.Equal(c2, 1e-9) {
+		t.Fatal("parallel transposed gemm mismatch")
+	}
+}
+
+func TestGemvBothDirections(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	a := randomMatrix(rng, 7, 4)
+	x := NewVector(4)
+	x.Randomize(rng, 1)
+	y := NewVector(7)
+	y.Randomize(rng, 1)
+	want := y.Clone()
+	// Reference via naive loops.
+	for i := 0; i < 7; i++ {
+		sum := 0.0
+		for j := 0; j < 4; j++ {
+			sum += a.At(i, j) * x.At(j)
+		}
+		want.Set(i, 0.5*want.At(i)+2*sum)
+	}
+	Gemv(false, 2, a, x, 0.5, y)
+	for i := range y.Data {
+		if diff := y.At(i) - want.At(i); diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("gemv element %d: got %v want %v", i, y.At(i), want.At(i))
+		}
+	}
+
+	// Transposed: yT = αAᵀxT.
+	xT := NewVector(7)
+	xT.Randomize(rng, 1)
+	yT := NewVector(4)
+	Gemv(true, 1, a, xT, 0, yT)
+	for j := 0; j < 4; j++ {
+		sum := 0.0
+		for i := 0; i < 7; i++ {
+			sum += a.At(i, j) * xT.At(i)
+		}
+		if diff := yT.At(j) - sum; diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("gemvT element %d: got %v want %v", j, yT.At(j), sum)
+		}
+	}
+}
+
+func TestGemvShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemv(false, 1, NewMatrix(2, 3), NewVector(2), 0, NewVector(2))
+}
+
+func TestGer(t *testing.T) {
+	x := NewVectorFrom([]float64{1, 2})
+	y := NewVectorFrom([]float64{3, 4, 5})
+	a := NewMatrix(2, 3)
+	Ger(2, x, y, a)
+	if a.At(1, 2) != 20 {
+		t.Fatalf("ger (1,2) = %v, want 20", a.At(1, 2))
+	}
+	if a.At(0, 0) != 6 {
+		t.Fatalf("ger (0,0) = %v, want 6", a.At(0, 0))
+	}
+}
+
+func TestColSums(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	out := NewVector(3)
+	ColSums(m, out)
+	want := []float64{5, 7, 9}
+	for j, w := range want {
+		if out.At(j) != w {
+			t.Fatalf("colsum %d = %v, want %v", j, out.At(j), w)
+		}
+	}
+}
+
+func BenchmarkGemmSerial512(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := randomMatrix(rng, 512, 512)
+	bb := randomMatrix(rng, 512, 512)
+	c := NewMatrix(512, 512)
+	b.SetBytes(512 * 512 * 512 * 2 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(false, false, 1, a, bb, 0, c)
+	}
+}
+
+func BenchmarkGemmParallel512(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := randomMatrix(rng, 512, 512)
+	bb := randomMatrix(rng, 512, 512)
+	c := NewMatrix(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelGemm(false, false, 1, a, bb, 0, c, 0)
+	}
+}
+
+// Property: (A·B)·C == A·(B·C) within floating tolerance, exercised through
+// the blocked kernel on random shapes.
+func TestQuickGemmAssociativity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		m, k, n, q := 2+rng.IntN(6), 2+rng.IntN(6), 2+rng.IntN(6), 2+rng.IntN(6)
+		A := randomMatrix(rng, m, k)
+		B := randomMatrix(rng, k, n)
+		C := randomMatrix(rng, n, q)
+		AB := NewMatrix(m, n)
+		Gemm(false, false, 1, A, B, 0, AB)
+		left := NewMatrix(m, q)
+		Gemm(false, false, 1, AB, C, 0, left)
+		BC := NewMatrix(k, q)
+		Gemm(false, false, 1, B, C, 0, BC)
+		right := NewMatrix(m, q)
+		Gemm(false, false, 1, A, BC, 0, right)
+		return left.Equal(right, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gemm with transposes equals Gemm on explicitly transposed
+// inputs.
+func TestQuickGemmTransposeIdentity(t *testing.T) {
+	transpose := func(m *Matrix) *Matrix {
+		out := NewMatrix(m.Cols, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				out.Set(j, i, m.At(i, j))
+			}
+		}
+		return out
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 37))
+		m, k, n := 1+rng.IntN(8), 1+rng.IntN(8), 1+rng.IntN(8)
+		A := randomMatrix(rng, k, m) // op(A)=Aᵀ is m×k
+		B := randomMatrix(rng, k, n)
+		viaFlag := NewMatrix(m, n)
+		Gemm(true, false, 1, A, B, 0, viaFlag)
+		viaExplicit := NewMatrix(m, n)
+		Gemm(false, false, 1, transpose(A), B, 0, viaExplicit)
+		return viaFlag.Equal(viaExplicit, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gemv equals Gemm with a 1-column matrix.
+func TestQuickGemvMatchesGemm(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		m, n := 1+rng.IntN(8), 1+rng.IntN(8)
+		A := randomMatrix(rng, m, n)
+		x := NewVector(n)
+		x.Randomize(rng, 1)
+		y := NewVector(m)
+		Gemv(false, 1, A, x, 0, y)
+		xm := NewMatrixFrom(n, 1, append([]float64(nil), x.Data...))
+		ym := NewMatrix(m, 1)
+		Gemm(false, false, 1, A, xm, 0, ym)
+		for i := 0; i < m; i++ {
+			d := y.At(i) - ym.At(i, 0)
+			if d > 1e-10 || d < -1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package tfbaseline reproduces the paper's TensorFlow comparator (§II,
+// §VII): a single synchronous mini-batch SGD instance executed through an
+// op-level dataflow graph whose primitives are individually placed on the
+// CPU or the GPU by estimated execution time, with explicit transfer costs
+// when consecutive ops land on different devices.
+//
+// The paper observes that (a) TensorFlow's convergence mirrors Hogbatch GPU
+// almost identically — both are mini-batch SGD over the same batch stream —
+// and (b) TensorFlow collapses on delicious because its multi-label output
+// path is much slower (983 labels vs 2). This package reproduces both: the
+// arithmetic is plain mini-batch SGD with the same kernels as internal/core,
+// and the virtual clock charges per-op scheduling overhead plus a per-label
+// output cost that only matters when OutputDim is large.
+package tfbaseline
+
+import (
+	"fmt"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+)
+
+// Placement records where an op ran.
+type Placement int
+
+const (
+	// PlaceCPU runs the op on the CPU model.
+	PlaceCPU Placement = iota
+	// PlaceGPU runs the op on the GPU model.
+	PlaceGPU
+)
+
+// String returns "cpu" or "gpu".
+func (p Placement) String() string {
+	if p == PlaceGPU {
+		return "gpu"
+	}
+	return "cpu"
+}
+
+// Op is one linear-algebra primitive in the iteration graph.
+type Op struct {
+	// Name identifies the op ("fwd_matmul_2", "bwd_dW_0", …).
+	Name string
+	// Flops is the op's floating-point cost.
+	Flops float64
+	// OutputBytes is the size of the tensor the op produces (charged as a
+	// transfer when the consumer runs on the other device).
+	OutputBytes int64
+	// Placement is filled in by the scheduler.
+	Placement Placement
+	// Cost is the op's simulated duration including any transfer-in.
+	Cost time.Duration
+}
+
+// Config configures a baseline run.
+type Config struct {
+	// Net and Dataset define the problem (same types as internal/core).
+	Net     *nn.Network
+	Dataset *data.Dataset
+	// Batch is the mini-batch size (the paper uses the GPU batch, 8192).
+	Batch int
+	// LR is the learning rate.
+	LR float64
+	// CPU and GPU are the device models used for placement decisions.
+	CPU *device.CPUDevice
+	GPU *device.GPUDevice
+	// OpOverhead is the per-op scheduling cost of the dataflow runtime.
+	OpOverhead time.Duration
+	// PerLabelCost is the extra output-path cost per label (per 256
+	// batch rows) for multi-label objectives — the delicious anomaly
+	// (§VII-B). The cost scales with the batch because TF 1.x's
+	// multi-label path touches every (example, label) pair.
+	PerLabelCost time.Duration
+	// Seed initializes the model identically to a core run with the same
+	// seed.
+	Seed uint64
+	// EvalSubset bounds loss-evaluation cost (same semantics as core).
+	EvalSubset int
+	// SampleEvery adds time-based loss samples to the trace.
+	SampleEvery time.Duration
+}
+
+// DefaultConfig returns the baseline with the paper-era TensorFlow 1.13
+// characteristics: 8192 batches, a few microseconds of per-op scheduling
+// overhead, and a per-label output cost that is negligible at 2 labels and
+// dominant at 983 (the delicious anomaly).
+func DefaultConfig(net *nn.Network, ds *data.Dataset) Config {
+	return Config{
+		Net:          net,
+		Dataset:      ds,
+		Batch:        8192,
+		LR:           0.05,
+		CPU:          device.NewXeon("cpu0", 56),
+		GPU:          device.NewV100("gpu0"),
+		OpOverhead:   time.Microsecond,
+		PerLabelCost: 2 * time.Microsecond,
+		Seed:         1,
+		EvalSubset:   4096,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Net == nil || c.Dataset == nil {
+		return fmt.Errorf("tfbaseline: config needs a network and dataset")
+	}
+	if c.Net.Arch.InputDim != c.Dataset.Dim() {
+		return fmt.Errorf("tfbaseline: network input %d ≠ dataset dim %d", c.Net.Arch.InputDim, c.Dataset.Dim())
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("tfbaseline: batch %d must be positive", c.Batch)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("tfbaseline: learning rate %v must be positive", c.LR)
+	}
+	if c.CPU == nil || c.GPU == nil {
+		return fmt.Errorf("tfbaseline: config needs both device models")
+	}
+	return nil
+}
+
+// BuildGraph constructs the per-iteration op sequence for the network at
+// the given batch size: forward matmul/bias/activation per layer, the loss
+// op, and backward dW/dX/bias ops per layer, in dependency order. The
+// sequential chain is exactly the structure the paper criticizes: "the
+// amount of overlap between CPU and GPU execution is limited by the
+// sequential structure of the DNN".
+func BuildGraph(arch nn.Arch, batch int) []*Op {
+	dims := arch.LayerDims()
+	var ops []*Op
+	add := func(name string, flops float64, outRows, outCols int) {
+		ops = append(ops, &Op{Name: name, Flops: flops, OutputBytes: int64(outRows*outCols) * 8})
+	}
+	b := float64(batch)
+	// Forward.
+	for l := 0; l+1 < len(dims); l++ {
+		in, out := float64(dims[l]), float64(dims[l+1])
+		add(fmt.Sprintf("fwd_matmul_%d", l), 2*b*in*out, batch, dims[l+1])
+		add(fmt.Sprintf("fwd_bias_%d", l), b*out, batch, dims[l+1])
+		if l+2 < len(dims) {
+			add(fmt.Sprintf("fwd_act_%d", l), 4*b*out, batch, dims[l+1])
+		}
+	}
+	// Loss gradient at the output.
+	add("loss_grad", 6*b*float64(dims[len(dims)-1]), batch, dims[len(dims)-1])
+	// Backward.
+	for l := len(dims) - 2; l >= 0; l-- {
+		in, out := float64(dims[l]), float64(dims[l+1])
+		add(fmt.Sprintf("bwd_dW_%d", l), 2*b*in*out, dims[l+1], dims[l])
+		add(fmt.Sprintf("bwd_db_%d", l), b*out, 1, dims[l+1])
+		if l > 0 {
+			add(fmt.Sprintf("bwd_dX_%d", l), 2*b*in*out, batch, dims[l])
+			add(fmt.Sprintf("bwd_actgrad_%d", l), 3*b*in, batch, dims[l])
+		}
+		add(fmt.Sprintf("apply_%d", l), 2*in*out, dims[l+1], dims[l])
+	}
+	return ops
+}
+
+// ScheduleGraph assigns each op to the device with the lower estimated
+// completion time — compute plus a PCIe transfer when the previous op's
+// output lives on the other device — and returns the iteration's total
+// duration. This is the paper's description of TensorFlow's placement: "the
+// decision on where to perform a primitive depends on the estimated
+// execution time for each device … switching between CPU and GPU introduces
+// time-consuming data transfers".
+func ScheduleGraph(ops []*Op, cfg *Config, batch int) time.Duration {
+	total := time.Duration(0)
+	loc := PlaceGPU // batch starts on the GPU after the initial upload
+	var prevBytes int64
+	for _, op := range ops {
+		cpuCost := cfg.CPU.OpTime(op.Flops) + cfg.OpOverhead
+		gpuCost := cfg.GPU.OpTime(op.Flops, batch) + cfg.OpOverhead
+		if loc == PlaceGPU {
+			cpuCost += cfg.GPU.Transfer(prevBytes)
+		} else {
+			gpuCost += cfg.GPU.Transfer(prevBytes)
+		}
+		if cpuCost < gpuCost {
+			op.Placement = PlaceCPU
+			op.Cost = cpuCost
+			loc = PlaceCPU
+		} else {
+			op.Placement = PlaceGPU
+			op.Cost = gpuCost
+			loc = PlaceGPU
+		}
+		total += op.Cost
+		prevBytes = op.OutputBytes
+	}
+	return total
+}
+
+// IterTime returns the virtual duration of one synchronous iteration: the
+// batch upload, the scheduled graph, and the multi-label output penalty.
+func IterTime(cfg *Config, batch int) time.Duration {
+	upload := cfg.GPU.Transfer(int64(batch*cfg.Net.Arch.InputDim) * 8)
+	graph := ScheduleGraph(BuildGraph(cfg.Net.Arch, batch), cfg, batch)
+	var labelPenalty time.Duration
+	if cfg.Net.Arch.MultiLabel {
+		perBlock := time.Duration(cfg.Net.Arch.OutputDim) * cfg.PerLabelCost
+		blocks := float64(batch) / 256
+		labelPenalty = time.Duration(float64(perBlock) * blocks)
+	}
+	return upload + graph + labelPenalty
+}
+
+// Run trains for the virtual-time budget and returns a core.Result labelled
+// AlgTensorFlow. The arithmetic is plain mini-batch SGD with the shared nn
+// kernels, so the loss trajectory per *epoch* is identical to Hogbatch GPU
+// at the same batch size and seed — the paper's overlapped curves.
+func Run(cfg Config, horizon time.Duration) (*core.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, ds := cfg.Net, cfg.Dataset
+	rng := core.RunRNG(cfg.Seed)
+	params := net.NewParams(nn.InitXavier, rng)
+	grad := net.NewParams(nn.InitZero, rng)
+	ws := net.NewWorkspace(min(cfg.Batch, ds.N()))
+
+	evalN := ds.N()
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < evalN {
+		evalN = cfg.EvalSubset
+	}
+	evalWS := net.NewWorkspace(evalN)
+	evalLoss := func() float64 {
+		v := ds.View(0, evalN)
+		return net.Loss(params, evalWS, v.X, v.Y, 1)
+	}
+
+	trace := &metrics.Trace{Name: "TensorFlow"}
+	raw := metrics.NewUpdateCounter()
+	util := metrics.NewUtilizationTrace()
+
+	iterDur := IterTime(&cfg, cfg.Batch)
+	gpuUtil := cfg.GPU.Utilization(net.Arch, cfg.Batch)
+
+	now := time.Duration(0)
+	var examples int64
+	cursor := 0
+	epoch := 0
+	nextSample := cfg.SampleEvery
+
+	trace.Add(0, 0, evalLoss())
+	for now+iterDur <= horizon {
+		b := cfg.Batch
+		if rem := ds.N() - cursor; b > rem {
+			b = rem
+		}
+		v := ds.View(cursor, cursor+b)
+		net.Gradient(params, ws, v.X, v.Y, grad, 1)
+		lr := cfg.LR
+		if b < cfg.Batch {
+			// Trailing partial batch: scale the step like the linear
+			// batch-LR rule the framework applies, so TF's trajectory
+			// stays exactly comparable to Hogbatch GPU's (Fig 6's
+			// overlapped curves).
+			lr = cfg.LR * float64(b) / float64(cfg.Batch)
+		}
+		params.AddScaled(-lr, grad)
+		raw.Add("gpu0", 1)
+		dur := iterDur
+		if b < cfg.Batch {
+			dur = IterTime(&cfg, b)
+		}
+		util.AddBusy("gpu0", now, now+dur, gpuUtil)
+		now += dur
+		cursor += b
+		examples += int64(b)
+		if cursor >= ds.N() {
+			cursor = 0
+			epoch++
+			trace.Add(now, float64(examples)/float64(ds.N()), evalLoss())
+		}
+		if cfg.SampleEvery > 0 && now >= nextSample {
+			trace.Add(now, float64(examples)/float64(ds.N()), evalLoss())
+			nextSample += cfg.SampleEvery
+		}
+	}
+	final := evalLoss()
+	trace.Add(horizon, float64(examples)/float64(ds.N()), final)
+
+	return &core.Result{
+		Algorithm:         core.AlgTensorFlow,
+		Trace:             trace,
+		Updates:           raw,
+		Utilization:       util,
+		Epochs:            float64(examples) / float64(ds.N()),
+		Duration:          horizon,
+		FinalLoss:         final,
+		MinLoss:           trace.MinLoss(),
+		ExamplesProcessed: examples,
+		FinalBatch:        []int{cfg.Batch},
+		Resizes:           []int{0},
+		Params:            params,
+	}, nil
+}

@@ -1,0 +1,195 @@
+package tfbaseline
+
+import (
+	"testing"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/nn"
+)
+
+func tinyProblem() (*nn.Network, *data.Dataset) {
+	spec := data.SynthSpec{
+		Name: "tiny", N: 512, Dim: 10, Classes: 2,
+		Density: 1.0, Separation: 2.5, Noise: 0.5,
+		HiddenLayers: 2, HiddenUnits: 16,
+	}
+	return nn.MustNetwork(spec.Arch()), data.Generate(spec, 42)
+}
+
+func tinyTFConfig() Config {
+	net, ds := tinyProblem()
+	cfg := DefaultConfig(net, ds)
+	cfg.Batch = 128
+	cfg.LR = 0.2
+	cfg.EvalSubset = 256
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	good := tinyTFConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(*Config){
+		"no net":   func(c *Config) { c.Net = nil },
+		"batch":    func(c *Config) { c.Batch = 0 },
+		"lr":       func(c *Config) { c.LR = 0 },
+		"no gpu":   func(c *Config) { c.GPU = nil },
+		"mismatch": func(c *Config) { c.Net = nn.MustNetwork(nn.Arch{InputDim: 3, OutputDim: 2, Activation: nn.ActSigmoid}) },
+	} {
+		cfg := tinyTFConfig()
+		f(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBuildGraphStructure(t *testing.T) {
+	arch := nn.Arch{InputDim: 10, Hidden: []int{16, 16}, OutputDim: 2, Activation: nn.ActSigmoid}
+	ops := BuildGraph(arch, 64)
+	// 3 weight layers: fwd 3 matmul + 3 bias + 2 act; 1 loss; bwd 3 dW +
+	// 3 db + 2 dX + 2 actgrad + 3 apply = 22 ops.
+	if len(ops) != 22 {
+		t.Fatalf("%d ops, want 22", len(ops))
+	}
+	for _, op := range ops {
+		if op.Flops <= 0 || op.OutputBytes <= 0 {
+			t.Fatalf("op %s has degenerate cost %v/%v", op.Name, op.Flops, op.OutputBytes)
+		}
+	}
+	if ops[0].Name != "fwd_matmul_0" {
+		t.Fatalf("first op %s", ops[0].Name)
+	}
+	last := ops[len(ops)-1]
+	if last.Name != "apply_0" {
+		t.Fatalf("last op %s", last.Name)
+	}
+}
+
+func TestScheduleGraphAssignsEveryOp(t *testing.T) {
+	cfg := tinyTFConfig()
+	ops := BuildGraph(cfg.Net.Arch, cfg.Batch)
+	total := ScheduleGraph(ops, &cfg, cfg.Batch)
+	if total <= 0 {
+		t.Fatal("zero iteration time")
+	}
+	var sum time.Duration
+	for _, op := range ops {
+		if op.Cost <= 0 {
+			t.Fatalf("op %s has no cost", op.Name)
+		}
+		sum += op.Cost
+	}
+	if sum != total {
+		t.Fatal("op costs do not sum to the iteration total")
+	}
+}
+
+func TestLargeBatchGraphStaysOnGPU(t *testing.T) {
+	// At the paper's batch 8192 on the full covtype net, every matmul must
+	// land on the GPU — that is why TF ≈ Hogbatch GPU.
+	spec := data.Covtype
+	net := nn.MustNetwork(spec.Arch())
+	ds := data.Generate(spec.Scaled(0.001), 1)
+	_ = ds
+	cfg := DefaultConfig(net, &data.Dataset{})
+	cfg.Net = net
+	ops := BuildGraph(net.Arch, 8192)
+	ScheduleGraph(ops, &cfg, 8192)
+	for _, op := range ops {
+		if len(op.Name) > 9 && op.Name[:9] == "fwd_matmu" && op.Placement != PlaceGPU {
+			t.Fatalf("op %s placed on CPU at batch 8192", op.Name)
+		}
+	}
+}
+
+func TestMultiLabelPenaltySlowsIterations(t *testing.T) {
+	// delicious-shaped: 983 labels make TF iterations far slower than the
+	// same-sized multiclass net (the paper's anomaly).
+	ml := nn.MustNetwork(nn.Arch{InputDim: 500, Hidden: []int{512}, OutputDim: 983, Activation: nn.ActSigmoid, MultiLabel: true})
+	mc := nn.MustNetwork(nn.Arch{InputDim: 500, Hidden: []int{512}, OutputDim: 983, Activation: nn.ActSigmoid})
+	cfgML := DefaultConfig(ml, &data.Dataset{})
+	cfgMC := DefaultConfig(mc, &data.Dataset{})
+	tML := IterTime(&cfgML, 8192)
+	tMC := IterTime(&cfgMC, 8192)
+	if float64(tML) < 1.5*float64(tMC) {
+		t.Fatalf("multi-label iteration %v not much slower than multiclass %v", tML, tMC)
+	}
+}
+
+func TestRunConverges(t *testing.T) {
+	cfg := tinyTFConfig()
+	res, err := Run(cfg, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != core.AlgTensorFlow {
+		t.Fatalf("algorithm label %v", res.Algorithm)
+	}
+	first := res.Trace.Points[0].Loss
+	if res.FinalLoss >= first*0.8 {
+		t.Fatalf("loss %v → %v did not drop", first, res.FinalLoss)
+	}
+	if res.Epochs <= 0 || res.Updates.Total() == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := tinyTFConfig()
+	cfg.LR = -1
+	if _, err := Run(cfg, time.Millisecond); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTFMatchesHogbatchGPUPerEpoch(t *testing.T) {
+	// The paper's Figure 6: TF and Hogbatch GPU have overlapping
+	// statistical-efficiency curves. Same batch size, LR, and seed must
+	// give the same loss after the same number of epochs.
+	net, ds := tinyProblem()
+	tfCfg := DefaultConfig(net, ds)
+	tfCfg.Batch = 128
+	tfCfg.LR = 0.2
+	tfCfg.EvalSubset = 256
+	tfRes, err := Run(tfCfg, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coreCfg := core.NewConfig(core.AlgHogbatchGPU, net, ds,
+		core.Preset{CPUThreads: 4, CPUMinPerThread: 1, CPUMaxPerThread: 8, GPUMin: 128, GPUMax: 128})
+	coreCfg.BaseLR = 0.2
+	coreCfg.LRScaling = false
+	coreCfg.EvalSubset = 256
+	coreRes, err := core.RunSim(coreCfg, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare losses at matching epoch counts.
+	epochs := min(int(tfRes.Epochs), int(coreRes.Epochs))
+	if epochs < 2 {
+		t.Fatalf("too few epochs to compare: tf %.1f core %.1f", tfRes.Epochs, coreRes.Epochs)
+	}
+	tfLoss, ok1 := lossAtEpoch(tfRes, float64(epochs))
+	coreLoss, ok2 := lossAtEpoch(coreRes, float64(epochs))
+	if !ok1 || !ok2 {
+		t.Fatal("missing epoch samples")
+	}
+	if rel := tfLoss/coreLoss - 1; rel > 0.02 || rel < -0.02 {
+		t.Fatalf("per-epoch curves diverge: tf %v vs gpu %v at epoch %d", tfLoss, coreLoss, epochs)
+	}
+}
+
+func lossAtEpoch(r *core.Result, epoch float64) (float64, bool) {
+	for _, p := range r.Trace.Points {
+		if p.Epoch >= epoch {
+			return p.Loss, true
+		}
+	}
+	return 0, false
+}

@@ -19,6 +19,7 @@ import (
 	"heterosgd/internal/core"
 	"heterosgd/internal/data"
 	"heterosgd/internal/experiments"
+	"heterosgd/internal/faults"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/omnivore"
@@ -46,6 +47,10 @@ func main() {
 		schedule = flag.String("schedule", "constant", "LR schedule: constant, step, inv-t, warmup")
 		savePath = flag.String("save", "", "write the trained model to this path")
 		loadPath = flag.String("load", "", "initialize from a model checkpoint")
+		faultStr = flag.String("faults", "", "inject faults: crash:W:N,hang:W:N:DUR,corrupt:W:RATE (enables watchdog+guards)")
+		wdSlack  = flag.Float64("watchdog-slack", 0, "quarantine a worker past slack × modeled iteration time (0 = off unless -faults)")
+		wdFloor  = flag.Duration("watchdog-floor", 100*time.Millisecond, "minimum watchdog deadline")
+		guards   = flag.Bool("guards", false, "enable divergence guards (drop non-finite updates, rollback on NaN loss)")
 	)
 	flag.Parse()
 
@@ -64,6 +69,13 @@ func main() {
 	sc, err := experiments.ScaleByName(*scale)
 	if err != nil {
 		fatal(err)
+	}
+	plan, err := faults.Parse(*faultStr)
+	if err != nil {
+		fatal(err)
+	}
+	if plan != nil {
+		plan.Seed = *seed
 	}
 
 	var ds *data.Dataset
@@ -143,6 +155,17 @@ func main() {
 		cfg.Schedule = sched
 		cfg.InitialParams = warmStart
 		cfg.SampleEvery = *budget / 25
+		cfg.Faults = plan
+		// Injected faults auto-enable the full fault-tolerance stack.
+		if *wdSlack > 0 {
+			cfg.Watchdog = &core.WatchdogConfig{Slack: *wdSlack, Floor: *wdFloor}
+		} else if plan != nil {
+			cfg.Watchdog = core.DefaultWatchdog()
+			cfg.Watchdog.Floor = *wdFloor
+		}
+		if *guards || plan != nil {
+			cfg.Guards = core.DefaultGuards()
+		}
 		for _, w := range cfg.Workers {
 			if err := core.GPUMemoryCheck(net, w); err != nil {
 				fatal(err)
@@ -165,6 +188,10 @@ func main() {
 		fmt.Printf("model saved to %s\n", *savePath)
 	}
 	fmt.Println(res)
+	if res.Health.Faulty() {
+		fmt.Printf("fault report: %s\n", res.Health)
+		fmt.Print(res.Events)
+	}
 	fmt.Printf("final batch sizes: %v (resizes %v)\n", res.FinalBatch, res.Resizes)
 	for worker, n := range res.Updates.Snapshot() {
 		fmt.Printf("  %-6s %10d updates (%.1f%%)\n", worker, n, 100*res.Updates.Share(worker))

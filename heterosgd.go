@@ -38,6 +38,7 @@ import (
 
 	"heterosgd/internal/core"
 	"heterosgd/internal/data"
+	"heterosgd/internal/faults"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/omnivore"
 	"heterosgd/internal/opt"
@@ -188,6 +189,55 @@ func NewRNG(seed uint64) *rand.Rand { return core.RunRNG(seed) }
 func NewMultiConfig(alg Algorithm, net *Network, ds *Dataset, p Preset, numCPU, numGPU int) (Config, error) {
 	return core.NewMultiConfig(alg, net, ds, p, numCPU, numGPU)
 }
+
+// Fault tolerance: both engines recover worker crashes (re-dispatching
+// in-flight batches to survivors), quarantine hung workers via watchdog
+// deadlines (Config.Watchdog), and guard against divergence by dropping
+// non-finite updates and rolling back to checkpoints (Config.Guards).
+// Config.Faults injects deterministic crashes/hangs/corruption for testing.
+type (
+	// FaultPlan schedules deterministic fault injection (Config.Faults).
+	FaultPlan = faults.Plan
+	// Fault is one scheduled fault.
+	Fault = faults.Fault
+	// WatchdogConfig sets per-dispatch deadlines (Config.Watchdog).
+	WatchdogConfig = core.WatchdogConfig
+	// GuardConfig sets the divergence-guard policy (Config.Guards).
+	GuardConfig = core.GuardConfig
+	// FaultReport summarizes a run's fault-tolerance events (Result.Health).
+	FaultReport = core.FaultReport
+	// WorkerHealth is one worker's record inside a FaultReport.
+	WorkerHealth = core.WorkerHealth
+)
+
+// Worker health states reported in FaultReport.
+const (
+	WorkerHealthy     = core.WorkerHealthy
+	WorkerQuarantined = core.WorkerQuarantined
+	WorkerCrashed     = core.WorkerCrashed
+)
+
+// NewFaultPlan builds a seeded fault-injection plan.
+func NewFaultPlan(seed uint64, fs ...Fault) *FaultPlan { return faults.NewPlan(seed, fs...) }
+
+// ParseFaultPlan parses a "crash:W:N,hang:W:N:DUR,corrupt:W:RATE" spec
+// (the hogtrain -faults syntax).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
+
+// CrashAfter schedules a worker panic at its n-th iteration.
+func CrashAfter(worker int, n int64) Fault { return faults.CrashAfter(worker, n) }
+
+// HangAfter schedules a one-shot stall of d at a worker's n-th iteration.
+func HangAfter(worker int, n int64, d time.Duration) Fault { return faults.HangAfter(worker, n, d) }
+
+// CorruptGradient poisons a worker's gradients with NaNs at the given rate.
+func CorruptGradient(worker int, rate float64) Fault { return faults.CorruptGradient(worker, rate) }
+
+// DefaultWatchdog returns the permissive wall-clock watchdog policy.
+func DefaultWatchdog() *WatchdogConfig { return core.DefaultWatchdog() }
+
+// DefaultGuards returns the default divergence-guard policy.
+func DefaultGuards() *GuardConfig { return core.DefaultGuards() }
 
 // SaveModel writes trained parameters to a checkpoint file.
 func SaveModel(path string, p *Params) error { return nn.SaveParamsFile(path, p) }

@@ -22,6 +22,7 @@ import (
 
 	"heterosgd/internal/data"
 	"heterosgd/internal/device"
+	"heterosgd/internal/faults"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/opt"
 	"heterosgd/internal/tensor"
@@ -205,6 +206,19 @@ type Config struct {
 	// (early stopping; the paper's alternative stopping rule in §III:
 	// "when there is no significant drop in the loss"). 0 disables.
 	TargetLoss float64
+	// Faults injects a seeded, deterministic fault plan — worker crashes,
+	// hangs, gradient corruption — into the run (nil = no faults). Used
+	// by the fault-injection harness to exercise every recovery path.
+	Faults *faults.Plan
+	// Watchdog enables per-dispatch deadlines: a worker exceeding its
+	// modeled iteration time × Slack is quarantined and its batch
+	// re-dispatched to a healthy worker. nil disables the watchdog.
+	Watchdog *WatchdogConfig
+	// Guards enables divergence protection: non-finite gradients are
+	// dropped before reaching the shared model, and non-finite epoch
+	// losses trigger checkpoint rollback with bounded LR-backoff retries.
+	// nil disables the guards.
+	Guards *GuardConfig
 }
 
 // Validate checks the configuration for consistency.
@@ -246,6 +260,23 @@ func (c *Config) Validate() error {
 	}
 	if c.Beta <= 0 || c.Beta > 1 {
 		return fmt.Errorf("core: beta %v outside (0,1]", c.Beta)
+	}
+	if err := c.Faults.Validate(len(c.Workers)); err != nil {
+		return err
+	}
+	if c.Watchdog != nil && c.Watchdog.Slack <= 0 {
+		return fmt.Errorf("core: watchdog slack %v must be positive", c.Watchdog.Slack)
+	}
+	if g := c.Guards; g != nil {
+		if g.MaxRetries < 0 {
+			return fmt.Errorf("core: guard retries %d must be non-negative", g.MaxRetries)
+		}
+		if g.LRBackoff <= 0 || g.LRBackoff > 1 {
+			return fmt.Errorf("core: guard LR backoff %v outside (0,1]", g.LRBackoff)
+		}
+		if g.MinLRScale <= 0 || g.MinLRScale > 1 {
+			return fmt.Errorf("core: guard minimum LR scale %v outside (0,1]", g.MinLRScale)
+		}
 	}
 	return nil
 }

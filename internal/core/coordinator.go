@@ -38,6 +38,12 @@ type coordinator struct {
 
 	// resizes counts adaptive batch-size changes per worker (diagnostic).
 	resizes []int
+
+	// tracker, when set by a fault-tolerant engine, excludes crashed and
+	// quarantined workers from the adaptive policies: update counts of
+	// workers that stopped reporting would otherwise drag every
+	// comparison and freeze rebalancing on the survivors.
+	tracker *healthTracker
 }
 
 func newCoordinator(cfg *Config) *coordinator {
@@ -59,6 +65,12 @@ func newCoordinator(cfg *Config) *coordinator {
 // n returns the dataset size.
 func (c *coordinator) n() int { return c.cfg.Dataset.N() }
 
+// peerOK reports whether worker i's update count should participate in
+// adaptive comparisons (always true without a fault-tolerant engine).
+func (c *coordinator) peerOK(i int) bool {
+	return c.tracker == nil || c.tracker.ok(i)
+}
+
 // epochFrac returns fractional training progress in epochs.
 func (c *coordinator) epochFrac() float64 {
 	return float64(c.examplesDone) / float64(c.n())
@@ -75,7 +87,7 @@ func (c *coordinator) adapt(id int) {
 	minU, maxU := int64(0), int64(0)
 	first := true
 	for i, u := range c.updates {
-		if i == id {
+		if i == id || !c.peerOK(i) {
 			continue
 		}
 		if first {
@@ -89,6 +101,10 @@ func (c *coordinator) adapt(id int) {
 		if u > maxU {
 			maxU = u
 		}
+	}
+	if first {
+		// No live peers to compare against (sole survivor).
+		return
 	}
 	w := c.cfg.Workers[id]
 	old := c.batch[id]
@@ -121,7 +137,7 @@ func (c *coordinator) adaptLR(id int) {
 	minU, maxU := int64(0), int64(0)
 	first := true
 	for i, u := range c.updates {
-		if i == id {
+		if i == id || !c.peerOK(i) {
 			continue
 		}
 		if first {
@@ -135,6 +151,9 @@ func (c *coordinator) adaptLR(id int) {
 		if u > maxU {
 			maxU = u
 		}
+	}
+	if first {
+		return
 	}
 	const clamp = 16
 	switch {

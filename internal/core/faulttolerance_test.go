@@ -1,0 +1,449 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"heterosgd/internal/device"
+	"heterosgd/internal/faults"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+)
+
+// --- unit tests for the shared fault-tolerance machinery ---
+
+func TestHealthTrackerTransitions(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	log := metrics.NewEventLog()
+	h := newHealthTracker(&cfg, log)
+	if h.healthyCount() != 2 || h.aliveCount() != 2 {
+		t.Fatalf("fresh tracker: healthy %d alive %d", h.healthyCount(), h.aliveCount())
+	}
+	if !h.quarantine(0, 0, "test") {
+		t.Fatal("quarantine of healthy worker refused")
+	}
+	if h.quarantine(0, 0, "again") {
+		t.Fatal("double quarantine accepted")
+	}
+	if h.ok(0) || !h.ok(1) || h.healthyCount() != 1 || h.aliveCount() != 2 {
+		t.Fatal("quarantine bookkeeping wrong")
+	}
+	if !h.readmit(0, 0) || !h.ok(0) {
+		t.Fatal("readmit failed")
+	}
+	if h.report.Workers[0].Timeouts != 1 || h.report.Workers[0].Readmissions != 1 {
+		t.Fatalf("counts: %+v", h.report.Workers[0])
+	}
+	h.markCrashed(1, 0, "boom")
+	if h.ok(1) || h.aliveCount() != 1 {
+		t.Fatal("crash bookkeeping wrong")
+	}
+	if h.readmit(1, 0) {
+		t.Fatal("crashed worker must not be readmittable")
+	}
+	if got := h.pickHealthy(1); got != 0 {
+		t.Fatalf("pickHealthy = %d, want 0", got)
+	}
+	// Excluding the only healthy worker still returns it as last resort.
+	if got := h.pickHealthy(0); got != 0 {
+		t.Fatalf("pickHealthy(0) = %d, want 0 (sole survivor)", got)
+	}
+	h.markCrashed(0, 0, "boom")
+	if got := h.pickHealthy(-1); got != -1 {
+		t.Fatalf("pickHealthy with no survivors = %d, want -1", got)
+	}
+	if !h.report.Faulty() {
+		t.Fatal("report should be faulty")
+	}
+	if log.Count("crash") != 2 || log.Count("timeout") != 1 || log.Count("readmit") != 1 {
+		t.Fatalf("event log counts wrong:\n%s", log)
+	}
+}
+
+func TestGuardStateRollbackAndDivergence(t *testing.T) {
+	cfg := tinyConfig(t, AlgHogbatchCPU)
+	global := cfg.Net.NewParams(nn.InitXavier, cfg.newRNG())
+	g := newGuardState(&GuardConfig{MaxRetries: 2, LRBackoff: 0.5, MinLRScale: 0.25}, global)
+	report := &FaultReport{}
+	log := metrics.NewEventLog()
+
+	// A finite loss checkpoints and keeps the scale at 1.
+	if rb, dv := g.onEval(0.5, global, report, log, 0); rb || dv {
+		t.Fatal("finite loss must not roll back")
+	}
+	want := global.Clone()
+	global.Weights[0].Data[0] = math.NaN()
+
+	// First NaN: rollback, halved LR, not yet diverged.
+	rb, dv := g.onEval(math.NaN(), global, report, log, 0)
+	if !rb || dv {
+		t.Fatalf("rollback=%v diverged=%v after first NaN", rb, dv)
+	}
+	if !global.AllFinite() || global.Weights[0].Data[0] != want.Weights[0].Data[0] {
+		t.Fatal("model not restored from checkpoint")
+	}
+	if g.scale() != 0.5 {
+		t.Fatalf("lr scale %v, want 0.5", g.scale())
+	}
+	// A finite loss resets the retry budget.
+	g.onEval(0.4, global, report, log, 0)
+	if g.retries != 0 {
+		t.Fatal("retries not reset by finite loss")
+	}
+	// Exhaust the budget: MaxRetries=2 allows two rollbacks, the third
+	// declares divergence; the backoff floor holds at 0.25.
+	for i := 0; i < 2; i++ {
+		if _, dv := g.onEval(math.Inf(1), global, report, log, 0); dv {
+			t.Fatalf("diverged too early at retry %d", i+1)
+		}
+	}
+	if _, dv := g.onEval(math.Inf(1), global, report, log, 0); !dv {
+		t.Fatal("retry budget exhausted but not diverged")
+	}
+	if g.scale() != 0.25 {
+		t.Fatalf("lr scale %v, want floor 0.25", g.scale())
+	}
+	if !report.Diverged || report.Rollbacks != 4 || report.Checkpoints != 2 {
+		t.Fatalf("report: %+v", report)
+	}
+
+	// Nil guard is inert.
+	var nilG *guardState
+	if nilG.scale() != 1 || nilG.snapshot() != nil {
+		t.Fatal("nil guard not inert")
+	}
+	if rb, dv := nilG.onEval(math.NaN(), global, report, log, 0); rb || dv {
+		t.Fatal("nil guard must not act")
+	}
+}
+
+func TestSplitBatch(t *testing.T) {
+	cfg := tinyConfig(t, AlgHogbatchCPU)
+	batch := cfg.Dataset.View(0, 100)
+	chunks := splitBatch(batch, 32)
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	total := 0
+	for i, c := range chunks {
+		if c.Size() > 32 {
+			t.Fatalf("chunk %d oversized: %d", i, c.Size())
+		}
+		total += c.Size()
+	}
+	if total != 100 {
+		t.Fatalf("chunks cover %d of 100 rows", total)
+	}
+	if got := splitBatch(batch, 200); len(got) != 1 || got[0].Size() != 100 {
+		t.Fatal("under-limit batch must pass through")
+	}
+	if got := splitBatch(batch, 0); len(got) != 1 {
+		t.Fatal("non-positive limit must pass through")
+	}
+}
+
+func TestWatchdogDeadlineFloor(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	wd := &WatchdogConfig{Slack: 2, Floor: time.Second}
+	d := watchdogDeadline(wd, &cfg.Workers[0], cfg.Net.Arch, 8, 1<<20)
+	if d != time.Second {
+		t.Fatalf("floor not applied: %v", d)
+	}
+	wd.Floor = 0
+	d = watchdogDeadline(wd, &cfg.Workers[0], cfg.Net.Arch, 8, 1<<20)
+	want := 2 * cfg.Workers[0].Device.IterTime(cfg.Net.Arch, 8, 1<<20)
+	if d != want {
+		t.Fatalf("deadline %v, want %v", d, want)
+	}
+}
+
+// --- simulated-engine fault tests (fully deterministic) ---
+
+func TestSimCrashedWorkerSurvived(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(1, 3))
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health.Workers[1].State != WorkerCrashed || res.Health.Workers[1].Crashes != 1 {
+		t.Fatalf("worker 1 health: %+v", res.Health.Workers[1])
+	}
+	if res.Health.Workers[0].State != WorkerHealthy {
+		t.Fatalf("survivor health: %+v", res.Health.Workers[0])
+	}
+	if res.Health.Redispatches < 1 {
+		t.Fatal("crashed worker's batch was not re-dispatched")
+	}
+	if res.Events.Count("crash") != 1 {
+		t.Fatalf("event log:\n%s", res.Events)
+	}
+	if res.FinalLoss >= res.Trace.Points[0].Loss*0.8 {
+		t.Fatalf("training did not continue on survivor: %v → %v",
+			res.Trace.Points[0].Loss, res.FinalLoss)
+	}
+	if !res.Health.Faulty() {
+		t.Fatal("report must be faulty")
+	}
+}
+
+func TestSimAllWorkersCrashedErrors(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(0, 2), faults.CrashAfter(1, 2))
+	_, err := RunSim(cfg, simHorizon)
+	if err == nil {
+		t.Fatal("expected an error when every worker crashes")
+	}
+	if !strings.Contains(err.Error(), "all 2 workers failed") {
+		t.Fatalf("undescriptive error: %v", err)
+	}
+}
+
+func TestSimHangQuarantineAndReadmission(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	// The hang (1ms virtual) dwarfs the modeled iteration times (µs scale),
+	// so the deadline fires mid-hang and the completion readmits.
+	cfg.Faults = faults.NewPlan(7, faults.HangAfter(1, 4, time.Millisecond))
+	cfg.Watchdog = &WatchdogConfig{Slack: 2, Floor: 10 * time.Microsecond}
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := res.Health.Workers[1]
+	if w1.Timeouts < 1 {
+		t.Fatalf("watchdog never fired: %+v\n%s", w1, res.Events)
+	}
+	if w1.Readmissions < 1 {
+		t.Fatalf("hung worker never readmitted: %+v\n%s", w1, res.Events)
+	}
+	if w1.State != WorkerHealthy {
+		t.Fatalf("worker 1 should finish healthy: %+v", w1)
+	}
+	if res.Health.Redispatches < 1 {
+		t.Fatal("overdue batch was not re-dispatched")
+	}
+	if res.Events.Count("timeout") < 1 || res.Events.Count("readmit") < 1 {
+		t.Fatalf("event log:\n%s", res.Events)
+	}
+}
+
+func TestSimCorruptGradientGuarded(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.Faults = faults.NewPlan(7,
+		faults.CorruptGradient(0, 0.5), faults.CorruptGradient(1, 0.5))
+	cfg.Guards = DefaultGuards()
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health.DroppedUpdates == 0 {
+		t.Fatal("corruption at 50% rate never dropped an update")
+	}
+	if !res.Params.AllFinite() {
+		t.Fatal("non-finite parameters leaked past the guard")
+	}
+	if !isFinite(res.FinalLoss) {
+		t.Fatalf("final loss %v", res.FinalLoss)
+	}
+	if res.Checkpoint == nil || !res.Checkpoint.AllFinite() {
+		t.Fatal("guarded run must carry a finite checkpoint")
+	}
+}
+
+func TestSimThrottledStragglerNotQuarantined(t *testing.T) {
+	// A throttled worker is legitimately slow, not hung: its watchdog
+	// deadline derives from its own (throttled) cost model, so straggler
+	// injection composes with fault tolerance without tripping quarantine —
+	// and a crash elsewhere still fails over onto the slow survivor.
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.Workers[1].Device = device.NewThrottled(cfg.Workers[1].Device, 50, 2)
+	cfg.Watchdog = &WatchdogConfig{Slack: 2, Floor: 10 * time.Microsecond}
+	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(0, 2))
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := res.Health.Workers[1]
+	if w1.Timeouts != 0 || w1.State != WorkerHealthy {
+		t.Fatalf("throttled worker was treated as hung: %+v\n%s", w1, res.Events)
+	}
+	if res.Health.Workers[0].State != WorkerCrashed {
+		t.Fatalf("worker 0 health: %+v", res.Health.Workers[0])
+	}
+	if res.FinalLoss >= res.Trace.Points[0].Loss {
+		t.Fatalf("training did not continue on throttled survivor: %v → %v",
+			res.Trace.Points[0].Loss, res.FinalLoss)
+	}
+}
+
+func TestSimFaultRunsAreDeterministic(t *testing.T) {
+	mk := func() Config {
+		cfg := tinyConfig(t, AlgAdaptiveHogbatch)
+		cfg.Faults = faults.NewPlan(11,
+			faults.CorruptGradient(0, 0.3),
+			faults.HangAfter(1, 6, time.Millisecond))
+		cfg.Watchdog = &WatchdogConfig{Slack: 2, Floor: 10 * time.Microsecond}
+		cfg.Guards = DefaultGuards()
+		return cfg
+	}
+	r1, err1 := RunSim(mk(), simHorizon)
+	r2, err2 := RunSim(mk(), simHorizon)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(r1.Trace.Points) != len(r2.Trace.Points) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(r1.Trace.Points), len(r2.Trace.Points))
+	}
+	for i := range r1.Trace.Points {
+		if r1.Trace.Points[i] != r2.Trace.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, r1.Trace.Points[i], r2.Trace.Points[i])
+		}
+	}
+	e1, e2 := r1.Events.Events(), r2.Events.Events()
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	if r1.Health.DroppedUpdates != r2.Health.DroppedUpdates ||
+		r1.Health.Redispatches != r2.Health.Redispatches {
+		t.Fatal("fault reports differ between identical runs")
+	}
+}
+
+// --- real-engine fault tests ---
+
+func TestRealCrashedWorkerSurvivorConverges(t *testing.T) {
+	// Healthy single-CPU baseline establishes a reachable target.
+	healthy := tinyConfig(t, AlgHogbatchCPU)
+	healthy.UpdateMode = tensor.UpdateLocked
+	base, err := RunReal(healthy, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := base.FinalLoss * 1.2
+
+	// Hybrid run whose GPU worker dies early: the CPU survivor must still
+	// reach the same target.
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(1, 3))
+	cfg.TargetLoss = target
+	res, err := RunReal(cfg, 4*realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health.Workers[1].State != WorkerCrashed {
+		t.Fatalf("worker 1 health: %+v", res.Health.Workers[1])
+	}
+	if res.Health.Workers[0].State != WorkerHealthy {
+		t.Fatalf("survivor health: %+v", res.Health.Workers[0])
+	}
+	if !res.Converged {
+		t.Fatalf("survivor did not reach target %.4f (final %.4f)\n%s",
+			target, res.FinalLoss, res.Events)
+	}
+	if res.Events.Count("crash") != 1 {
+		t.Fatalf("event log:\n%s", res.Events)
+	}
+	if !res.Health.Faulty() {
+		t.Fatal("report must be faulty")
+	}
+}
+
+func TestRealAllWorkersCrashedErrors(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(0, 1), faults.CrashAfter(1, 1))
+	_, err := RunReal(cfg, realBudget)
+	if err == nil {
+		t.Fatal("expected an error when every worker crashes")
+	}
+	if !strings.Contains(err.Error(), "all 2 workers failed") {
+		t.Fatalf("undescriptive error: %v", err)
+	}
+}
+
+func TestRealHangTriggersWatchdogRedispatch(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	// The hang outlives the whole budget; only the watchdog can recover.
+	cfg.Faults = faults.NewPlan(7, faults.HangAfter(1, 3, 30*time.Second))
+	cfg.Watchdog = &WatchdogConfig{Slack: 4, Floor: 30 * time.Millisecond}
+	start := time.Now()
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("hung worker stalled the run for %v", wall)
+	}
+	w1 := res.Health.Workers[1]
+	if w1.Timeouts < 1 || w1.State != WorkerQuarantined {
+		t.Fatalf("worker 1 not quarantined: %+v\n%s", w1, res.Events)
+	}
+	if res.Health.Redispatches < 1 {
+		t.Fatal("overdue batch was not re-dispatched")
+	}
+	if res.Health.Workers[0].State != WorkerHealthy {
+		t.Fatalf("survivor health: %+v", res.Health.Workers[0])
+	}
+	if res.FinalLoss >= res.Trace.Points[0].Loss*0.9 {
+		t.Fatalf("training stalled: %v → %v", res.Trace.Points[0].Loss, res.FinalLoss)
+	}
+}
+
+func TestRealCorruptGradientGuarded(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	cfg.Faults = faults.NewPlan(7,
+		faults.CorruptGradient(0, 0.5), faults.CorruptGradient(1, 0.5))
+	cfg.Guards = DefaultGuards()
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health.DroppedUpdates == 0 {
+		t.Fatal("corruption at 50% rate never dropped an update")
+	}
+	if !res.Params.AllFinite() {
+		t.Fatal("non-finite parameters leaked past the guard")
+	}
+	if !isFinite(res.FinalLoss) {
+		t.Fatalf("final loss %v", res.FinalLoss)
+	}
+}
+
+func TestRealOvershootRecordedAndTraceClamped(t *testing.T) {
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	budget := 100 * time.Millisecond
+	res, err := RunReal(cfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < budget {
+		t.Fatalf("duration %v below budget %v without convergence", res.Duration, budget)
+	}
+	if got, want := res.Overshoot, res.Duration-budget; got != want {
+		t.Fatalf("overshoot %v, want %v", got, want)
+	}
+	last := res.Trace.Points[len(res.Trace.Points)-1]
+	// The final point is clamped to the budget boundary (modulo an earlier
+	// barrier sample that itself crossed it by its eval time).
+	limit := budget
+	for _, p := range res.Trace.Points[:len(res.Trace.Points)-1] {
+		if p.Time > limit {
+			limit = p.Time
+		}
+	}
+	if last.Time > limit {
+		t.Fatalf("final trace point %v beyond clamp %v (overshoot %v)", last.Time, limit, res.Overshoot)
+	}
+}

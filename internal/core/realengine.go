@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heterosgd/internal/data"
 	"heterosgd/internal/device"
+	"heterosgd/internal/faults"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/msgq"
 	"heterosgd/internal/nn"
@@ -15,17 +17,38 @@ import (
 	"heterosgd/internal/tensor"
 )
 
-// schedMsg is the worker→coordinator ScheduleWork message (Algorithm 1/2).
+// schedMsg is the worker→coordinator ScheduleWork message (Algorithm 1/2),
+// extended with the fault-tolerance fields: seq identifies which dispatch
+// completed, dropped counts divergence-guard discards, and failed+err
+// report a recovered worker panic (the worker's last message).
 type schedMsg struct {
 	workerID int
+	seq      uint64
 	updates  int64
+	dropped  int64
+	failed   bool
+	err      error
 }
 
 // workMsg is the coordinator→worker ExecuteWork message carrying a batch
-// reference and the learning rate for this iteration.
+// reference, the learning rate for this iteration, and the dispatch
+// sequence number the completion must echo.
 type workMsg struct {
+	seq   uint64
 	batch data.Batch
 	lr    float64
+}
+
+// inflightDispatch is the coordinator's record of one outstanding workMsg:
+// who has it, what it carries, and when the watchdog gives up on it.
+// abandoned marks dispatches whose worker was quarantined — the batch was
+// re-dispatched elsewhere and the eventual completion only serves as the
+// readmission probe.
+type inflightDispatch struct {
+	worker    int
+	batch     data.Batch
+	deadline  time.Time
+	abandoned bool
 }
 
 // realWorker bundles a worker goroutine's private state.
@@ -34,6 +57,7 @@ type realWorker struct {
 	name    string
 	wc      WorkerConfig
 	inbox   *msgq.Queue[workMsg]
+	inj     *faults.Injector
 	ws      []*nn.Workspace // one per CPU sub-batch thread (GPU uses ws[0])
 	grads   []*nn.Params
 	optims  []opt.Optimizer // per-lane optimizer state (nil for plain SGD)
@@ -56,6 +80,17 @@ type realWorker struct {
 //
 // Loss is sampled at epoch barriers (every worker idle) and at the end of
 // the run, when no concurrent writers exist.
+//
+// The engine is fault tolerant. A worker panic is recovered, the worker
+// marked crashed, and its in-flight batch re-dispatched to a survivor;
+// training continues as long as at least one worker lives and fails with a
+// descriptive error otherwise. With cfg.Watchdog set, a dispatch exceeding
+// its modeled iteration time × slack quarantines the worker (timeout →
+// re-dispatch); a quarantined worker's overdue completion is its
+// readmission probe. With cfg.Guards set, non-finite gradients are dropped
+// at the update boundary and a non-finite epoch loss rolls the model back
+// to the last checkpoint with bounded LR-backoff retries. cfg.Faults
+// injects deterministic crashes/hangs/corruption to exercise all of this.
 func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -70,10 +105,15 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 	if cfg.InitialParams != nil {
 		global.CopyFrom(cfg.InitialParams)
 	}
+	modelBytes := global.SizeBytes()
 	coord := newCoordinator(&cfg)
 	raw := metrics.NewUpdateCounter()
 	util := metrics.NewUtilizationTrace()
 	trace := &metrics.Trace{Name: cfg.Algorithm.String()}
+	events := metrics.NewEventLog()
+	health := newHealthTracker(&cfg, events)
+	coord.tracker = health
+	guard := newGuardState(cfg.Guards, global)
 
 	// modelMu guards the shared model only in UpdateLocked mode.
 	var modelMu sync.RWMutex
@@ -81,7 +121,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 
 	workers := make([]*realWorker, len(cfg.Workers))
 	for i, wc := range cfg.Workers {
-		w := &realWorker{id: i, name: wc.Device.Name(), wc: wc, inbox: msgq.New[workMsg]()}
+		w := &realWorker{id: i, name: wc.Device.Name(), wc: wc, inbox: msgq.New[workMsg](), inj: cfg.Faults.ForWorker(i)}
 		lanes := 1
 		if wc.Device.Kind() == device.KindCPU && wc.Threads > 1 {
 			lanes = wc.Threads
@@ -109,6 +149,40 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 	var wg sync.WaitGroup
 	gemmWorkers := runtime.GOMAXPROCS(0)
 
+	// runIteration executes one dispatched batch on the worker's own
+	// goroutine, injecting scheduled faults and converting any panic —
+	// injected or genuine — into a failure message instead of killing the
+	// process.
+	runIteration := func(w *realWorker, msg workMsg) (out schedMsg) {
+		out = schedMsg{workerID: w.id, seq: msg.seq}
+		defer func() {
+			if r := recover(); r != nil {
+				out.failed = true
+				out.err = fmt.Errorf("core: worker %s panicked: %v", w.name, r)
+			}
+		}()
+		step := w.inj.Begin()
+		if step.Crash {
+			panic(faults.CrashError{Worker: w.id, Iteration: w.inj.Iterations() - 1})
+		}
+		if step.Hang > 0 {
+			time.Sleep(step.Hang)
+		}
+		t0 := time.Since(start)
+		var n, dropped int64
+		if w.wc.Device.Kind() == device.KindCPU {
+			n, dropped = realCPUIteration(net, global, w, msg, &cfg, &modelMu, locked, step.Corrupt)
+		} else {
+			n, dropped = realGPUIteration(net, global, w, msg, &cfg, &modelMu, locked, gemmWorkers, step.Corrupt)
+		}
+		t1 := time.Since(start)
+		util.AddBusy(w.name, t0, t1, w.wc.Device.Utilization(net.Arch, msg.batch.Size()))
+		raw.Add(w.name, n)
+		out.updates = n
+		out.dropped = dropped
+		return out
+	}
+
 	for _, w := range workers {
 		wg.Add(1)
 		go func(w *realWorker) {
@@ -118,17 +192,13 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 				if !ok {
 					return
 				}
-				t0 := time.Since(start)
-				var n int64
-				if w.wc.Device.Kind() == device.KindCPU {
-					n = realCPUIteration(net, global, w, msg, &cfg, &modelMu, locked)
-				} else {
-					n = realGPUIteration(net, global, w, msg, &cfg, &modelMu, locked, gemmWorkers)
+				out := runIteration(w, msg)
+				coordQ.Push(out)
+				if out.failed {
+					// The worker is dead; the coordinator drains and
+					// re-dispatches anything left in its inbox.
+					return
 				}
-				t1 := time.Since(start)
-				util.AddBusy(w.name, t0, t1, w.wc.Device.Utilization(net.Arch, msg.batch.Size()))
-				raw.Add(w.name, n)
-				coordQ.Push(schedMsg{workerID: w.id, updates: n})
 			}
 		}(w)
 	}
@@ -139,20 +209,77 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 	}
 	evalWS := net.NewWorkspace(evalN)
 	evalLoss := func() float64 {
+		// Quarantined workers may still be mid-iteration at epoch
+		// barriers, so in locked mode the evaluation takes the read lock.
+		if locked {
+			modelMu.RLock()
+			defer modelMu.RUnlock()
+		}
 		v := ds.View(0, evalN)
 		return net.Loss(global, evalWS, v.X, v.Y, gemmWorkers)
+	}
+	guardEval := func(loss float64) (rolledBack, diverged bool) {
+		if guard == nil {
+			return false, false
+		}
+		if locked {
+			modelMu.Lock()
+			defer modelMu.Unlock()
+		}
+		return guard.onEval(loss, global, health.report, events, time.Since(start))
 	}
 
 	trace.Add(0, 0, evalLoss())
 
 	// The coordinator loop: sequential message processing, exactly like
-	// the paper's coordinator thread.
+	// the paper's coordinator thread, extended with the recovery state
+	// machine (healthy → quarantined → readmitted, healthy → crashed).
 	outstanding := 0
 	converged := false
 	overBudget := func() bool { return converged || time.Since(start) >= budget }
+	flight := make(map[uint64]*inflightDispatch)
+	var seq uint64
+	// Each worker holds at most ONE outstanding dispatch (busy), so a
+	// dispatch's watchdog deadline starts ticking only when the worker can
+	// actually start it. Re-dispatched batches queue in the worker's feed
+	// (split to its batch ceiling) and are sent one at a time; pending
+	// holds batches with no healthy worker to run them.
+	busy := make([]bool, len(workers))
+	feed := make([][]data.Batch, len(workers))
+	var pending []data.Batch
 	lastBatch := make([]int, len(workers))
 	var batchTrace []BatchEvent
+
+	send := func(id int, batch data.Batch) {
+		seq++
+		fl := &inflightDispatch{worker: id, batch: batch}
+		if cfg.Watchdog != nil {
+			fl.deadline = time.Now().Add(watchdogDeadline(cfg.Watchdog, &cfg.Workers[id], net.Arch, batch.Size(), modelBytes))
+		}
+		flight[seq] = fl
+		lr := cfg.ScheduledLR(batch.Size(), coord.epochFrac()) * coord.lrScale(id) * guard.scale()
+		workers[id].inbox.Push(workMsg{seq: seq, batch: batch, lr: lr})
+		busy[id] = true
+		outstanding++
+	}
 	dispatch := func(id int) bool {
+		if !health.ok(id) || busy[id] {
+			return false
+		}
+		if len(feed[id]) == 0 && len(pending) > 0 {
+			b := pending[0]
+			pending = pending[1:]
+			health.report.Redispatches++
+			events.Add(time.Since(start), workers[id].name, "redispatch",
+				fmt.Sprintf("%d examples from pending queue", b.Size()))
+			feed[id] = append(feed[id], splitBatch(b, cfg.Workers[id].MaxBatch)...)
+		}
+		if len(feed[id]) > 0 {
+			b := feed[id][0]
+			feed[id] = feed[id][1:]
+			send(id, b)
+			return true
+		}
 		if overBudget() {
 			return false
 		}
@@ -164,28 +291,196 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 			lastBatch[id] = coord.batch[id]
 			batchTrace = append(batchTrace, BatchEvent{At: time.Since(start), Worker: workers[id].name, Size: coord.batch[id]})
 		}
-		workers[id].inbox.Push(workMsg{batch: batch, lr: cfg.ScheduledLR(batch.Size(), coord.epochFrac()) * coord.lrScale(id)})
-		outstanding++
+		send(id, batch)
 		return true
 	}
+	// redispatch re-routes a batch whose worker crashed or timed out to
+	// the next healthy worker's feed, split to the target's batch ceiling;
+	// with no healthy worker it waits in pending for a readmission.
+	var redispatch func(batch data.Batch, from int)
+	redispatch = func(batch data.Batch, from int) {
+		target := health.pickHealthy(from)
+		if target < 0 {
+			pending = append(pending, batch)
+			return
+		}
+		health.report.Redispatches++
+		events.Add(time.Since(start), workers[target].name, "redispatch",
+			fmt.Sprintf("%d examples from %s", batch.Size(), workers[from].name))
+		feed[target] = append(feed[target], splitBatch(batch, cfg.Workers[target].MaxBatch)...)
+		dispatch(target)
+	}
+	// queuedWork reports whether any re-dispatched batch still awaits a
+	// worker (the loop must not exit while one could be served).
+	queuedWork := func() bool {
+		if len(pending) > 0 {
+			return true
+		}
+		for i := range feed {
+			if len(feed[i]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	// expireOverdue quarantines every worker holding a dispatch past its
+	// deadline and re-dispatches the overdue batches.
+	expireOverdue := func() {
+		now := time.Now()
+		for _, fl := range flight {
+			if fl.abandoned || fl.deadline.IsZero() || now.Before(fl.deadline) {
+				continue
+			}
+			health.quarantine(fl.worker, time.Since(start),
+				fmt.Sprintf("dispatch of %d examples overdue", fl.batch.Size()))
+			fl.abandoned = true
+			busy[fl.worker] = false
+			outstanding--
+			redispatch(fl.batch, fl.worker)
+		}
+	}
+	// popWait bounds the coordinator's blocking wait by the earliest
+	// in-flight deadline (or the remaining budget while batches wait in
+	// the pending queue for a readmission).
+	popWait := func() time.Duration {
+		var wait time.Duration = -1
+		for _, fl := range flight {
+			if fl.abandoned || fl.deadline.IsZero() {
+				continue
+			}
+			if d := time.Until(fl.deadline); wait < 0 || d < wait {
+				wait = d
+			}
+		}
+		if wait < 0 {
+			wait = budget - time.Since(start)
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		return wait
+	}
+	shutdown := func() {
+		for _, w := range workers {
+			w.inbox.Close()
+		}
+		if health.report.Survivors() == len(workers) {
+			wg.Wait()
+		} else {
+			// A quarantined worker may be hung far beyond the budget;
+			// bound the wait and let stragglers drain on their own —
+			// every shared structure they touch afterwards is
+			// synchronized or closed.
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+		coordQ.Close()
+	}
+	// handleFailure processes a recovered worker panic: mark the worker
+	// crashed, then re-route its in-flight batch and everything still
+	// queued for it (inbox and feed) to the survivors.
+	handleFailure := func(msg schedMsg) error {
+		fl := flight[msg.seq]
+		delete(flight, msg.seq)
+		if fl != nil && !fl.abandoned {
+			outstanding--
+		}
+		busy[msg.workerID] = false
+		health.markCrashed(msg.workerID, time.Since(start), msg.err.Error())
+		w := workers[msg.workerID]
+		w.inbox.Close()
+		for {
+			m, ok := w.inbox.TryPop()
+			if !ok {
+				break
+			}
+			if q := flight[m.seq]; q != nil {
+				delete(flight, m.seq)
+				if !q.abandoned {
+					outstanding--
+				}
+			}
+			redispatch(m.batch, msg.workerID)
+		}
+		if fl != nil {
+			redispatch(fl.batch, msg.workerID)
+		}
+		stranded := feed[msg.workerID]
+		feed[msg.workerID] = nil
+		for _, b := range stranded {
+			redispatch(b, msg.workerID)
+		}
+		if health.aliveCount() == 0 {
+			return fmt.Errorf("core: all %d workers failed — cannot continue training: %w", len(workers), msg.err)
+		}
+		return nil
+	}
+
 	for i := range workers {
 		dispatch(i)
 	}
-	for outstanding > 0 {
-		msg, ok := coordQ.Pop()
+	for outstanding > 0 || (queuedWork() && health.aliveCount() > 0 && !overBudget()) {
+		var msg schedMsg
+		var ok bool
+		if cfg.Watchdog != nil {
+			var timedOut bool
+			msg, ok, timedOut = coordQ.PopTimeout(popWait())
+			// Sweep for overdue dispatches on every wake-up, not just on
+			// timeout: a chatty healthy worker would otherwise keep the
+			// coordinator from ever noticing a hung one.
+			expireOverdue()
+			if timedOut {
+				continue
+			}
+		} else {
+			msg, ok = coordQ.Pop()
+		}
 		if !ok {
 			break
 		}
-		outstanding--
+		if msg.failed {
+			if err := handleFailure(msg); err != nil {
+				shutdown()
+				return nil, err
+			}
+			continue
+		}
+		fl := flight[msg.seq]
+		delete(flight, msg.seq)
 		coord.reportUpdates(msg.workerID, msg.updates)
+		if msg.dropped > 0 {
+			health.report.DroppedUpdates += msg.dropped
+			events.Add(time.Since(start), workers[msg.workerID].name, "drop",
+				fmt.Sprintf("%d non-finite updates discarded", msg.dropped))
+		}
+		if fl != nil && fl.abandoned {
+			// The quarantined worker's overdue completion arrived: the
+			// readmission probe succeeded. Its updates already landed in
+			// the shared model and are counted; the batch was also
+			// processed by the re-dispatch target (documented
+			// at-least-once semantics under timeouts).
+			health.readmit(msg.workerID, time.Since(start))
+			dispatch(msg.workerID)
+			continue
+		}
+		busy[msg.workerID] = false
+		outstanding--
 		dispatch(msg.workerID)
 		if outstanding == 0 && !overBudget() && coord.poolEmpty() {
 			// Epoch barrier: all workers idle, pool drained — evaluate
-			// loss (no concurrent writers) and start the next epoch.
+			// loss (quarantined stragglers are fenced by the model lock
+			// in locked mode) and start the next epoch.
 			loss := evalLoss()
 			trace.Add(time.Since(start), coord.epochFrac(), loss)
-			if cfg.TargetLoss > 0 && loss <= cfg.TargetLoss {
+			if cfg.TargetLoss > 0 && isFinite(loss) && loss <= cfg.TargetLoss {
 				converged = true
+				break
+			}
+			if _, diverged := guardEval(loss); diverged {
 				break
 			}
 			coord.refill()
@@ -194,16 +489,26 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 			}
 		}
 	}
-	for _, w := range workers {
-		w.inbox.Close()
-	}
-	wg.Wait()
-	coordQ.Close()
+	shutdown()
 
 	elapsed := time.Since(start)
+	overshoot := elapsed - budget
+	if overshoot < 0 {
+		overshoot = 0
+	}
 	final := evalLoss()
-	trace.Add(elapsed, coord.epochFrac(), final)
-	if cfg.TargetLoss > 0 && final <= cfg.TargetLoss {
+	// The final trace point is clamped to the budget boundary so one
+	// in-flight large batch cannot stretch the loss curve past the
+	// configured horizon; the true overrun is reported separately.
+	stamp := elapsed
+	if stamp > budget {
+		stamp = budget
+	}
+	if n := len(trace.Points); n > 0 && trace.Points[n-1].Time > stamp {
+		stamp = trace.Points[n-1].Time
+	}
+	trace.Add(stamp, coord.epochFrac(), final)
+	if cfg.TargetLoss > 0 && isFinite(final) && final <= cfg.TargetLoss {
 		converged = true
 	}
 
@@ -214,6 +519,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		Utilization:       util,
 		Epochs:            coord.epochFrac(),
 		Duration:          elapsed,
+		Overshoot:         overshoot,
 		FinalLoss:         final,
 		MinLoss:           trace.MinLoss(),
 		ExamplesProcessed: coord.examplesDone,
@@ -222,13 +528,21 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		BatchTrace:        batchTrace,
 		Converged:         converged,
 		Params:            global,
+		Health:            health.report,
+		Events:            events,
+		Checkpoint:        guard.snapshot(),
 	}, nil
 }
 
 // realCPUIteration runs one CPU Hogbatch iteration with live parallelism:
 // the batch splits into Threads sub-batches processed by concurrent
 // goroutines, each applying its gradient directly to the shared model.
-func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool) int64 {
+// With guards enabled, a non-finite sub-batch gradient is discarded before
+// it reaches the model (counted in dropped); corrupt poisons every lane's
+// gradient, exercising exactly that path. A panic on any lane is re-raised
+// on the worker goroutine after the remaining lanes finish, so the
+// engine-level recovery sees it.
+func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool, corrupt bool) (int64, int64) {
 	size := msg.batch.Size()
 	t := w.wc.Threads
 	if t < 1 {
@@ -237,9 +551,10 @@ func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 	if t > size {
 		t = size
 	}
-	var updates int64
+	var updates, dropped atomic.Int64
 	var wg sync.WaitGroup
-	var updMu sync.Mutex
+	var panicMu sync.Mutex
+	var panicVal any
 	for i := 0; i < t; i++ {
 		lo := i * size / t
 		hi := (i + 1) * size / t
@@ -249,6 +564,15 @@ func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 		wg.Add(1)
 		go func(lane, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			sub := data.Batch{X: msg.batch.X.RowView(lo, hi-lo), Y: msg.batch.Y.Slice(lo, hi)}
 			if locked {
 				mu.RLock()
@@ -259,25 +583,36 @@ func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 			}
 			if locked {
 				mu.RUnlock()
+			}
+			if corrupt {
+				faults.Poison(w.grads[lane])
+			}
+			if cfg.Guards != nil && !w.grads[lane].AllFinite() {
+				dropped.Add(1)
+				return
+			}
+			if locked {
 				mu.Lock()
 			}
 			applyStep(w.optims[lane], w.grads[lane], w.deltas[lane], global, cfg.UpdateMode, msg.lr)
 			if locked {
 				mu.Unlock()
 			}
-			updMu.Lock()
-			updates++
-			updMu.Unlock()
+			updates.Add(1)
 		}(i, lo, hi)
 	}
 	wg.Wait()
-	return updates
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return updates.Load(), dropped.Load()
 }
 
 // realGPUIteration runs one large-batch iteration through the deep-replica
 // path: copy the model, compute the batch gradient against the replica with
 // maximal intra-op parallelism, and push the update to the global model.
-func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool, gemmWorkers int) int64 {
+// With guards enabled, a non-finite gradient never reaches the model.
+func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool, gemmWorkers int, corrupt bool) (int64, int64) {
 	if locked {
 		mu.RLock()
 	}
@@ -289,6 +624,12 @@ func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 	if cfg.WeightDecay > 0 {
 		w.grads[0].AddScaled(cfg.WeightDecay, w.replica)
 	}
+	if corrupt {
+		faults.Poison(w.grads[0])
+	}
+	if cfg.Guards != nil && !w.grads[0].AllFinite() {
+		return 0, 1
+	}
 	if locked {
 		mu.Lock()
 	}
@@ -296,5 +637,5 @@ func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 	if locked {
 		mu.Unlock()
 	}
-	return 1
+	return 1, 0
 }

@@ -47,6 +47,20 @@ type Result struct {
 	Converged bool
 	// Params is the trained model.
 	Params *nn.Params
+	// Overshoot is how far past the budget the run actually ran (RunReal
+	// drains in-flight batches after the budget expires; RunSim never
+	// overshoots). The final trace point is clamped to the budget
+	// boundary; this field reports the true overrun.
+	Overshoot time.Duration
+	// Health is the run's fault-tolerance report: per-worker states,
+	// re-dispatch/drop/rollback counts. Health.Faulty() == false on a
+	// clean run.
+	Health *FaultReport
+	// Events is the timestamped fault-tolerance incident log.
+	Events *metrics.EventLog
+	// Checkpoint is the divergence guard's last known-good parameter
+	// snapshot (nil when guards are disabled).
+	Checkpoint *nn.Params
 }
 
 // CPUShare returns the fraction of raw updates performed by CPU workers
@@ -68,9 +82,13 @@ func (r *Result) CPUShare() float64 {
 
 // String renders a one-line summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s: %.2f epochs in %v, loss %.4f→%.4f, %d updates (CPU share %.0f%%)",
+	s := fmt.Sprintf("%s: %.2f epochs in %v, loss %.4f→%.4f, %d updates (CPU share %.0f%%)",
 		r.Algorithm, r.Epochs, r.Duration.Round(time.Millisecond), firstLoss(r.Trace), r.FinalLoss,
 		r.Updates.Total(), 100*r.CPUShare())
+	if r.Health.Faulty() {
+		s += " [faults: " + r.Health.String() + "]"
+	}
+	return s
 }
 
 func firstLoss(t *metrics.Trace) float64 {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"heterosgd/internal/data"
 	"heterosgd/internal/device"
+	"heterosgd/internal/faults"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/opt"
@@ -30,6 +32,11 @@ type simWorker struct {
 	// scratch holds the ∇f(w̃) term of SVRG's corrected gradient.
 	scratch *nn.Params
 	idle    bool
+	// inj injects this worker's scheduled faults (nil = none).
+	inj *faults.Injector
+	// backlog holds batches re-dispatched from a failed worker, served
+	// before the worker asks the coordinator for new work.
+	backlog []data.Batch
 }
 
 // RunSim trains cfg's model for a virtual-time budget of horizon using the
@@ -59,6 +66,10 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	raw := metrics.NewUpdateCounter()
 	util := metrics.NewUtilizationTrace()
 	trace := &metrics.Trace{Name: cfg.Algorithm.String()}
+	events := metrics.NewEventLog()
+	health := newHealthTracker(&cfg, events)
+	coord.tracker = health
+	guard := newGuardState(cfg.Guards, global)
 
 	workers := make([]*simWorker, len(cfg.Workers))
 	for i, wc := range cfg.Workers {
@@ -68,6 +79,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 			wc:   wc,
 			ws:   net.NewWorkspace(min(wc.MaxBatch, ds.N())),
 			grad: net.NewParams(nn.InitZero, rng),
+			inj:  cfg.Faults.ForWorker(i),
 		}
 		if wc.DeepReplica && wc.Device.Kind() == device.KindCPU {
 			w.replica = global.Clone()
@@ -129,6 +141,11 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	addPoint(0, evalLoss())
 
 	var dispatch func(w *simWorker)
+	var redispatch func(batch data.Batch, from int)
+	var fatalErr error
+	// pending holds re-dispatched batches with no healthy worker to run
+	// them; a readmitted worker picks them up.
+	var pending []data.Batch
 	allIdle := func() bool {
 		for _, w := range workers {
 			if !w.idle {
@@ -140,14 +157,20 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	// maybeEpochEnd performs the end-of-epoch barrier: when the pool is
 	// drained and every worker has gone idle, the loss is evaluated on the
 	// eval device (paper: always the GPU), then the pool refills and all
-	// workers are redispatched.
+	// workers are redispatched. Crashed and quarantined workers sit idle
+	// and do not block the barrier. The divergence guard checkpoints or
+	// rolls back here, on the evaluated loss.
 	maybeEpochEnd := func() {
 		if !coord.poolEmpty() || !allIdle() {
 			return
 		}
 		evalDur := evalDev.EvalTime(net.Arch, ds.N())
 		util.AddBusy(evalDevName(evalDev, &cfg, workers), clk.Now(), clk.Now()+evalDur, 0.95)
-		addPoint(coord.epochFrac(), evalLoss())
+		loss := evalLoss()
+		addPoint(coord.epochFrac(), loss)
+		if _, diverged := guard.onEval(loss, global, health.report, events, elapsed()); diverged {
+			horizon = lastStamp
+		}
 		evalDebt += evalDur
 		clk.Schedule(evalDur, func() {
 			if elapsed() >= horizon {
@@ -163,40 +186,124 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		})
 	}
 
+	// redispatch re-routes a batch from a crashed or quarantined worker to
+	// the next healthy worker's backlog, split to fit the target's batch
+	// ceiling, waking the target if it sits idle. With no healthy worker
+	// the batch waits in pending for a readmission.
+	redispatch = func(batch data.Batch, from int) {
+		target := health.pickHealthy(from)
+		if target < 0 {
+			pending = append(pending, batch)
+			return
+		}
+		tw := workers[target]
+		health.report.Redispatches++
+		events.Add(elapsed(), tw.name, "redispatch",
+			fmt.Sprintf("%d examples from %s", batch.Size(), workers[from].name))
+		tw.backlog = append(tw.backlog, splitBatch(batch, tw.wc.MaxBatch)...)
+		if tw.idle {
+			tw.idle = false
+			dispatch(tw)
+		}
+	}
+
 	lastBatch := make([]int, len(workers))
 	var batchTrace []BatchEvent
 	dispatch = func(w *simWorker) {
-		if elapsed() >= horizon {
+		if !health.ok(w.id) || elapsed() >= horizon {
 			w.idle = true
 			return
 		}
-		batch, ok := coord.scheduleWork(w.id)
-		if !ok {
+		var batch data.Batch
+		if len(w.backlog) > 0 {
+			batch = w.backlog[0]
+			w.backlog = w.backlog[1:]
+		} else {
+			var ok bool
+			batch, ok = coord.scheduleWork(w.id)
+			if !ok {
+				w.idle = true
+				maybeEpochEnd()
+				return
+			}
+			if coord.batch[w.id] != lastBatch[w.id] {
+				lastBatch[w.id] = coord.batch[w.id]
+				batchTrace = append(batchTrace, BatchEvent{At: elapsed(), Worker: w.name, Size: coord.batch[w.id]})
+			}
+		}
+		b := batch.Size()
+		step := w.inj.Begin()
+		if step.Crash {
+			// The worker dies before computing anything; its batch moves
+			// to a survivor. The simulated engine reports the injected
+			// crash itself — there is no goroutine to panic.
+			cerr := faults.CrashError{Worker: w.id, Iteration: w.inj.Iterations() - 1}
+			health.markCrashed(w.id, elapsed(), cerr.Error())
 			w.idle = true
+			redispatch(batch, w.id)
+			if health.aliveCount() == 0 {
+				fatalErr = fmt.Errorf("core: all %d workers failed — cannot continue training: %w", len(workers), cerr)
+				horizon = lastStamp
+			}
 			maybeEpochEnd()
 			return
 		}
-		if coord.batch[w.id] != lastBatch[w.id] {
-			lastBatch[w.id] = coord.batch[w.id]
-			batchTrace = append(batchTrace, BatchEvent{At: elapsed(), Worker: w.name, Size: coord.batch[w.id]})
-		}
-		b := batch.Size()
-		dur := w.wc.Device.IterTime(net.Arch, b, modelBytes)
+		dur := w.wc.Device.IterTime(net.Arch, b, modelBytes) + step.Hang
 		util.AddBusy(w.name, clk.Now(), clk.Now()+dur, w.wc.Device.Utilization(net.Arch, b))
-		lr := cfg.ScheduledLR(b, coord.epochFrac()) * coord.lrScale(w.id)
+		lr := cfg.ScheduledLR(b, coord.epochFrac()) * coord.lrScale(w.id) * guard.scale()
+
+		// With a watchdog, an iteration running past its deadline (only
+		// possible through an injected hang, since the deadline derives
+		// from the same cost model that produces dur) quarantines the
+		// worker in virtual time and re-dispatches the batch; the eventual
+		// completion is the readmission probe.
+		abandoned := false
+		if cfg.Watchdog != nil {
+			if deadline := watchdogDeadline(cfg.Watchdog, &w.wc, net.Arch, b, modelBytes); dur > deadline {
+				clk.Schedule(deadline, func() {
+					if health.quarantine(w.id, elapsed(), fmt.Sprintf("dispatch of %d examples overdue", b)) {
+						abandoned = true
+						w.idle = true
+						redispatch(batch, w.id)
+						maybeEpochEnd()
+					}
+				})
+			}
+		}
+		// finish wraps a completion callback with readmission handling:
+		// a quarantined worker returning from its overdue iteration
+		// rejoins the rotation and drains any batches parked in pending.
+		finish := func(report func()) func() {
+			return func() {
+				report()
+				if abandoned {
+					health.readmit(w.id, elapsed())
+					w.idle = false
+					for len(pending) > 0 {
+						pb := pending[0]
+						pending = pending[1:]
+						w.backlog = append(w.backlog, splitBatch(pb, w.wc.MaxBatch)...)
+					}
+				}
+				dispatch(w)
+			}
+		}
 
 		if w.wc.Device.Kind() == device.KindCPU {
 			// CPU worker (reference replica): the batch splits into
 			// Threads sub-batches whose gradients update the shared
 			// model one after another — sequentialized Hogwild, the
 			// event-driven equivalent of Algorithm 2's parallel loop.
-			n := cpuIteration(net, global, w, batch, lr, &cfg, svrg)
+			n, dropped := cpuIteration(net, global, w, batch, lr, &cfg, svrg, step.Corrupt)
 			globalUpdates += n
 			raw.Add(w.name, n)
-			clk.Schedule(dur, func() {
+			if dropped > 0 {
+				health.report.DroppedUpdates += dropped
+				events.Add(elapsed(), w.name, "drop", fmt.Sprintf("%d non-finite updates discarded", dropped))
+			}
+			clk.Schedule(dur, finish(func() {
 				coord.reportUpdates(w.id, n)
-				dispatch(w)
-			})
+			}))
 			return
 		}
 
@@ -206,12 +313,11 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 			// become visible to CPU workers at completion — the "rare
 			// jump using a compass" (§II) as an explicit anchor refresh.
 			svrg.beginAnchor(net, global, w.ws, batch)
-			clk.Schedule(dur, func() {
+			clk.Schedule(dur, finish(func() {
 				svrg.publishAnchor()
 				raw.Add(w.name, 1)
 				coord.reportUpdates(w.id, 1)
-				dispatch(w)
-			})
+			}))
 			return
 		}
 
@@ -223,8 +329,17 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		if cfg.WeightDecay > 0 {
 			w.grad.AddScaled(cfg.WeightDecay, global)
 		}
+		if step.Corrupt {
+			faults.Poison(w.grad)
+		}
 		snapshot := globalUpdates
-		clk.Schedule(dur, func() {
+		clk.Schedule(dur, finish(func() {
+			if cfg.Guards != nil && !w.grad.AllFinite() {
+				health.report.DroppedUpdates++
+				events.Add(elapsed(), w.name, "drop", "non-finite gradient discarded")
+				coord.reportUpdates(w.id, 0)
+				return
+			}
 			lrEff := lr
 			if cfg.StaleDamping > 0 {
 				stale := globalUpdates - snapshot
@@ -234,8 +349,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 			globalUpdates++
 			raw.Add(w.name, 1)
 			coord.reportUpdates(w.id, 1)
-			dispatch(w)
-		})
+		}))
 	}
 
 	if cfg.SampleEvery > 0 {
@@ -254,13 +368,16 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		dispatch(w)
 	}
 	clk.RunAll()
+	if fatalErr != nil {
+		return nil, fatalErr
+	}
 
 	final := evalLoss()
 	if horizon < lastStamp {
 		horizon = lastStamp
 	}
 	trace.Add(horizon, coord.epochFrac(), final)
-	if cfg.TargetLoss > 0 && final <= cfg.TargetLoss {
+	if cfg.TargetLoss > 0 && isFinite(final) && final <= cfg.TargetLoss {
 		converged = true
 	}
 
@@ -279,6 +396,9 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		BatchTrace:        batchTrace,
 		Converged:         converged,
 		Params:            global,
+		Health:            health.report,
+		Events:            events,
+		Checkpoint:        guard.snapshot(),
 	}, nil
 }
 
@@ -290,7 +410,11 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 // computed against the live shared model; with a deep replica (ablation)
 // all gradients are computed against a snapshot taken at dispatch, so
 // intra-batch updates do not see each other.
-func cpuIteration(net *nn.Network, global *nn.Params, w *simWorker, batch data.Batch, lr float64, cfg *Config, svrg *svrgState) int64 {
+//
+// corrupt poisons every sub-batch gradient (fault injection); with guards
+// enabled, non-finite gradients are discarded before reaching the model
+// and counted in dropped.
+func cpuIteration(net *nn.Network, global *nn.Params, w *simWorker, batch data.Batch, lr float64, cfg *Config, svrg *svrgState, corrupt bool) (updates, dropped int64) {
 	t := w.wc.Threads
 	if t < 1 {
 		t = 1
@@ -303,7 +427,6 @@ func cpuIteration(net *nn.Network, global *nn.Params, w *simWorker, batch data.B
 		w.replica.CopyFrom(global)
 		readModel = w.replica
 	}
-	var updates int64
 	size := batch.Size()
 	for i := 0; i < t; i++ {
 		lo := i * size / t
@@ -320,10 +443,17 @@ func cpuIteration(net *nn.Network, global *nn.Params, w *simWorker, batch data.B
 		if cfg.WeightDecay > 0 {
 			w.grad.AddScaled(cfg.WeightDecay, readModel)
 		}
+		if corrupt {
+			faults.Poison(w.grad)
+		}
+		if cfg.Guards != nil && !w.grad.AllFinite() {
+			dropped++
+			continue
+		}
 		applyStep(w.optim, w.grad, w.delta, global, cfg.UpdateMode, lr)
 		updates++
 	}
-	return updates
+	return updates, dropped
 }
 
 // applyStep applies one gradient step to the shared model: the plain SGD

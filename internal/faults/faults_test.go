@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"heterosgd/internal/nn"
+)
+
+func TestCrashAfterTriggersExactly(t *testing.T) {
+	p := NewPlan(1, CrashAfter(0, 3))
+	in := p.ForWorker(0)
+	for i := 0; i < 3; i++ {
+		if s := in.Begin(); s.Crash {
+			t.Fatalf("crash fired early at iteration %d", i)
+		}
+	}
+	if s := in.Begin(); !s.Crash {
+		t.Fatal("crash did not fire at trigger iteration")
+	}
+	// A crashed-then-restarted worker keeps crashing (the fault persists).
+	if s := in.Begin(); !s.Crash {
+		t.Fatal("crash is not sticky")
+	}
+}
+
+func TestHangAfterFiresOnce(t *testing.T) {
+	p := NewPlan(1, HangAfter(1, 2, 50*time.Millisecond))
+	in := p.ForWorker(1)
+	var hangs int
+	for i := 0; i < 10; i++ {
+		s := in.Begin()
+		if s.Hang > 0 {
+			hangs++
+			if i != 2 {
+				t.Fatalf("hang fired at iteration %d, want 2", i)
+			}
+			if s.Hang != 50*time.Millisecond {
+				t.Fatalf("hang duration %v", s.Hang)
+			}
+		}
+	}
+	if hangs != 1 {
+		t.Fatalf("hang fired %d times", hangs)
+	}
+}
+
+func TestCorruptGradientIsSeededAndDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := NewPlan(7, CorruptGradient(0, 0.3)).ForWorker(0)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Begin().Corrupt
+		}
+		return out
+	}
+	a, b := run(), run()
+	var hits int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corruption stream diverged at iteration %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits < 30 || hits > 90 {
+		t.Fatalf("rate 0.3 produced %d/200 corruptions", hits)
+	}
+	// A different seed must produce a different stream.
+	c := NewPlan(8, CorruptGradient(0, 0.3)).ForWorker(0)
+	same := true
+	for i := range a {
+		if c.Begin().Corrupt != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corruption streams")
+	}
+}
+
+func TestForWorkerFiltersAndNilSafety(t *testing.T) {
+	p := NewPlan(1, CrashAfter(2, 0))
+	if p.ForWorker(0) != nil {
+		t.Fatal("worker 0 has no faults but got an injector")
+	}
+	if p.ForWorker(2) == nil {
+		t.Fatal("worker 2 has a fault but no injector")
+	}
+	var nilPlan *Plan
+	if nilPlan.ForWorker(0) != nil {
+		t.Fatal("nil plan returned an injector")
+	}
+	var nilInj *Injector
+	if s := nilInj.Begin(); s.Crash || s.Corrupt || s.Hang != 0 {
+		t.Fatal("nil injector injected a fault")
+	}
+	if nilInj.Iterations() != 0 {
+		t.Fatal("nil injector counted iterations")
+	}
+	if err := nilPlan.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		plan *Plan
+		ok   bool
+	}{
+		{NewPlan(1, CrashAfter(0, 5)), true},
+		{NewPlan(1, CrashAfter(2, 5)), false},
+		{NewPlan(1, CrashAfter(-1, 5)), false},
+		{NewPlan(1, CrashAfter(0, -1)), false},
+		{NewPlan(1, HangAfter(0, 1, 0)), false},
+		{NewPlan(1, CorruptGradient(1, 0.5)), true},
+		{NewPlan(1, CorruptGradient(1, 1.5)), false},
+		{NewPlan(1, CorruptGradient(1, 0)), false},
+		{NewPlan(1, Fault{Worker: 0, Kind: Kind(9)}), false},
+	}
+	for i, c := range cases {
+		err := c.plan.Validate(2)
+		if (err == nil) != c.ok {
+			t.Fatalf("case %d: Validate = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "crash:1:20,hang:0:10:50ms,corrupt:0:0.05"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 3 {
+		t.Fatalf("parsed %d faults", len(p.Faults))
+	}
+	if p.Faults[0] != CrashAfter(1, 20) {
+		t.Fatalf("crash parsed as %+v", p.Faults[0])
+	}
+	if p.Faults[1] != HangAfter(0, 10, 50*time.Millisecond) {
+		t.Fatalf("hang parsed as %+v", p.Faults[1])
+	}
+	if p.Faults[2] != CorruptGradient(0, 0.05) {
+		t.Fatalf("corrupt parsed as %+v", p.Faults[2])
+	}
+	back, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("round trip %q vs %q", back.String(), p.String())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"crash", "crash:x:1", "crash:0", "crash:0:1:2",
+		"hang:0:1", "hang:0:1:nope", "corrupt:0", "corrupt:0:x",
+		"explode:0:1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Fatalf("Parse(%q) accepted", spec)
+		}
+	}
+	if p, err := Parse("  "); err != nil || p != nil {
+		t.Fatal("empty spec should parse to a nil plan")
+	}
+}
+
+func TestPoisonAndCrashError(t *testing.T) {
+	net := nn.MustNetwork(nn.Arch{InputDim: 3, Hidden: []int{4}, OutputDim: 2, Activation: nn.ActSigmoid})
+	g := net.NewParams(nn.InitZero, nil)
+	Poison(g)
+	if !math.IsNaN(g.Weights[0].Data[0]) {
+		t.Fatal("Poison left the gradient finite")
+	}
+	err := CrashError{Worker: 1, Iteration: 20}
+	if err.Error() == "" {
+		t.Fatal("empty crash error")
+	}
+}

@@ -164,6 +164,70 @@ func (c *UpdateCounter) Share(worker string) float64 {
 	return float64(c.counts[worker]) / float64(sum)
 }
 
+// Event is one timestamped fault-tolerance incident: a worker crash,
+// watchdog timeout, batch re-dispatch, quarantine readmission, dropped
+// non-finite update, checkpoint, or rollback.
+type Event struct {
+	// At is the elapsed (virtual or wall) time of the incident.
+	At time.Duration
+	// Worker names the device involved ("" for run-level events).
+	Worker string
+	// Kind classifies the incident ("crash", "timeout", "redispatch",
+	// "readmit", "drop", "checkpoint", "rollback", "diverged").
+	Kind string
+	// Detail carries free-form context for logs.
+	Detail string
+}
+
+// EventLog records fault-tolerance incidents in occurrence order. It is
+// safe for concurrent use; the simulated engine also uses it
+// single-threaded.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// Add appends an incident.
+func (l *EventLog) Add(at time.Duration, worker, kind, detail string) {
+	l.mu.Lock()
+	l.events = append(l.events, Event{At: at, Worker: worker, Kind: kind, Detail: detail})
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded incidents.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Count returns the number of incidents of the given kind.
+func (l *EventLog) Count(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the log one incident per line.
+func (l *EventLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%12v %-8s %-10s %s\n", e.At.Round(time.Microsecond), e.Worker, e.Kind, e.Detail)
+	}
+	return b.String()
+}
+
 // busyInterval is a device-busy span weighted by achieved efficiency.
 type busyInterval struct {
 	from, to time.Duration

@@ -6,7 +6,10 @@
 // blocks until a message or Close arrives.
 package msgq
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Queue is an unbounded MPSC FIFO queue. The zero value is not usable; use
 // New.
@@ -20,6 +23,7 @@ type Queue[T any] struct {
 	closed      bool
 	pushed      uint64
 	popped      uint64
+	dropped     uint64
 }
 
 // New returns an empty open queue.
@@ -35,6 +39,7 @@ func (q *Queue[T]) Push(v T) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		q.dropped++
 		return false
 	}
 	q.back = append(q.back, v)
@@ -57,6 +62,39 @@ func (q *Queue[T]) Pop() (T, bool) {
 			return zero, false
 		}
 		q.nonEmp.Wait()
+	}
+}
+
+// PopTimeout dequeues like Pop but gives up after d: timedOut reports that
+// the wait expired with the queue still open and empty (ok is then false).
+// The fault-tolerant coordinator uses it as the watchdog primitive — the
+// deadline is the earliest in-flight dispatch deadline, so a hung worker
+// cannot block the coordinator forever. Non-positive d polls once.
+func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok, timedOut bool) {
+	deadline := time.Now().Add(d)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if v, ok := q.popLocked(); ok {
+			return v, true, false
+		}
+		if q.closed {
+			var zero T
+			return zero, false, false
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			var zero T
+			return zero, false, true
+		}
+		// sync.Cond has no timed wait; a timer broadcast bounds this one.
+		t := time.AfterFunc(remaining, func() {
+			q.mu.Lock()
+			q.nonEmp.Broadcast()
+			q.mu.Unlock()
+		})
+		q.nonEmp.Wait()
+		t.Stop()
 	}
 }
 
@@ -103,9 +141,11 @@ func (q *Queue[T]) Len() int {
 	return len(q.front) + len(q.back)
 }
 
-// Stats reports lifetime pushed/popped counts (for utilization accounting).
-func (q *Queue[T]) Stats() (pushed, popped uint64) {
+// Stats reports lifetime pushed/popped/dropped counts (for utilization
+// accounting and for observing Push-after-Close drops, which are otherwise
+// silent at shutdown).
+func (q *Queue[T]) Stats() (pushed, popped, dropped uint64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.pushed, q.popped
+	return q.pushed, q.popped, q.dropped
 }

@@ -1,6 +1,7 @@
 package msgq
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -167,9 +168,112 @@ func TestConcurrentProducersNoLoss(t *testing.T) {
 	if count != producers*perProducer {
 		t.Fatalf("received %d of %d messages", count, producers*perProducer)
 	}
-	pushed, popped := q.Stats()
+	pushed, popped, dropped := q.Stats()
 	if pushed != producers*perProducer || popped != pushed {
 		t.Fatalf("stats pushed=%d popped=%d", pushed, popped)
+	}
+	if dropped != 0 {
+		t.Fatalf("stats dropped=%d with no post-close pushes", dropped)
+	}
+}
+
+// Property: under a racing producer and closer, every Push that returned
+// true is eventually popped — messages accepted before Close are never
+// lost — and every Push that returned false is counted as dropped.
+func TestQuickPushBeforeCloseIsPopped(t *testing.T) {
+	f := func(vals []int16, closeAt uint8) bool {
+		q := New[int16]()
+		accepted := make(chan int, 1)
+		go func() {
+			n := 0
+			for _, v := range vals {
+				if q.Push(v) {
+					n++
+				}
+			}
+			accepted <- n
+		}()
+		go func() {
+			// Close races the producer at a pseudo-random point.
+			for i := uint8(0); i < closeAt%32; i++ {
+				runtime.Gosched()
+			}
+			q.Close()
+		}()
+		drained := 0
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+			drained++
+		}
+		n := <-accepted
+		pushed, popped, dropped := q.Stats()
+		return drained == n && pushed == uint64(n) && popped == uint64(n) &&
+			dropped == uint64(len(vals)-n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopTimeoutDeliversAndExpires(t *testing.T) {
+	q := New[int]()
+	q.Push(7)
+	if v, ok, timedOut := q.PopTimeout(time.Second); !ok || timedOut || v != 7 {
+		t.Fatalf("got %v ok=%v timedOut=%v", v, ok, timedOut)
+	}
+	start := time.Now()
+	if _, ok, timedOut := q.PopTimeout(20 * time.Millisecond); ok || !timedOut {
+		t.Fatalf("empty queue: ok=%v timedOut=%v", ok, timedOut)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("PopTimeout returned before the deadline")
+	}
+	// A message arriving mid-wait is delivered, not timed out.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		q.Push(9)
+	}()
+	if v, ok, timedOut := q.PopTimeout(2 * time.Second); !ok || timedOut || v != 9 {
+		t.Fatalf("mid-wait push: got %v ok=%v timedOut=%v", v, ok, timedOut)
+	}
+}
+
+func TestPopTimeoutOnClosedQueue(t *testing.T) {
+	q := New[int]()
+	q.Push(1)
+	q.Close()
+	if v, ok, timedOut := q.PopTimeout(time.Second); !ok || timedOut || v != 1 {
+		t.Fatalf("drain: got %v ok=%v timedOut=%v", v, ok, timedOut)
+	}
+	// Fully drained and closed: reports closure, not timeout.
+	if _, ok, timedOut := q.PopTimeout(time.Second); ok || timedOut {
+		t.Fatalf("closed: ok=%v timedOut=%v", ok, timedOut)
+	}
+	// Close arriving mid-wait wakes the consumer promptly.
+	q2 := New[int]()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		q2.Close()
+	}()
+	start := time.Now()
+	if _, ok, timedOut := q2.PopTimeout(5 * time.Second); ok || timedOut {
+		t.Fatalf("mid-wait close: ok=%v timedOut=%v", ok, timedOut)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Close did not wake PopTimeout")
+	}
+}
+
+func TestDroppedCounter(t *testing.T) {
+	q := New[int]()
+	q.Push(1)
+	q.Close()
+	q.Push(2)
+	q.Push(3)
+	if _, _, dropped := q.Stats(); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
 	}
 }
 

@@ -138,6 +138,25 @@ func (p *Params) MaxAbsDiff(other *Params) float64 {
 	return max
 }
 
+// AllFinite reports whether every parameter is finite (no NaN or ±Inf) —
+// the divergence-guard predicate applied to gradients before they reach
+// the shared model.
+func (p *Params) AllFinite() bool {
+	for i := range p.Weights {
+		for _, v := range p.Weights[i].Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		for _, v := range p.Biases[i].Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // GradNorm returns the Euclidean norm over all parameters.
 func (p *Params) GradNorm() float64 {
 	sum := 0.0

@@ -27,6 +27,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed for data generation and model init")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		outDir  = flag.String("out", "", "also write each experiment's output to <out>/<exp>[_<dataset>]_<scale>.txt")
+		bench   = flag.String("benchjson", "BENCH_sparse.json", "path for the sparsebench experiment's JSON rows (\"\" disables)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.Options{Scale: sc, Dataset: *dataset, Seed: *seed}
+	opts := experiments.Options{Scale: sc, Dataset: *dataset, Seed: *seed, BenchOut: *bench}
 
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)

@@ -7,6 +7,7 @@
 //
 //	hogtrain -alg adaptive -dataset covtype -scale small -time 50ms
 //	hogtrain -alg cpu+gpu -libsvm train.svm -engine real -time 10s
+//	hogtrain -alg adaptive -libsvm real-sim.svm -sparse -time 1s
 //	hogtrain -alg tf -dataset delicious -scale small -time 50ms
 package main
 
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"heterosgd/internal/core"
@@ -33,6 +35,7 @@ func main() {
 		dsName   = flag.String("dataset", "covtype", "synthetic dataset: covtype, w8a, delicious, real-sim")
 		libsvm   = flag.String("libsvm", "", "train on a LIBSVM file instead of synthetic data")
 		multi    = flag.Bool("multilabel", false, "parse the LIBSVM file as multi-label")
+		sparse   = flag.Bool("sparse", false, "keep LIBSVM features in CSR form (required for very wide inputs like real-sim)")
 		scale    = flag.String("scale", "small", "synthetic scale: small, medium, full")
 		engine   = flag.String("engine", "sim", "execution engine: sim (virtual clock) or real (goroutines)")
 		budget   = flag.Duration("time", 50*time.Millisecond, "training budget (virtual for sim, wall for real)")
@@ -81,7 +84,7 @@ func main() {
 	var ds *data.Dataset
 	var net *nn.Network
 	if *libsvm != "" {
-		ds, err = data.ReadLIBSVMFile(*libsvm, data.LIBSVMOptions{MultiLabel: *multi})
+		ds, err = data.ReadLIBSVMFile(*libsvm, data.LIBSVMOptions{MultiLabel: *multi, Sparse: *sparse})
 		if err != nil {
 			fatal(err)
 		}
@@ -95,6 +98,9 @@ func main() {
 			OutputDim:  ds.NumClasses,
 			Activation: nn.ActSigmoid,
 			MultiLabel: ds.MultiLabel,
+		}
+		if ds.Sparse() {
+			arch.InputDensity = ds.Density()
 		}
 		net, err = nn.NewNetwork(arch)
 		if err != nil {
@@ -193,8 +199,14 @@ func main() {
 		fmt.Print(res.Events)
 	}
 	fmt.Printf("final batch sizes: %v (resizes %v)\n", res.FinalBatch, res.Resizes)
-	for worker, n := range res.Updates.Snapshot() {
-		fmt.Printf("  %-6s %10d updates (%.1f%%)\n", worker, n, 100*res.Updates.Share(worker))
+	snap := res.Updates.Snapshot()
+	workers := make([]string, 0, len(snap))
+	for worker := range snap {
+		workers = append(workers, worker)
+	}
+	sort.Strings(workers)
+	for _, worker := range workers {
+		fmt.Printf("  %-6s %10d updates (%.1f%%)\n", worker, snap[worker], 100*res.Updates.Share(worker))
 	}
 	if *csv {
 		fmt.Print(metrics.CSV([]*metrics.Trace{res.Trace}))

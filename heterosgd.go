@@ -169,6 +169,11 @@ func DefaultTensorFlowConfig(net *Network, ds *Dataset) TensorFlowConfig {
 // Generate materializes a synthetic dataset from a shape specification.
 func Generate(spec SynthSpec, seed uint64) *Dataset { return data.Generate(spec, seed) }
 
+// GenerateCSR materializes the same synthetic dataset as Generate but keeps
+// the features in compressed sparse row form — required for very wide inputs
+// like real-sim's native 20,958 dims (DESIGN.md §9).
+func GenerateCSR(spec SynthSpec, seed uint64) *Dataset { return data.GenerateCSR(spec, seed) }
+
 // ReadLIBSVMFile loads a LIBSVM-format dataset (e.g. the real covtype).
 func ReadLIBSVMFile(path string, opts LIBSVMOptions) (*Dataset, error) {
 	return data.ReadLIBSVMFile(path, opts)

@@ -352,11 +352,7 @@ func splitBatch(batch data.Batch, maxSize int) []data.Batch {
 	}
 	out := make([]data.Batch, 0, (size+maxSize-1)/maxSize)
 	for lo := 0; lo < size; lo += maxSize {
-		hi := min(lo+maxSize, size)
-		out = append(out, data.Batch{
-			X: batch.X.RowView(lo, hi-lo), Y: batch.Y.Slice(lo, hi),
-			Lo: batch.Lo + lo, Hi: batch.Lo + hi,
-		})
+		out = append(out, batch.Sub(lo, min(lo+maxSize, size)))
 	}
 	return out
 }

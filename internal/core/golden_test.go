@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_traces.json from the current engine output")
+
+// goldenTrace is one algorithm's checked-in reference run.
+type goldenTrace struct {
+	Algorithm string        `json:"algorithm"`
+	Updates   int64         `json:"updates"`
+	FinalLoss float64       `json:"final_loss"`
+	Points    []goldenPoint `json:"points"`
+}
+
+type goldenPoint struct {
+	TimeNS int64   `json:"time_ns"`
+	Epoch  float64 `json:"epoch"`
+	Loss   float64 `json:"loss"`
+}
+
+// goldenAlgorithms are the paper's four headline algorithms (Figure 4).
+var goldenAlgorithms = []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch}
+
+func runGolden(t *testing.T, alg Algorithm) goldenTrace {
+	t.Helper()
+	cfg := tinyConfig(t, alg)
+	cfg.SampleEvery = simHorizon / 10
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatalf("%v: %v", alg, err)
+	}
+	g := goldenTrace{Algorithm: alg.String(), Updates: res.Updates.Total(), FinalLoss: res.FinalLoss}
+	for _, p := range res.Trace.Points {
+		g.Points = append(g.Points, goldenPoint{TimeNS: int64(p.Time), Epoch: p.Epoch, Loss: p.Loss})
+	}
+	return g
+}
+
+// TestGoldenTraces pins the sim engine's exact training trajectories: every
+// fixed-seed run of the four algorithms must reproduce the checked-in loss
+// trace. The sim engine is deterministic (virtual clock, single-threaded
+// kernels), so any drift here means a numerical change somewhere in the
+// data→tensor→nn→core stack — intended changes regenerate the file with
+// `go test ./internal/core/ -run TestGoldenTraces -update-golden`.
+func TestGoldenTraces(t *testing.T) {
+	path := filepath.Join("testdata", "golden_traces.json")
+
+	if *updateGolden {
+		var traces []goldenTrace
+		for _, alg := range goldenAlgorithms {
+			traces = append(traces, runGolden(t, alg))
+		}
+		buf, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d traces", path, len(traces))
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+	}
+	var want []goldenTrace
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(want) != len(goldenAlgorithms) {
+		t.Fatalf("golden file has %d traces, want %d", len(want), len(goldenAlgorithms))
+	}
+
+	const relTol = 1e-6
+	closeEnough := func(a, b float64) bool {
+		return math.Abs(a-b) <= relTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	for i, alg := range goldenAlgorithms {
+		g := want[i]
+		if g.Algorithm != alg.String() {
+			t.Fatalf("golden trace %d is %q, want %q", i, g.Algorithm, alg)
+		}
+		got := runGolden(t, alg)
+		if got.Updates != g.Updates {
+			t.Errorf("%v: %d updates, golden %d", alg, got.Updates, g.Updates)
+		}
+		if !closeEnough(got.FinalLoss, g.FinalLoss) {
+			t.Errorf("%v: final loss %v, golden %v", alg, got.FinalLoss, g.FinalLoss)
+		}
+		if len(got.Points) != len(g.Points) {
+			t.Errorf("%v: %d trace points, golden %d", alg, len(got.Points), len(g.Points))
+			continue
+		}
+		for j, p := range got.Points {
+			w := g.Points[j]
+			if p.TimeNS != w.TimeNS || !closeEnough(p.Epoch, w.Epoch) || !closeEnough(p.Loss, w.Loss) {
+				t.Errorf("%v: point %d = {%v %.6g %.9g}, golden {%v %.6g %.9g}",
+					alg, j, time.Duration(p.TimeNS), p.Epoch, p.Loss,
+					time.Duration(w.TimeNS), w.Epoch, w.Loss)
+			}
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that the race detector is compiled into this test
+// binary; see race_enabled_test.go.
+const raceEnabled = false

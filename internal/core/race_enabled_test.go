@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is compiled into this test
+// binary. Tests that exercise deliberately-unsynchronized Hogwild modes
+// (UpdateAtomic/UpdateRacy read paths) skip themselves under -race: the
+// races they trigger are the paper's design, not bugs, and the detector's
+// instrumentation makes them prohibitively slow. UpdateLocked coverage of
+// the same code paths stays enabled.
+const raceEnabled = true

@@ -216,7 +216,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 			defer modelMu.RUnlock()
 		}
 		v := ds.View(0, evalN)
-		return net.Loss(global, evalWS, v.X, v.Y, gemmWorkers)
+		return net.LossX(global, evalWS, v.Input(), v.Y, gemmWorkers)
 	}
 	guardEval := func(loss float64) (rolledBack, diverged bool) {
 		if guard == nil {
@@ -573,13 +573,13 @@ func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 					panicMu.Unlock()
 				}
 			}()
-			sub := data.Batch{X: msg.batch.X.RowView(lo, hi-lo), Y: msg.batch.Y.Slice(lo, hi)}
+			sub := msg.batch.Sub(lo, hi)
 			if locked {
 				mu.RLock()
 			}
-			net.Gradient(global, w.ws[lane], sub.X, sub.Y, w.grads[lane], 1)
+			net.GradientX(global, w.ws[lane], sub.Input(), sub.Y, w.grads[lane], 1)
 			if cfg.WeightDecay > 0 {
-				w.grads[lane].AddScaled(cfg.WeightDecay, global)
+				w.grads[lane].AddDecay(cfg.WeightDecay, global)
 			}
 			if locked {
 				mu.RUnlock()
@@ -620,9 +620,9 @@ func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 	if locked {
 		mu.RUnlock()
 	}
-	net.Gradient(w.replica, w.ws[0], msg.batch.X, msg.batch.Y, w.grads[0], gemmWorkers)
+	net.GradientX(w.replica, w.ws[0], msg.batch.Input(), msg.batch.Y, w.grads[0], gemmWorkers)
 	if cfg.WeightDecay > 0 {
-		w.grads[0].AddScaled(cfg.WeightDecay, w.replica)
+		w.grads[0].AddDecay(cfg.WeightDecay, w.replica)
 	}
 	if corrupt {
 		faults.Poison(w.grads[0])

@@ -105,7 +105,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	evalWS := net.NewWorkspace(evalN)
 	evalLoss := func() float64 {
 		v := ds.View(0, evalN)
-		return net.Loss(global, evalWS, v.X, v.Y, 1)
+		return net.LossX(global, evalWS, v.Input(), v.Y, 1)
 	}
 	evalDev := cfg.EvalDevice
 	if evalDev == nil {
@@ -325,9 +325,9 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		// model as of dispatch time — the state the replica was copied
 		// from — and applied when the iteration completes, which is how
 		// replica staleness arises (§VI-B).
-		net.Gradient(global, w.ws, batch.X, batch.Y, w.grad, 1)
+		net.GradientX(global, w.ws, batch.Input(), batch.Y, w.grad, 1)
 		if cfg.WeightDecay > 0 {
-			w.grad.AddScaled(cfg.WeightDecay, global)
+			w.grad.AddDecay(cfg.WeightDecay, global)
 		}
 		if step.Corrupt {
 			faults.Poison(w.grad)
@@ -434,14 +434,14 @@ func cpuIteration(net *nn.Network, global *nn.Params, w *simWorker, batch data.B
 		if hi <= lo {
 			continue
 		}
-		sub := data.Batch{X: batch.X.RowView(lo, hi-lo), Y: batch.Y.Slice(lo, hi)}
+		sub := batch.Sub(lo, hi)
 		if svrg != nil {
 			svrg.correctedGradient(net, readModel, w.ws, sub, w.grad, w.scratch)
 		} else {
-			net.Gradient(readModel, w.ws, sub.X, sub.Y, w.grad, 1)
+			net.GradientX(readModel, w.ws, sub.Input(), sub.Y, w.grad, 1)
 		}
 		if cfg.WeightDecay > 0 {
-			w.grad.AddScaled(cfg.WeightDecay, readModel)
+			w.grad.AddDecay(cfg.WeightDecay, readModel)
 		}
 		if corrupt {
 			faults.Poison(w.grad)

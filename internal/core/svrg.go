@@ -36,7 +36,7 @@ func newSVRGState(net *nn.Network) *svrgState {
 // the dispatch-time model, like every deep-replica gradient).
 func (st *svrgState) beginAnchor(net *nn.Network, global *nn.Params, ws *nn.Workspace, batch data.Batch) {
 	st.anchor.CopyFrom(global)
-	net.Gradient(st.anchor, ws, batch.X, batch.Y, st.mu, 1)
+	net.GradientX(st.anchor, ws, batch.Input(), batch.Y, st.mu, 1)
 }
 
 // publishAnchor marks the freshly-computed anchor visible to CPU workers
@@ -49,11 +49,13 @@ func (st *svrgState) publishAnchor() { st.ready = true }
 // phase). Returns the sub-batch loss at w.
 func (st *svrgState) correctedGradient(net *nn.Network, global *nn.Params, ws *nn.Workspace,
 	batch data.Batch, grad, scratch *nn.Params) float64 {
-	loss := net.Gradient(global, ws, batch.X, batch.Y, grad, 1)
+	loss := net.GradientX(global, ws, batch.Input(), batch.Y, grad, 1)
 	if !st.ready {
 		return loss
 	}
-	net.Gradient(st.anchor, ws, batch.X, batch.Y, scratch, 1)
+	net.GradientX(st.anchor, ws, batch.Input(), batch.Y, scratch, 1)
+	// AddScaled clears grad.ActiveCols: the combined gradient has nonzero
+	// first-layer columns wherever μ does, not just in this sub-batch.
 	grad.AddScaled(-1, scratch)
 	grad.AddScaled(1, st.mu)
 	return loss

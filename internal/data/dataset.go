@@ -14,13 +14,17 @@ import (
 	"heterosgd/internal/tensor"
 )
 
-// Dataset is a dense, fully-materialized training set. The coordinator
+// Dataset is a fully-materialized training set. Features are stored either
+// densely (X) or in CSR form (XS) — exactly one is set. The coordinator
 // shares it with workers by reference; batches are views, never copies.
 type Dataset struct {
 	// Name identifies the dataset in logs and experiment output.
 	Name string
-	// X holds one example per row.
+	// X holds one example per row (dense datasets).
 	X *tensor.Matrix
+	// XS holds one example per row in CSR form (sparse datasets such as
+	// real-sim). Mutually exclusive with X.
+	XS *tensor.CSR
 	// Y holds the labels (Class for multiclass, Multi for multi-label).
 	Y nn.Labels
 	// NumClasses is the number of classes (or labels when MultiLabel).
@@ -30,15 +34,52 @@ type Dataset struct {
 }
 
 // N returns the number of examples.
-func (d *Dataset) N() int { return d.X.Rows }
+func (d *Dataset) N() int {
+	if d.XS != nil {
+		return d.XS.Rows
+	}
+	return d.X.Rows
+}
 
 // Dim returns the feature dimensionality.
-func (d *Dataset) Dim() int { return d.X.Cols }
+func (d *Dataset) Dim() int {
+	if d.XS != nil {
+		return d.XS.Cols
+	}
+	return d.X.Cols
+}
+
+// Sparse reports whether the features are CSR-backed.
+func (d *Dataset) Sparse() bool { return d.XS != nil }
+
+// Density returns the nonzero feature fraction (1 for dense storage).
+func (d *Dataset) Density() float64 {
+	if d.XS != nil {
+		return d.XS.Density()
+	}
+	return 1
+}
+
+// Input returns the whole feature matrix as an nn.Input.
+func (d *Dataset) Input() nn.Input {
+	if d.XS != nil {
+		return nn.SparseInput(d.XS)
+	}
+	return nn.DenseInput(d.X)
+}
 
 // Validate checks internal consistency.
 func (d *Dataset) Validate() error {
-	if d.X == nil {
+	if d.X == nil && d.XS == nil {
 		return fmt.Errorf("data: %s has no feature matrix", d.Name)
+	}
+	if d.X != nil && d.XS != nil {
+		return fmt.Errorf("data: %s has both dense and sparse features", d.Name)
+	}
+	if d.XS != nil {
+		if err := d.XS.Check(); err != nil {
+			return fmt.Errorf("data: %s: %w", d.Name, err)
+		}
 	}
 	if d.NumClasses < 2 {
 		return fmt.Errorf("data: %s has %d classes, need ≥2", d.Name, d.NumClasses)
@@ -68,10 +109,12 @@ func (d *Dataset) Validate() error {
 }
 
 // Batch is a zero-copy view of a contiguous example range: the paper's unit
-// of work handed from coordinator to worker.
+// of work handed from coordinator to worker. Exactly one of X and XS is set,
+// matching the parent dataset's representation.
 type Batch struct {
-	X *tensor.Matrix
-	Y nn.Labels
+	X  *tensor.Matrix
+	XS *tensor.CSR
+	Y  nn.Labels
 	// Lo, Hi record the source range [Lo, Hi) within the dataset.
 	Lo, Hi int
 }
@@ -79,17 +122,52 @@ type Batch struct {
 // Size returns the number of examples in the batch.
 func (b Batch) Size() int { return b.Hi - b.Lo }
 
+// Input returns the batch features as an nn.Input for the network kernels.
+func (b Batch) Input() nn.Input {
+	if b.XS != nil {
+		return nn.SparseInput(b.XS)
+	}
+	return nn.DenseInput(b.X)
+}
+
+// Sub returns the sub-batch covering examples [lo, hi) RELATIVE to b —
+// the representation-agnostic way engines split a batch across lanes.
+func (b Batch) Sub(lo, hi int) Batch {
+	if lo < 0 || hi > b.Size() || lo > hi {
+		panic(fmt.Sprintf("data: sub-batch [%d,%d) out of range for %d examples", lo, hi, b.Size()))
+	}
+	out := Batch{Y: b.Y.Slice(lo, hi), Lo: b.Lo + lo, Hi: b.Lo + hi}
+	if b.XS != nil {
+		out.XS = b.XS.RowView(lo, hi-lo)
+	} else {
+		out.X = b.X.RowView(lo, hi-lo)
+	}
+	return out
+}
+
 // View returns the batch covering examples [lo, hi).
 func (d *Dataset) View(lo, hi int) Batch {
 	if lo < 0 || hi > d.N() || lo > hi {
 		panic(fmt.Sprintf("data: view [%d,%d) out of range for %d examples", lo, hi, d.N()))
 	}
-	return Batch{X: d.X.RowView(lo, hi-lo), Y: d.Y.Slice(lo, hi), Lo: lo, Hi: hi}
+	b := Batch{Y: d.Y.Slice(lo, hi), Lo: lo, Hi: hi}
+	if d.XS != nil {
+		b.XS = d.XS.RowView(lo, hi-lo)
+	} else {
+		b.X = d.X.RowView(lo, hi-lo)
+	}
+	return b
 }
 
 // Shuffle permutes examples in place (Fisher-Yates), keeping X and Y aligned.
+// The sparse path consumes the RNG identically to the dense path, so a seed
+// yields the same example order in either representation.
 func (d *Dataset) Shuffle(rng *rand.Rand) {
 	n := d.N()
+	if d.XS != nil {
+		d.shuffleSparse(rng, n)
+		return
+	}
 	rowBuf := make([]float64, d.Dim())
 	for i := n - 1; i > 0; i-- {
 		j := rng.IntN(i + 1)
@@ -100,12 +178,53 @@ func (d *Dataset) Shuffle(rng *rand.Rand) {
 		copy(rowBuf, ri)
 		copy(ri, rj)
 		copy(rj, rowBuf)
-		if d.MultiLabel {
-			d.Y.Multi[i], d.Y.Multi[j] = d.Y.Multi[j], d.Y.Multi[i]
-		} else {
-			d.Y.Class[i], d.Y.Class[j] = d.Y.Class[j], d.Y.Class[i]
-		}
+		d.swapLabels(i, j)
 	}
+}
+
+func (d *Dataset) swapLabels(i, j int) {
+	if d.MultiLabel {
+		d.Y.Multi[i], d.Y.Multi[j] = d.Y.Multi[j], d.Y.Multi[i]
+	} else {
+		d.Y.Class[i], d.Y.Class[j] = d.Y.Class[j], d.Y.Class[i]
+	}
+}
+
+// shuffleSparse applies the same Fisher-Yates permutation to a CSR dataset.
+// Because permuting rows conserves the view's total nnz, the row span
+// [RowPtr[0], RowPtr[n]) is recompacted in place: entries are rebuilt in
+// permuted order through scratch and RowPtr is rewritten with the span's
+// endpoints unchanged, so parents/siblings sharing the backing arrays (e.g.
+// a test split) stay coherent — mirroring the dense in-place row swaps.
+func (d *Dataset) shuffleSparse(rng *rand.Rand, n int) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		if i == j {
+			continue
+		}
+		perm[i], perm[j] = perm[j], perm[i]
+		d.swapLabels(i, j)
+	}
+	base, total := d.XS.RowPtr[0], d.XS.NNZ()
+	colScratch := make([]int, total)
+	valScratch := make([]float64, total)
+	newPtr := make([]int, n+1)
+	pos := 0
+	for i, src := range perm {
+		lo, hi := d.XS.RowPtr[src], d.XS.RowPtr[src+1]
+		newPtr[i] = base + pos
+		copy(colScratch[pos:], d.XS.ColIdx[lo:hi])
+		copy(valScratch[pos:], d.XS.Val[lo:hi])
+		pos += hi - lo
+	}
+	newPtr[n] = base + pos
+	copy(d.XS.ColIdx[base:base+total], colScratch)
+	copy(d.XS.Val[base:base+total], valScratch)
+	copy(d.XS.RowPtr, newPtr)
 }
 
 // Split partitions the dataset into a train set with the first
@@ -118,7 +237,7 @@ func (d *Dataset) Split(frac float64) (train, test *Dataset) {
 	cut := int(float64(d.N())*frac + 0.5)
 	mk := func(name string, lo, hi int) *Dataset {
 		v := d.View(lo, hi)
-		return &Dataset{Name: name, X: v.X, Y: v.Y, NumClasses: d.NumClasses, MultiLabel: d.MultiLabel}
+		return &Dataset{Name: name, X: v.X, XS: v.XS, Y: v.Y, NumClasses: d.NumClasses, MultiLabel: d.MultiLabel}
 	}
 	return mk(d.Name+"/train", 0, cut), mk(d.Name+"/test", cut, d.N())
 }
@@ -129,7 +248,7 @@ func (d *Dataset) Subset(n int) *Dataset {
 		n = d.N()
 	}
 	v := d.View(0, n)
-	return &Dataset{Name: d.Name, X: v.X, Y: v.Y, NumClasses: d.NumClasses, MultiLabel: d.MultiLabel}
+	return &Dataset{Name: d.Name, X: v.X, XS: v.XS, Y: v.Y, NumClasses: d.NumClasses, MultiLabel: d.MultiLabel}
 }
 
 // ClassCounts returns a histogram of class labels (multiclass only).
@@ -154,6 +273,10 @@ func (d *Dataset) String() string {
 	kind := "multiclass"
 	if d.MultiLabel {
 		kind = "multi-label"
+	}
+	if d.XS != nil {
+		return fmt.Sprintf("%s: %d examples × %d features, %d classes (%s, sparse %.3g%% nnz)",
+			d.Name, d.N(), d.Dim(), d.NumClasses, kind, 100*d.Density())
 	}
 	return fmt.Sprintf("%s: %d examples × %d features, %d classes (%s)", d.Name, d.N(), d.Dim(), d.NumClasses, kind)
 }

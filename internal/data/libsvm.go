@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -22,13 +23,29 @@ type LIBSVMOptions struct {
 	NumClasses int
 	// Name sets the dataset name.
 	Name string
+	// Sparse keeps the data in CSR form instead of densifying — required
+	// for wide datasets like real-sim whose dense form would not fit.
+	Sparse bool
 }
 
-// ReadLIBSVM parses a LIBSVM-format stream into a dense Dataset (the paper
-// processes all datasets in dense format, §VII-A). Feature indices are
-// 1-based per the format. Multiclass labels may be arbitrary integers
-// (including ±1, remapped to {0, 1}); multi-label lines start with a
-// comma-separated label list.
+const (
+	// maxFeatureIndex caps the accepted 1-based feature index. Anything
+	// larger is virtually certainly corrupt input, and admitting it would
+	// let a single malformed line force a multi-gigabyte allocation.
+	maxFeatureIndex = 1 << 24
+	// maxDenseElements caps the element count of a densified dataset
+	// (2 GiB of float64); beyond it the reader demands Sparse mode.
+	maxDenseElements = 1 << 28
+)
+
+// ReadLIBSVM parses a LIBSVM-format stream into a Dataset — dense by
+// default (the paper processes covtype and w8a in dense format, §VII-A), or
+// CSR when opts.Sparse is set. Feature indices are 1-based per the format;
+// out-of-order and duplicate indices are tolerated (duplicates keep the last
+// value, matching a dense scatter). Multiclass labels may be arbitrary
+// integers (including ±1, remapped to {0, 1}); multi-label lines start with
+// a comma-separated label list. Malformed input yields an error, never a
+// panic.
 func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
 	type row struct {
 		idx  []int
@@ -58,8 +75,8 @@ func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
 					continue
 				}
 				l, err := strconv.Atoi(part)
-				if err != nil {
-					return nil, fmt.Errorf("data: line %d: bad label %q: %w", lineNo, part, err)
+				if err != nil || l < 0 || l > maxFeatureIndex {
+					return nil, fmt.Errorf("data: line %d: bad label %q", lineNo, part)
 				}
 				rw.lbls = append(rw.lbls, int32(l))
 				if l > maxLabel {
@@ -85,7 +102,7 @@ func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
 				return nil, fmt.Errorf("data: line %d: malformed feature %q", lineNo, f)
 			}
 			idx, err := strconv.Atoi(f[:colon])
-			if err != nil || idx < 1 {
+			if err != nil || idx < 1 || idx > maxFeatureIndex {
 				return nil, fmt.Errorf("data: line %d: bad feature index %q", lineNo, f[:colon])
 			}
 			val, err := strconv.ParseFloat(f[colon+1:], 64)
@@ -108,7 +125,6 @@ func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
 	}
 
 	d := &Dataset{Name: opts.Name, MultiLabel: opts.MultiLabel}
-	d.X = tensor.NewMatrix(len(rows), maxDim)
 	if opts.MultiLabel {
 		d.Y = nn.Labels{Multi: make([][]int32, len(rows))}
 		d.NumClasses = maxLabel + 1
@@ -120,20 +136,60 @@ func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
 		d.NumClasses = opts.NumClasses
 	}
 	for i, rw := range rows {
-		dst := d.X.Row(i)
-		for k, idx := range rw.idx {
-			dst[idx] = rw.val[k]
-		}
 		if opts.MultiLabel {
 			d.Y.Multi[i] = rw.lbls
 		} else {
 			d.Y.Class[i] = rw.cls
 		}
 	}
+	if opts.Sparse {
+		csr := &tensor.CSR{Rows: len(rows), Cols: maxDim, RowPtr: make([]int, len(rows)+1)}
+		for i, rw := range rows {
+			idx, val := sortDedupeRow(rw.idx, rw.val)
+			csr.ColIdx = append(csr.ColIdx, idx...)
+			csr.Val = append(csr.Val, val...)
+			csr.RowPtr[i+1] = len(csr.ColIdx)
+		}
+		d.XS = csr
+	} else {
+		if int64(len(rows))*int64(maxDim) > maxDenseElements {
+			return nil, fmt.Errorf("data: %d×%d dense matrix exceeds the %d-element cap; set LIBSVMOptions.Sparse",
+				len(rows), maxDim, maxDenseElements)
+		}
+		d.X = tensor.NewMatrix(len(rows), maxDim)
+		for i, rw := range rows {
+			dst := d.X.Row(i)
+			for k, idx := range rw.idx {
+				dst[idx] = rw.val[k]
+			}
+		}
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// sortDedupeRow returns the row's (index, value) pairs sorted ascending by
+// index with duplicates collapsed to the LAST occurrence — the same value a
+// dense scatter would keep.
+func sortDedupeRow(idx []int, val []float64) ([]int, []float64) {
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
+	outIdx := make([]int, 0, len(idx))
+	outVal := make([]float64, 0, len(val))
+	for _, k := range order {
+		if n := len(outIdx); n > 0 && outIdx[n-1] == idx[k] {
+			outVal[n-1] = val[k] // duplicate: last wins
+			continue
+		}
+		outIdx = append(outIdx, idx[k])
+		outVal = append(outVal, val[k])
+	}
+	return outIdx, outVal
 }
 
 // ReadLIBSVMFile is ReadLIBSVM over a file path.
@@ -170,13 +226,24 @@ func WriteLIBSVM(w io.Writer, d *Dataset) error {
 				return err
 			}
 		}
-		row := d.X.Row(i)
-		for j, v := range row {
-			if v == 0 {
-				continue
+		if d.XS != nil {
+			for t := d.XS.RowPtr[i]; t < d.XS.RowPtr[i+1]; t++ {
+				if d.XS.Val[t] == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(bw, " %d:%g", d.XS.ColIdx[t]+1, d.XS.Val[t]); err != nil {
+					return err
+				}
 			}
-			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, v); err != nil {
-				return err
+		} else {
+			row := d.X.Row(i)
+			for j, v := range row {
+				if v == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(bw, " %d:%g", j+1, v); err != nil {
+					return err
+				}
 			}
 		}
 		if err := bw.WriteByte('\n'); err != nil {

@@ -1,0 +1,70 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLIBSVM throws malformed input at the LIBSVM reader: broken
+// index:value pairs, out-of-order and duplicate indices, overflow-sized
+// feature indices, junk labels. The parser must either return a valid
+// Dataset or an error — never panic, and never let a short corrupt input
+// force a huge allocation. When both representations parse, they must agree
+// (differential oracle between the dense scatter and the CSR builder).
+func FuzzParseLIBSVM(f *testing.F) {
+	for _, seed := range []string{
+		"1 1:0.5 2:1.25\n0 3:2\n",
+		"-1 4:1 1:2\n+1 2:-0.5\n",            // out-of-order indices
+		"1 2:1 2:7 2:-3\n0 1:1\n",            // duplicate indices
+		"1 1000000:1\n0 1:1\n",               // large accepted index
+		"1 16777217:1\n",                     // index beyond the cap
+		"1 99999999999999999999:1\n",         // overflowing index
+		"1 0:1\n",                            // zero (invalid 1-based) index
+		"1 -3:1\n",                           // negative index
+		"1 2:\n",                             // missing value
+		"1 :2\n",                             // missing index
+		"1 a:b c\n",                          // junk pair and bare token
+		"nan 1:1\n",                          // non-integer label
+		"# comment\n\n1 1:1e308 2:-1e-308\n", // comments, blanks, extremes
+		"1,2,3 1:1 5:2\n4 2:1\n",             // multi-label lists
+		", 1:1\n",                            // empty label list
+		"1,99999999999999999999 1:1\n",       // overflowing label
+		"1 1:inf 2:nan\n",                    // non-finite values
+		strings.Repeat("1 1:1 ", 40) + "2:2\n0 1:1\n", // long line
+	} {
+		f.Add(seed, false, false)
+		f.Add(seed, true, false)
+		f.Add(seed, false, true)
+	}
+	f.Fuzz(func(t *testing.T, input string, multiLabel, sparse bool) {
+		opts := LIBSVMOptions{Name: "fuzz", MultiLabel: multiLabel, Sparse: sparse}
+		d, err := ReadLIBSVM(strings.NewReader(input), opts)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("parser returned an invalid dataset: %v", verr)
+		}
+		if d.N() == 0 {
+			t.Fatal("parser returned an empty dataset without error")
+		}
+		// Differential check: the other representation must parse the same
+		// input to the same matrix (when it fits densely).
+		other := opts
+		other.Sparse = !opts.Sparse
+		d2, err2 := ReadLIBSVM(strings.NewReader(input), other)
+		if err2 != nil {
+			if sparse {
+				return // dense rejected for size; sparse-only input
+			}
+			t.Fatalf("dense parse succeeded but sparse failed: %v", err2)
+		}
+		a, b := d, d2
+		if sparse {
+			a, b = d2, d
+		}
+		if !b.XS.ToDense().Equal(a.X, 0) {
+			t.Fatal("sparse and dense parses disagree")
+		}
+	})
+}

@@ -203,8 +203,13 @@ func TestScaledClamps(t *testing.T) {
 		t.Fatalf("scaled N %d below floor", s.N)
 	}
 	rs := RealSim.Scaled(0.001)
-	if rs.Dim >= RealSim.Dim {
-		t.Fatal("tiny scale should shrink very wide dims")
+	if rs.Dim != RealSim.Dim {
+		t.Fatal("sparse specs keep native dimensionality at any scale")
+	}
+	wide := RealSim
+	wide.Sparse = false
+	if wide.Scaled(0.001).Dim >= RealSim.Dim {
+		t.Fatal("tiny scale should shrink very wide dense dims")
 	}
 	defer func() {
 		if recover() == nil {

@@ -14,6 +14,11 @@ type FeatureStats struct {
 // ComputeStats returns per-feature mean and standard deviation. Features
 // with zero variance get Std = 1 so standardization is a no-op for them.
 func ComputeStats(d *Dataset) *FeatureStats {
+	if d.X == nil {
+		// Subtracting a per-feature mean sets every stored zero to −mean,
+		// destroying the sparsity the CSR representation exists for.
+		panic("data: standardization requires dense features (mean-centering densifies sparse data); use ScaleToUnitNorm")
+	}
 	n, dim := d.N(), d.Dim()
 	stats := &FeatureStats{Mean: make([]float64, dim), Std: make([]float64, dim)}
 	for i := 0; i < n; i++ {
@@ -50,6 +55,9 @@ func (s *FeatureStats) Apply(d *Dataset) error {
 	if len(s.Mean) != d.Dim() {
 		return fmt.Errorf("data: stats cover %d features, dataset has %d", len(s.Mean), d.Dim())
 	}
+	if d.X == nil {
+		return fmt.Errorf("data: %s is sparse; standardization would densify it (use ScaleToUnitNorm)", d.Name)
+	}
 	for i := 0; i < d.N(); i++ {
 		row := d.X.Row(i)
 		for j := range row {
@@ -69,8 +77,26 @@ func Standardize(d *Dataset) *FeatureStats {
 
 // ScaleToUnitNorm rescales each example to unit Euclidean norm (the
 // preprocessing commonly applied to real-sim and other text datasets).
-// Zero rows are left untouched.
+// Zero rows are left untouched. Works on both representations — scaling
+// preserves the sparsity pattern.
 func ScaleToUnitNorm(d *Dataset) {
+	if d.XS != nil {
+		for i := 0; i < d.XS.Rows; i++ {
+			vals := d.XS.Val[d.XS.RowPtr[i]:d.XS.RowPtr[i+1]]
+			sum := 0.0
+			for _, v := range vals {
+				sum += v * v
+			}
+			if sum == 0 {
+				continue
+			}
+			inv := 1 / math.Sqrt(sum)
+			for t := range vals {
+				vals[t] *= inv
+			}
+		}
+		return
+	}
 	for i := 0; i < d.N(); i++ {
 		row := d.X.Row(i)
 		sum := 0.0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"heterosgd/internal/nn"
 	"heterosgd/internal/tensor"
@@ -27,6 +28,10 @@ type SynthSpec struct {
 	AvgLabels  float64
 	// Density is the fraction of nonzero features per example.
 	Density float64
+	// Sparse marks datasets that should be materialized and trained in
+	// CSR form (real-sim). Sparse specs keep their native dimensionality
+	// when scaled — nnz, not Dim, is what costs memory and time.
+	Sparse bool
 	// Separation scales the class-center spread relative to noise.
 	Separation float64
 	// Noise is the per-feature Gaussian noise σ.
@@ -57,7 +62,7 @@ var (
 	}
 	RealSim = SynthSpec{
 		Name: "real-sim", N: 72309, Dim: 20958, Classes: 2,
-		Density: 0.0025, Separation: 2.0, Noise: 1.0,
+		Density: 0.0025, Sparse: true, Separation: 2.0, Noise: 1.0,
 		HiddenLayers: 4, HiddenUnits: 512,
 	}
 )
@@ -84,7 +89,7 @@ func (s SynthSpec) Scaled(f float64) SynthSpec {
 	}
 	out := s
 	out.N = max(64, int(float64(s.N)*f))
-	if f < 1.0/16 && s.Dim > 4096 {
+	if f < 1.0/16 && s.Dim > 4096 && !s.Sparse {
 		out.Dim = max(512, int(float64(s.Dim)*math.Sqrt(f*16)))
 	}
 	if s.MultiLabel && f < 1.0/16 {
@@ -100,24 +105,43 @@ func (s SynthSpec) Arch() nn.Arch {
 	for i := range hidden {
 		hidden[i] = s.HiddenUnits
 	}
-	return nn.Arch{
+	arch := nn.Arch{
 		InputDim:   s.Dim,
 		Hidden:     hidden,
 		OutputDim:  s.Classes,
 		Activation: nn.ActSigmoid,
 		MultiLabel: s.MultiLabel,
 	}
+	if s.Sparse {
+		arch.InputDensity = s.Density
+	}
+	return arch
 }
 
-// Generate materializes the synthetic dataset. Multiclass data is a
+// Generate materializes the synthetic dataset densely. Multiclass data is a
 // mixture of Gaussians: each class has a random center on the Separation-
 // radius sphere restricted to a per-example sparse support. Multi-label
 // data assigns each label a center and draws examples as normalized sums of
 // their active labels' centers plus noise.
 func Generate(s SynthSpec, seed uint64) *Dataset {
+	d := generate(s, seed)
+	d.X = d.XS.ToDense()
+	d.XS = nil
+	return d
+}
+
+// GenerateCSR materializes the synthetic dataset in CSR form. It consumes
+// the RNG identically to Generate, so GenerateCSR(s, seed) is exactly
+// ToDense-equal to Generate(s, seed) — the sparse path trains on the same
+// examples the dense path would.
+func GenerateCSR(s SynthSpec, seed uint64) *Dataset { return generate(s, seed) }
+
+// generate is the shared core: it draws labels, supports, and values in a
+// fixed RNG order and stores the rows in CSR form (per-row supports are
+// sorted after all of the row's draws, which does not touch the RNG).
+func generate(s SynthSpec, seed uint64) *Dataset {
 	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 	d := &Dataset{Name: s.Name, NumClasses: s.Classes, MultiLabel: s.MultiLabel}
-	d.X = tensor.NewMatrix(s.N, s.Dim)
 
 	// Class/label centers. Kept dense but only sampled on each example's
 	// sparse support, so wide datasets stay cheap to generate.
@@ -126,6 +150,25 @@ func Generate(s SynthSpec, seed uint64) *Dataset {
 
 	nnz := max(1, int(s.Density*float64(s.Dim)))
 	support := make([]int, nnz)
+	vals := make([]float64, nnz)
+	order := make([]int, nnz)
+	csr := &tensor.CSR{
+		Rows: s.N, Cols: s.Dim,
+		RowPtr: make([]int, s.N+1),
+		ColIdx: make([]int, 0, s.N*nnz),
+		Val:    make([]float64, 0, s.N*nnz),
+	}
+	appendRow := func(i int) {
+		for k := range order {
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool { return support[order[a]] < support[order[b]] })
+		for _, k := range order {
+			csr.ColIdx = append(csr.ColIdx, support[k])
+			csr.Val = append(csr.Val, vals[k])
+		}
+		csr.RowPtr[i+1] = len(csr.ColIdx)
+	}
 
 	if s.MultiLabel {
 		d.Y = nn.Labels{Multi: make([][]int32, s.N)}
@@ -137,16 +180,17 @@ func Generate(s SynthSpec, seed uint64) *Dataset {
 			labels := sampleDistinct(rng, s.Classes, k)
 			d.Y.Multi[i] = labels
 			sampleSupport(rng, s.Dim, support)
-			row := d.X.Row(i)
 			inv := 1 / math.Sqrt(float64(len(labels)))
-			for _, j := range support {
+			for t, j := range support {
 				sum := 0.0
 				for _, l := range labels {
 					sum += centers.At(int(l), j)
 				}
-				row[j] = sum*inv + rng.NormFloat64()*s.Noise
+				vals[t] = sum*inv + rng.NormFloat64()*s.Noise
 			}
+			appendRow(i)
 		}
+		d.XS = csr
 		return d
 	}
 
@@ -155,11 +199,12 @@ func Generate(s SynthSpec, seed uint64) *Dataset {
 		c := rng.IntN(s.Classes)
 		d.Y.Class[i] = c
 		sampleSupport(rng, s.Dim, support)
-		row := d.X.Row(i)
-		for _, j := range support {
-			row[j] = centers.At(c, j) + rng.NormFloat64()*s.Noise
+		for t, j := range support {
+			vals[t] = centers.At(c, j) + rng.NormFloat64()*s.Noise
 		}
+		appendRow(i)
 	}
+	d.XS = csr
 	return d
 }
 

@@ -10,6 +10,7 @@ package device
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"heterosgd/internal/nn"
@@ -156,12 +157,30 @@ func (d *CPUDevice) IterTime(arch nn.Arch, batchSize int, modelBytes int64) time
 		t = batchSize
 	}
 	compute := sub * arch.FlopsPerExample() / d.threadFlops(sub)
-	// Every thread writes a full dense gradient (modelBytes) and reads the
-	// model (another modelBytes) per sub-batch update, sharing bandwidth.
+	// Every thread writes its gradient (modelBytes) and reads the model
+	// (another modelBytes) per sub-batch update, sharing bandwidth. Sparse
+	// input shrinks the first-layer share of that traffic: the partial
+	// update only touches the columns the sub-batch's nonzeros hit.
 	writers := float64(t)
-	updateBytes := 2 * float64(modelBytes)
+	updateBytes := 2 * effectiveModelBytes(arch, modelBytes, sub)
 	update := updateBytes / (d.MemBandwidth / writers)
 	return secondsToDuration(compute + update)
+}
+
+// effectiveModelBytes discounts the first-layer portion of model-update
+// traffic by the union density of a b-example batch: with per-example
+// density p, a batch touches 1−(1−p)^b of the input columns, and the sparse
+// gradient path reads/writes only those. Dense architectures return
+// modelBytes unchanged.
+func effectiveModelBytes(arch nn.Arch, modelBytes int64, b float64) float64 {
+	p := arch.Density()
+	if p >= 1 {
+		return float64(modelBytes)
+	}
+	dims := arch.LayerDims()
+	firstBytes := float64(dims[0]) * float64(dims[1]) * 8
+	union := 1 - math.Pow(1-p, b)
+	return float64(modelBytes) - firstBytes*(1-union)
 }
 
 // EvalTime implements Device: forward-only pass at GEMM throughput with all
@@ -254,7 +273,9 @@ func (d *GPUDevice) IterTime(arch nn.Arch, batchSize int, modelBytes int64) time
 	flops := float64(batchSize) * arch.FlopsPerExample()
 	compute := flops / (d.PeakFlops * d.efficiency(batchSize))
 	kernels := float64(arch.NumLayers()*6) * d.KernelLaunch.Seconds()
-	batchBytes := float64(batchSize*arch.InputDim) * 8
+	// Sparse batches cross PCIe in CSR form (16 B per nonzero); the model
+	// replica itself stays dense either way.
+	batchBytes := float64(batchSize) * arch.InputBytesPerExample()
 	transfer := (2*float64(modelBytes) + batchBytes) / d.PCIeBandwidth
 	latency := 3 * d.PCIeLatency.Seconds() // model down, batch down, model up
 	return secondsToDuration(compute + kernels + transfer + latency)
@@ -266,7 +287,7 @@ func (d *GPUDevice) EvalTime(arch nn.Arch, n int) time.Duration {
 	flops := float64(n) * arch.FlopsPerExample() / 3
 	compute := flops / (d.PeakFlops * d.efficiency(n))
 	kernels := float64(arch.NumLayers()*2) * d.KernelLaunch.Seconds()
-	batchBytes := float64(n*arch.InputDim) * 8
+	batchBytes := float64(n) * arch.InputBytesPerExample()
 	transfer := batchBytes/d.PCIeBandwidth + d.PCIeLatency.Seconds()
 	return secondsToDuration(compute + kernels + transfer)
 }

@@ -86,10 +86,12 @@ func TestEpochSpeedRatioCalibration(t *testing.T) {
 			t.Fatalf("%s: epoch ratio %.0f× outside the paper's 236–317× band (±tolerance)", spec.Name, r)
 		}
 	}
-	// real-sim's enormous input rows make GPU batch transfer significant;
-	// the ratio is lower but must stay two orders of magnitude.
-	if r := ratioFor(data.RealSim); r < 80 {
-		t.Fatalf("real-sim ratio %.0f× implausibly low", r)
+	// real-sim now runs the sparse path: the density-scaled first-layer
+	// terms benefit the CPU far more than the GPU (whose per-iteration
+	// cost is dominated by the dense model-replica PCIe transfer), so the
+	// gap narrows well below the dense band — but stays large.
+	if r := ratioFor(data.RealSim); r < 30 || r > 200 {
+		t.Fatalf("real-sim sparse ratio %.0f× outside the plausible band", r)
 	}
 }
 

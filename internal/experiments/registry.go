@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -14,6 +15,9 @@ type Options struct {
 	Dataset string
 	// Seed drives data generation and model initialization.
 	Seed uint64
+	// BenchOut, when set, makes the sparsebench experiment also write its
+	// rows as JSON to this path (BENCH_sparse.json).
+	BenchOut string
 }
 
 // DefaultOptions uses the medium scale and the covtype dataset.
@@ -167,6 +171,26 @@ func All() []Experiment {
 					b.WriteString("\n")
 				}
 				return b.String(), nil
+			},
+		},
+		{
+			ID: "sparsebench", Title: "Dense vs sparse (CSR) gradient throughput on Table II's sparse shapes",
+			Run: func(opts Options) (string, error) {
+				rows, out, err := SparseBench(opts.Seed)
+				if err != nil {
+					return "", err
+				}
+				if opts.BenchOut != "" {
+					buf, err := SparseBenchJSON(rows)
+					if err != nil {
+						return "", err
+					}
+					if err := os.WriteFile(opts.BenchOut, buf, 0o644); err != nil {
+						return "", err
+					}
+					out += fmt.Sprintf("\n(rows written to %s)\n", opts.BenchOut)
+				}
+				return out, nil
 			},
 		},
 		{

@@ -34,10 +34,9 @@ type Scale struct {
 	// HiddenUnits overrides the paper's 512-unit hidden layers (the
 	// hidden-layer *count* always follows the paper's per-dataset depth).
 	HiddenUnits int
-	// MaxDim caps the feature dimensionality (0 = no cap). real-sim's
-	// 20,958 features make real arithmetic prohibitive below full scale;
-	// the cap preserves "much wider than the others", which is what the
-	// paper's real-sim behaviours depend on.
+	// MaxDim caps the feature dimensionality of DENSE datasets (0 = no
+	// cap). Sparse specs (real-sim) ignore it: CSR storage and the SpMM
+	// kernels keep native-width features affordable at every scale.
 	MaxDim int
 	// MinExamples floors the generated dataset size: tiny fractions of
 	// the smaller datasets would otherwise leave epochs shorter than one
@@ -77,8 +76,8 @@ func Medium() Scale {
 func Full() Scale {
 	return Scale{
 		Name: "full", DataFrac: 1, HiddenUnits: 512,
-		// real-sim at its native 20,958 dims would need a 12 GB dense
-		// matrix; 8,192 dims keeps the "very wide" regime within memory.
+		// Dense datasets stay capped at 8,192 dims; real-sim runs its
+		// native 20,958 features through the sparse path.
 		MaxDim:    8192,
 		Preset:    core.DefaultPreset(),
 		GPUEpochs: 25,
@@ -119,12 +118,17 @@ func NewProblem(specName string, sc Scale, seed uint64) (*Problem, error) {
 	}
 	scaled := spec.Scaled(frac)
 	scaled.HiddenUnits = sc.HiddenUnits
-	if sc.MaxDim > 0 && scaled.Dim > sc.MaxDim {
+	if sc.MaxDim > 0 && scaled.Dim > sc.MaxDim && !scaled.Sparse {
 		// Keep per-example nonzero count roughly constant while narrowing.
 		scaled.Density = math.Min(1, scaled.Density*float64(scaled.Dim)/float64(sc.MaxDim))
 		scaled.Dim = sc.MaxDim
 	}
-	ds := data.Generate(scaled, seed)
+	var ds *data.Dataset
+	if scaled.Sparse {
+		ds = data.GenerateCSR(scaled, seed)
+	} else {
+		ds = data.Generate(scaled, seed)
+	}
 	net, err := nn.NewNetwork(scaled.Arch())
 	if err != nil {
 		return nil, err

@@ -24,6 +24,20 @@ type Arch struct {
 	// MultiLabel selects the per-label sigmoid + binary cross-entropy
 	// loss (delicious) instead of softmax + cross-entropy.
 	MultiLabel bool
+	// InputDensity is the expected nonzero fraction of the input features
+	// (real-sim is ≈0.0025). Zero means dense (density 1). It scales the
+	// first-layer terms of the device cost models so sim-engine timings
+	// stay calibrated for sparse batches; it does not affect the math.
+	InputDensity float64
+}
+
+// Density returns the effective input density in (0, 1], treating an unset
+// InputDensity as fully dense.
+func (a Arch) Density() float64 {
+	if a.InputDensity <= 0 || a.InputDensity > 1 {
+		return 1
+	}
+	return a.InputDensity
 }
 
 // Validate reports whether the architecture is well-formed.
@@ -65,14 +79,31 @@ func (a Arch) NumParameters() int {
 
 // FlopsPerExample estimates the floating-point operations of one forward +
 // backward pass for a single training example (the classic ≈3× forward cost:
-// one GEMM forward, two backward). Used by the device cost models.
+// one GEMM forward, two backward). The first-layer term is scaled by the
+// input density: sparse batches run SpMM/SpMMT kernels whose work is
+// proportional to nnz, not to InputDim. Used by the device cost models.
 func (a Arch) FlopsPerExample() float64 {
 	dims := a.LayerDims()
 	flops := 0.0
 	for l := 0; l+1 < len(dims); l++ {
-		flops += 2 * float64(dims[l]) * float64(dims[l+1]) // forward GEMM
+		term := 2 * float64(dims[l]) * float64(dims[l+1]) // forward GEMM
+		if l == 0 {
+			term *= a.Density()
+		}
+		flops += term
 	}
 	return 3 * flops
+}
+
+// InputBytesPerExample estimates the bytes one example's features occupy in
+// transit (the PCIe term of the GPU cost model). Dense rows move 8·d bytes;
+// CSR rows move a (column, value) pair — 16 bytes — per nonzero.
+func (a Arch) InputBytesPerExample() float64 {
+	d := a.Density()
+	if d >= 1 {
+		return 8 * float64(a.InputDim)
+	}
+	return 16 * float64(a.InputDim) * d
 }
 
 // String renders the topology, e.g. "54-512x6-7 (sigmoid)".
@@ -148,9 +179,14 @@ func activationGain(k ActKind) float64 {
 type Workspace struct {
 	net *Network
 	cap int
-	// acts[0] aliases the input batch; acts[l] holds layer-l activations.
+	// acts[0] aliases the input batch (nil for sparse input); acts[l]
+	// holds layer-l activations.
 	acts   []*tensor.Matrix
 	deltas []*tensor.Matrix
+	// colMark/colBuf are scratch for collecting a sparse batch's active
+	// feature columns; allocated lazily on the first sparse gradient.
+	colMark []bool
+	colBuf  []int
 }
 
 // NewWorkspace allocates scratch space for batches of up to maxBatch rows.
@@ -182,26 +218,36 @@ func (ws *Workspace) ensure(b int) {
 	}
 }
 
-// Forward computes logits for the batch x (rows = examples) using parameters
-// p, with linear algebra parallelized over workers goroutines. The returned
-// matrix aliases workspace storage and is valid until the next call.
+// Forward computes logits for the dense batch x. See ForwardX.
 func (n *Network) Forward(p *Params, ws *Workspace, x *tensor.Matrix, workers int) *tensor.Matrix {
-	if x.Cols != n.Arch.InputDim {
-		panic(fmt.Sprintf("nn: input has %d features, network expects %d", x.Cols, n.Arch.InputDim))
+	return n.ForwardX(p, ws, DenseInput(x), workers)
+}
+
+// ForwardX computes logits for the batch x (rows = examples) using parameters
+// p, with linear algebra parallelized over workers goroutines. Sparse input
+// runs the first layer through the SpMM kernel; everything downstream of
+// layer 1 is dense either way. The returned matrix aliases workspace storage
+// and is valid until the next call.
+func (n *Network) ForwardX(p *Params, ws *Workspace, x Input, workers int) *tensor.Matrix {
+	if x.Cols() != n.Arch.InputDim {
+		panic(fmt.Sprintf("nn: input has %d features, network expects %d", x.Cols(), n.Arch.InputDim))
 	}
-	b := x.Rows
+	b := x.Rows()
 	ws.ensure(b)
-	ws.acts[0] = x
+	ws.acts[0] = x.Dense // nil for sparse batches; layer 0 reads x directly
 	for l := 0; l < n.Arch.NumLayers(); l++ {
-		in := ws.acts[l]
-		if l == 0 {
-			in = x
-		} else {
-			in = in.RowView(0, b)
-		}
 		out := ws.acts[l+1].RowView(0, b)
-		// out = in · Wᵀ  (+ bias broadcast)
-		tensor.ParallelGemm(false, true, 1, in, p.Weights[l], 0, out, workers)
+		if l == 0 && x.Sparse != nil {
+			// out = in · Wᵀ over the nonzeros only.
+			tensor.SpMM(true, 1, x.Sparse, p.Weights[0], 0, out, workers)
+		} else {
+			in := x.Dense
+			if l > 0 {
+				in = ws.acts[l].RowView(0, b)
+			}
+			// out = in · Wᵀ  (+ bias broadcast)
+			tensor.ParallelGemm(false, true, 1, in, p.Weights[l], 0, out, workers)
+		}
 		bias := p.Biases[l]
 		for i := 0; i < b; i++ {
 			row := out.Row(i)
@@ -216,12 +262,23 @@ func (n *Network) Forward(p *Params, ws *Workspace, x *tensor.Matrix, workers in
 	return ws.acts[n.Arch.NumLayers()].RowView(0, b)
 }
 
-// Gradient runs a forward and backward pass over the batch (x, y), writes
+// Gradient runs a forward and backward pass over the dense batch (x, y).
+// See GradientX.
+func (n *Network) Gradient(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, grad *Params, workers int) float64 {
+	return n.GradientX(p, ws, DenseInput(x), y, grad, workers)
+}
+
+// GradientX runs a forward and backward pass over the batch (x, y), writes
 // the mean gradient into grad, and returns the mean loss. grad must have the
 // network's shape; it is overwritten, not accumulated.
-func (n *Network) Gradient(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, grad *Params, workers int) float64 {
-	b := x.Rows
-	logits := n.Forward(p, ws, x, workers)
+//
+// For sparse input the first-layer weight gradient is accumulated with SpMMT
+// over the batch's nonzero feature columns only, and grad.ActiveCols records
+// that column set so downstream updates stay partial (grad.Weights[0] is
+// exactly zero outside ActiveCols). Dense input clears ActiveCols.
+func (n *Network) GradientX(p *Params, ws *Workspace, x Input, y Labels, grad *Params, workers int) float64 {
+	b := x.Rows()
+	logits := n.ForwardX(p, ws, x, workers)
 	P := n.Arch.NumLayers()
 	outDelta := ws.deltas[P].RowView(0, b)
 	var loss float64
@@ -232,19 +289,26 @@ func (n *Network) Gradient(p *Params, ws *Workspace, x *tensor.Matrix, y Labels,
 	}
 	invB := 1 / float64(b)
 	for l := P - 1; l >= 0; l-- {
-		in := ws.acts[l]
-		if l == 0 {
-			in = x
-		} else {
-			in = in.RowView(0, b)
-		}
 		delta := ws.deltas[l+1].RowView(0, b)
-		// dW = (1/b) deltaᵀ · in ; db = (1/b) colsums(delta)
-		tensor.ParallelGemm(true, false, invB, delta, in, 0, grad.Weights[l], workers)
+		if l == 0 && x.Sparse != nil {
+			n.sparseInputGrad(ws, x.Sparse, delta, invB, grad, workers)
+		} else {
+			in := x.Dense
+			if l > 0 {
+				in = ws.acts[l].RowView(0, b)
+			}
+			// dW = (1/b) deltaᵀ · in
+			tensor.ParallelGemm(true, false, invB, delta, in, 0, grad.Weights[l], workers)
+			if l == 0 {
+				grad.ActiveCols = nil
+			}
+		}
+		// db = (1/b) colsums(delta)
 		tensor.ColSums(delta, grad.Biases[l])
 		grad.Biases[l].Scale(invB)
 		if l > 0 {
 			// prevDelta = delta · W, then ⊙ f'(act)
+			in := ws.acts[l].RowView(0, b)
 			prev := ws.deltas[l].RowView(0, b)
 			tensor.ParallelGemm(false, false, 1, delta, p.Weights[l], 0, prev, workers)
 			applyActivationGrad(n.Arch.Activation, in.Data[:b*in.Stride], prev.Data[:b*prev.Stride])
@@ -253,9 +317,33 @@ func (n *Network) Gradient(p *Params, ws *Workspace, x *tensor.Matrix, y Labels,
 	return loss
 }
 
-// Loss computes the mean loss of the batch without producing gradients.
+// sparseInputGrad computes the first-layer weight gradient for a sparse
+// batch: clear only the columns the previous gradient touched, accumulate
+// dW = invB · deltaᵀ · xs with SpMMT(beta=1), and record the new active set.
+func (n *Network) sparseInputGrad(ws *Workspace, xs *tensor.CSR, delta *tensor.Matrix, invB float64, grad *Params, workers int) {
+	if len(ws.colMark) < n.Arch.InputDim {
+		ws.colMark = make([]bool, n.Arch.InputDim)
+	}
+	cols := xs.ActiveColumns(ws.colMark, ws.colBuf)
+	ws.colBuf = cols // keep the grown scratch
+	w0 := grad.Weights[0]
+	if grad.ActiveCols == nil {
+		w0.Zero() // previous gradient was dense (or first use)
+	} else {
+		tensor.ZeroCols(w0, grad.ActiveCols)
+	}
+	tensor.SpMMT(invB, xs, delta, 1, w0, workers)
+	grad.ActiveCols = append(grad.ActiveCols[:0], cols...)
+}
+
+// Loss computes the mean loss of the dense batch without gradients.
 func (n *Network) Loss(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, workers int) float64 {
-	logits := n.Forward(p, ws, x, workers)
+	return n.LossX(p, ws, DenseInput(x), y, workers)
+}
+
+// LossX computes the mean loss of the batch without producing gradients.
+func (n *Network) LossX(p *Params, ws *Workspace, x Input, y Labels, workers int) float64 {
+	logits := n.ForwardX(p, ws, x, workers)
 	if n.Arch.MultiLabel {
 		return sigmoidBCELoss(logits, y)
 	}
@@ -264,8 +352,13 @@ func (n *Network) Loss(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, wor
 
 // Predict returns the argmax class for each row of x (multiclass networks).
 func (n *Network) Predict(p *Params, ws *Workspace, x *tensor.Matrix, workers int) []int {
-	logits := n.Forward(p, ws, x, workers)
-	out := make([]int, x.Rows)
+	return n.PredictX(p, ws, DenseInput(x), workers)
+}
+
+// PredictX is Predict for either input representation.
+func (n *Network) PredictX(p *Params, ws *Workspace, x Input, workers int) []int {
+	logits := n.ForwardX(p, ws, x, workers)
+	out := make([]int, x.Rows())
 	for i := 0; i < logits.Rows; i++ {
 		row := logits.Row(i)
 		best := 0
@@ -282,10 +375,15 @@ func (n *Network) Predict(p *Params, ws *Workspace, x *tensor.Matrix, workers in
 // Accuracy returns the fraction of rows whose argmax prediction matches the
 // class label.
 func (n *Network) Accuracy(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, workers int) float64 {
-	if x.Rows == 0 {
+	return n.AccuracyX(p, ws, DenseInput(x), y, workers)
+}
+
+// AccuracyX is Accuracy for either input representation.
+func (n *Network) AccuracyX(p *Params, ws *Workspace, x Input, y Labels, workers int) float64 {
+	if x.Rows() == 0 {
 		return 0
 	}
-	pred := n.Predict(p, ws, x, workers)
+	pred := n.PredictX(p, ws, x, workers)
 	correct := 0
 	for i, c := range pred {
 		if c == y.Class[i] {
@@ -300,13 +398,18 @@ func (n *Network) Accuracy(p *Params, ws *Workspace, x *tensor.Matrix, y Labels,
 // k highest-scoring labels and count how many are in the true label set.
 // Returns the mean fraction over the batch.
 func (n *Network) PrecisionAtK(p *Params, ws *Workspace, x *tensor.Matrix, y Labels, k, workers int) float64 {
+	return n.PrecisionAtKX(p, ws, DenseInput(x), y, k, workers)
+}
+
+// PrecisionAtKX is PrecisionAtK for either input representation.
+func (n *Network) PrecisionAtKX(p *Params, ws *Workspace, x Input, y Labels, k, workers int) float64 {
 	if !n.Arch.MultiLabel {
 		panic("nn: PrecisionAtK requires a multi-label network")
 	}
-	if k < 1 || x.Rows == 0 {
+	if k < 1 || x.Rows() == 0 {
 		return 0
 	}
-	logits := n.Forward(p, ws, x, workers)
+	logits := n.ForwardX(p, ws, x, workers)
 	total := 0.0
 	top := make([]int, k)
 	for i := 0; i < logits.Rows; i++ {

@@ -44,6 +44,14 @@ func (m InitMode) String() string {
 type Params struct {
 	Weights []*tensor.Matrix
 	Biases  []*tensor.Vector
+	// ActiveCols, when non-nil, marks p as a sparse first-layer gradient:
+	// Weights[0] is exactly zero outside these (sorted) columns, so model
+	// updates may restrict themselves to them — the partial Hogwild write
+	// for sparse batches. Values are always exact either way; ActiveCols
+	// is a performance hint, never a correctness requirement. It is set by
+	// Network.GradientX and cleared by dense gradients, Zero, and any
+	// operation that may densify Weights[0].
+	ActiveCols []int
 }
 
 // NumLayers returns the number of weight layers P.
@@ -68,6 +76,9 @@ func (p *Params) Clone() *Params {
 		out.Weights[i] = w.Clone()
 		out.Biases[i] = p.Biases[i].Clone()
 	}
+	if p.ActiveCols != nil {
+		out.ActiveCols = append([]int(nil), p.ActiveCols...)
+	}
 	return out
 }
 
@@ -80,6 +91,11 @@ func (p *Params) CopyFrom(src *Params) {
 		p.Weights[i].CopyFrom(src.Weights[i])
 		p.Biases[i].CopyFrom(src.Biases[i])
 	}
+	if src.ActiveCols == nil {
+		p.ActiveCols = nil
+	} else {
+		p.ActiveCols = append(p.ActiveCols[:0], src.ActiveCols...)
+	}
 }
 
 // Zero clears all parameters (useful for gradient accumulators).
@@ -88,6 +104,7 @@ func (p *Params) Zero() {
 		p.Weights[i].Zero()
 		p.Biases[i].Zero()
 	}
+	p.ActiveCols = nil
 }
 
 // Scale multiplies every parameter by a.
@@ -98,21 +115,48 @@ func (p *Params) Scale(a float64) {
 	}
 }
 
-// AddScaled performs p += a·src with plain (unsynchronized) writes.
+// AddScaled performs p += a·src with plain (unsynchronized) writes. It may
+// densify Weights[0], so p's ActiveCols hint is conservatively dropped.
 func (p *Params) AddScaled(a float64, src *Params) {
 	for i := range p.Weights {
 		p.Weights[i].AddScaled(a, src.Weights[i])
 		p.Biases[i].AddScaled(a, src.Biases[i])
+	}
+	p.ActiveCols = nil
+}
+
+// AddDecay adds a·model into p (the weight-decay term of the gradient),
+// restricted to p's active first-layer columns when p is a sparse gradient.
+// This is the truncated/lazy decay from the sparse-training literature: the
+// regularizer only touches the features the batch touched, which keeps the
+// Hogwild update partial instead of densifying every gradient.
+func (p *Params) AddDecay(a float64, model *Params) {
+	if a == 0 {
+		return
+	}
+	for i := range p.Weights {
+		if i == 0 && p.ActiveCols != nil {
+			tensor.AddScaledCols(p.Weights[0], a, model.Weights[0], p.ActiveCols)
+		} else {
+			p.Weights[i].AddScaled(a, model.Weights[i])
+		}
+		p.Biases[i].AddScaled(a, model.Biases[i])
 	}
 }
 
 // ApplyUpdate performs p += a·src under the given shared-write discipline.
 // With tensor.UpdateAtomic the write is race-free against concurrent
 // ApplyUpdate calls (lock-free CAS per element); with tensor.UpdateRacy it
-// reproduces the paper's unsynchronized Hogwild update.
+// reproduces the paper's unsynchronized Hogwild update. When src is a sparse
+// gradient (ActiveCols set), the first-layer write touches only the active
+// columns — the partial update that makes sparse Hogbatch CPU-friendly.
 func (p *Params) ApplyUpdate(mode tensor.UpdateMode, a float64, src *Params) {
 	for i := range p.Weights {
-		tensor.ApplyUpdate(mode, p.Weights[i], a, src.Weights[i])
+		if i == 0 && src.ActiveCols != nil {
+			tensor.ApplyUpdateCols(mode, p.Weights[0], a, src.Weights[0], src.ActiveCols)
+		} else {
+			tensor.ApplyUpdate(mode, p.Weights[i], a, src.Weights[i])
+		}
 		tensor.ApplyUpdateVec(mode, p.Biases[i], a, src.Biases[i])
 	}
 }

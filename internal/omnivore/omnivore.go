@@ -133,7 +133,7 @@ func Run(cfg Config, horizon time.Duration) (*core.Result, error) {
 	evalWS := net.NewWorkspace(evalN)
 	evalLoss := func() float64 {
 		v := ds.View(0, evalN)
-		return net.Loss(params, evalWS, v.X, v.Y, 1)
+		return net.LossX(params, evalWS, v.Input(), v.Y, 1)
 	}
 
 	trace := &metrics.Trace{Name: "Omnivore"}
@@ -180,8 +180,8 @@ func Run(cfg Config, horizon time.Duration) (*core.Result, error) {
 		util.AddBusy("cpu0", now, now+cpuTime, cfg.CPU.Utilization(arch, cb))
 		util.AddBusy("gpu0", now, now+gpuTime, cfg.GPU.Utilization(arch, gb))
 
-		net.Gradient(params, cpuWS, cpuView.X, cpuView.Y, cpuGrad, 1)
-		net.Gradient(params, gpuWS, gpuView.X, gpuView.Y, gpuGrad, 1)
+		net.GradientX(params, cpuWS, cpuView.Input(), cpuView.Y, cpuGrad, 1)
+		net.GradientX(params, gpuWS, gpuView.Input(), gpuView.Y, gpuGrad, 1)
 		// Weighted average by share size, applied as one synchronous update.
 		wc := float64(cb) / float64(cb+gb)
 		params.AddScaled(-cfg.LR*wc, cpuGrad)

@@ -89,6 +89,32 @@ func ApplyUpdate(mode UpdateMode, dst *Matrix, a float64, src *Matrix) {
 	dst.AddScaled(a, src)
 }
 
+// AtomicAddScaledCols performs dst += a*src restricted to the given columns,
+// with per-element CAS additions. It is the sparse partial update: a worker
+// whose batch only touched those feature columns writes nothing else.
+func AtomicAddScaledCols(dst *Matrix, a float64, src *Matrix, cols []int) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: atomicAddScaledCols shape mismatch")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		for _, j := range cols {
+			if v := a * s[j]; v != 0 {
+				atomicAddFloat64(&d[j], v)
+			}
+		}
+	}
+}
+
+// ApplyUpdateCols is ApplyUpdate restricted to the given columns.
+func ApplyUpdateCols(mode UpdateMode, dst *Matrix, a float64, src *Matrix, cols []int) {
+	if mode == UpdateAtomic {
+		AtomicAddScaledCols(dst, a, src, cols)
+		return
+	}
+	AddScaledCols(dst, a, src, cols)
+}
+
 // ApplyUpdateVec is ApplyUpdate for vectors.
 func ApplyUpdateVec(mode UpdateMode, dst *Vector, a float64, src *Vector) {
 	if mode == UpdateAtomic {

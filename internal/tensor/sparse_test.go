@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// randomCSR builds a random rows×cols CSR with the given density and returns
+// it alongside its dense equivalent.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) (*CSR, *Matrix) {
+	dense := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := dense.Row(i)
+		for j := range row {
+			if rng.Float64() < density {
+				row[j] = rng.NormFloat64()
+			}
+		}
+	}
+	return CSRFromDense(dense), dense
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.IntN(40), 1+rng.IntN(60)
+		a, dense := randomCSR(rng, rows, cols, 0.05+0.4*rng.Float64())
+		if err := a.Check(); err != nil {
+			t.Fatal(err)
+		}
+		// ToDense ∘ FromDense round-trips exactly.
+		if !a.ToDense().Equal(dense, 0) {
+			t.Fatalf("trial %d: ToDense(FromDense(m)) != m", trial)
+		}
+		// Clone compacts but preserves contents, and At matches dense.
+		cl := a.Clone()
+		if cl.RowPtr[0] != 0 || !cl.ToDense().Equal(dense, 0) {
+			t.Fatalf("trial %d: Clone mismatch", trial)
+		}
+		i, j := rng.IntN(rows), rng.IntN(cols)
+		if a.At(i, j) != dense.At(i, j) {
+			t.Fatalf("trial %d: At(%d,%d) = %v, dense has %v", trial, i, j, a.At(i, j), dense.At(i, j))
+		}
+	}
+}
+
+// Property: SpMM agrees with Gemm on the densified operand within 1e-12,
+// for both transB settings, random alpha/beta, and random worker counts.
+func TestSpMMMatchesDenseGemm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	for trial := 0; trial < 60; trial++ {
+		m, k, n := 1+rng.IntN(30), 1+rng.IntN(50), 1+rng.IntN(20)
+		transB := rng.IntN(2) == 0
+		a, aDense := randomCSR(rng, m, k, 0.02+0.3*rng.Float64())
+		br, bc := k, n
+		if transB {
+			br, bc = n, k
+		}
+		b := NewMatrix(br, bc)
+		b.Randomize(rng, 1)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		if trial%3 == 0 {
+			beta = 0 // exercise the clear path
+		}
+		want := NewMatrix(m, n)
+		want.Randomize(rng, 1)
+		got := want.Clone()
+		workers := 1 + rng.IntN(4)
+		Gemm(false, transB, alpha, aDense, b, beta, want)
+		SpMM(transB, alpha, a, b, beta, got, workers)
+		if !got.Equal(want, 1e-12) {
+			t.Fatalf("trial %d (transB=%v, workers=%d): SpMM deviates from dense Gemm", trial, transB, workers)
+		}
+	}
+}
+
+// Property: SpMMT agrees with Gemm(transA=true) on the densified operand.
+func TestSpMMTMatchesDenseGemm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 4))
+	for trial := 0; trial < 60; trial++ {
+		batch, units, feat := 1+rng.IntN(30), 1+rng.IntN(20), 1+rng.IntN(50)
+		a, aDense := randomCSR(rng, batch, feat, 0.02+0.3*rng.Float64())
+		d := NewMatrix(batch, units)
+		d.Randomize(rng, 1)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		if trial%3 == 0 {
+			beta = 0
+		}
+		want := NewMatrix(units, feat)
+		want.Randomize(rng, 1)
+		got := want.Clone()
+		workers := 1 + rng.IntN(4)
+		Gemm(true, false, alpha, d, aDense, beta, want)
+		SpMMT(alpha, a, d, beta, got, workers)
+		if !got.Equal(want, 1e-12) {
+			t.Fatalf("trial %d (workers=%d): SpMMT deviates from dense Gemmᵀ", trial, workers)
+		}
+	}
+}
+
+// Property: a CSR row-range view agrees with the corresponding dense slice,
+// shares backing arrays, and kernels applied to views match full-matrix runs.
+func TestCSRRowViewMatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 13))
+	for trial := 0; trial < 40; trial++ {
+		rows, cols := 2+rng.IntN(40), 1+rng.IntN(40)
+		a, dense := randomCSR(rng, rows, cols, 0.3)
+		lo := rng.IntN(rows)
+		n := 1 + rng.IntN(rows-lo)
+		v := a.RowView(lo, n)
+		if err := v.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if !v.ToDense().Equal(dense.RowView(lo, n), 0) {
+			t.Fatalf("trial %d: view [%d,%d) != dense slice", trial, lo, lo+n)
+		}
+		if v.NNZ() != a.RowPtr[lo+n]-a.RowPtr[lo] {
+			t.Fatalf("trial %d: view NNZ %d", trial, v.NNZ())
+		}
+		// Zero-copy: mutating a view value must show through the parent.
+		if v.NNZ() > 0 {
+			t0 := v.RowPtr[0]
+			old := a.Val[t0]
+			v.Val[t0] = old + 1
+			if a.Val[t0] != old+1 {
+				t.Fatal("view does not alias parent storage")
+			}
+			v.Val[t0] = old
+		}
+		// SpMM on the view == SpMM on the full matrix, sliced.
+		units := 1 + rng.IntN(8)
+		w := NewMatrix(units, cols)
+		w.Randomize(rng, 1)
+		full := NewMatrix(rows, units)
+		SpMM(true, 1, a, w, 0, full, 2)
+		part := NewMatrix(n, units)
+		SpMM(true, 1, v, w, 0, part, 2)
+		if !part.Equal(full.RowView(lo, n), 0) {
+			t.Fatalf("trial %d: kernel on view != kernel on full matrix", trial)
+		}
+	}
+}
+
+func TestActiveColumnsAndColOps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	a, dense := randomCSR(rng, 25, 40, 0.15)
+	mark := make([]bool, a.Cols)
+	cols := a.ActiveColumns(mark, nil)
+	inSet := map[int]bool{}
+	prev := -1
+	for _, j := range cols {
+		if j <= prev {
+			t.Fatalf("ActiveColumns not sorted/unique: %v", cols)
+		}
+		prev = j
+		inSet[j] = true
+	}
+	for j := 0; j < a.Cols; j++ {
+		nonzero := false
+		for i := 0; i < a.Rows; i++ {
+			if dense.At(i, j) != 0 {
+				nonzero = true
+			}
+		}
+		if nonzero != inSet[j] {
+			t.Fatalf("column %d: nonzero=%v but in active set=%v", j, nonzero, inSet[j])
+		}
+	}
+	for _, m := range mark {
+		if m {
+			t.Fatal("scratch mark not restored to false")
+		}
+	}
+
+	// ZeroCols / AddScaledCols / ApplyUpdateCols touch exactly those columns.
+	m1 := NewMatrix(6, a.Cols)
+	m1.Fill(3)
+	ZeroCols(m1, cols)
+	src := NewMatrix(6, a.Cols)
+	src.Fill(2)
+	AddScaledCols(m1, 0.5, src, cols)
+	ApplyUpdateCols(UpdateAtomic, m1, 0.5, src, cols)
+	for i := 0; i < m1.Rows; i++ {
+		for j := 0; j < m1.Cols; j++ {
+			want := 3.0
+			if inSet[j] {
+				want = 2.0 // 0 + 0.5*2 + 0.5*2
+			}
+			if m1.At(i, j) != want {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, m1.At(i, j), want)
+			}
+		}
+	}
+}
+
+// Concurrent SpMM stress test: many goroutines hammer the kernels on shared
+// inputs (reads) with private outputs, mimicking the real engine's CPU lanes.
+// Guarded by -short because it is pure load, not a property.
+func TestConcurrentSpMMStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewPCG(17, 6))
+	const rows, feat, units = 512, 2048, 96
+	a, aDense := randomCSR(rng, rows, feat, 0.01)
+	w := NewMatrix(units, feat)
+	w.Randomize(rng, 0.1)
+	want := NewMatrix(rows, units)
+	Gemm(false, true, 1, aDense, w, 0, want)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := NewMatrix(rows, units)
+			grad := NewMatrix(units, feat)
+			for iter := 0; iter < 20; iter++ {
+				lo := (g * 31) % (rows / 2)
+				n := rows/2 + (iter % (rows / 2))
+				v := a.RowView(lo, n)
+				SpMM(true, 1, v, w, 0, out.RowView(lo, n), 4)
+				if !out.RowView(lo, n).Equal(want.RowView(lo, n), 1e-12) {
+					errs <- "concurrent SpMM result corrupted"
+					return
+				}
+				SpMMT(1, v, want.RowView(lo, n), 0, grad, 4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

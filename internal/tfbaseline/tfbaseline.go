@@ -231,7 +231,7 @@ func Run(cfg Config, horizon time.Duration) (*core.Result, error) {
 	evalWS := net.NewWorkspace(evalN)
 	evalLoss := func() float64 {
 		v := ds.View(0, evalN)
-		return net.Loss(params, evalWS, v.X, v.Y, 1)
+		return net.LossX(params, evalWS, v.Input(), v.Y, 1)
 	}
 
 	trace := &metrics.Trace{Name: "TensorFlow"}
@@ -254,7 +254,7 @@ func Run(cfg Config, horizon time.Duration) (*core.Result, error) {
 			b = rem
 		}
 		v := ds.View(cursor, cursor+b)
-		net.Gradient(params, ws, v.X, v.Y, grad, 1)
+		net.GradientX(params, ws, v.Input(), v.Y, grad, 1)
 		lr := cfg.LR
 		if b < cfg.Batch {
 			// Trailing partial batch: scale the step like the linear

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/data"
 )
 
@@ -23,8 +24,13 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "generator seed")
 		out    = flag.String("o", "", "output path (default <dataset>.libsvm)")
 		info   = flag.Bool("info", false, "print dataset characteristics instead of generating")
+		ver    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	spec, err := data.SpecByName(*dsName)
 	if err != nil {

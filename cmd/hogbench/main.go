@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/experiments"
 )
 
@@ -28,8 +29,13 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		outDir  = flag.String("out", "", "also write each experiment's output to <out>/<exp>[_<dataset>]_<scale>.txt")
 		bench   = flag.String("benchjson", "BENCH_sparse.json", "path for the sparsebench experiment's JSON rows (\"\" disables)")
+		ver     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

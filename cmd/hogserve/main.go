@@ -1,0 +1,293 @@
+// Command hogserve serves online predictions from a heterosgd model. It can
+// load a serialized checkpoint, or attach to a live training run — the
+// engine publishes lock-free snapshots into the server while Hogwild
+// workers keep updating the shared model. A load-generator mode measures
+// micro-batching: throughput and latency across micro-batch ceilings with
+// many concurrent closed-loop clients, written to results/BENCH_serve.json.
+//
+// Usage:
+//
+//	hogserve -model covtype.hgm -dataset covtype -scale small
+//	hogserve -train -dataset covtype -scale small -time 30s
+//	hogserve -bench -clients 64 -bench-time 2s
+//
+//	curl -s localhost:8080/v1/predict -d '{"instances": [[0.1, 0.2, ...]]}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heterosgd/internal/buildinfo"
+	"heterosgd/internal/core"
+	"heterosgd/internal/data"
+	"heterosgd/internal/device"
+	"heterosgd/internal/experiments"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/serve"
+	"heterosgd/internal/tensor"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		modelPath = flag.String("model", "", "serve this serialized model checkpoint")
+		train     = flag.Bool("train", false, "attach to a live training run (serve while training)")
+		dsName    = flag.String("dataset", "covtype", "dataset shape defining the MLP: covtype, w8a, delicious, real-sim")
+		scale     = flag.String("scale", "small", "scale: small, medium, full")
+		budget    = flag.Duration("time", 30*time.Second, "training budget for -train")
+		algName   = flag.String("alg", "cpu+gpu", "training algorithm for -train")
+		snapEvery = flag.Duration("snapshot-every", 250*time.Millisecond, "snapshot publish period for -train")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		maxBatch  = flag.Int("max-batch", 0, "micro-batch ceiling (0 = auto from the device cost model)")
+		maxWait   = flag.Duration("max-wait", 500*time.Microsecond, "max time the first request of a batch waits for company")
+		queueCap  = flag.Int("queue-cap", 0, "admission queue capacity (0 = 4×max-batch)")
+		workers   = flag.Int("workers", 1, "intra-forward parallelism")
+		hidden    = flag.Int("hidden", 0, "override hidden-layer width (bench; 0 = scale default)")
+		bench     = flag.Bool("bench", false, "run the load generator instead of serving")
+		clients   = flag.Int("clients", 64, "concurrent closed-loop clients for -bench")
+		benchTime = flag.Duration("bench-time", 2*time.Second, "measurement window per micro-batch size for -bench")
+		benchOut  = flag.String("bench-out", filepath.Join("results", "BENCH_serve.json"), "output path for -bench JSON rows")
+		ver       = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *ver {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+
+	if *bench {
+		sc, err := experiments.ScaleByName(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *hidden > 0 {
+			sc.HiddenUnits = *hidden
+		}
+		if err := runBench(*benchOut, *dsName, sc, *clients, *benchTime, *workers, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *modelPath == "" && !*train {
+		fatal(fmt.Errorf("nothing to serve: pass -model <path> or -train"))
+	}
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	prob, err := experiments.NewProblem(*dsName, sc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	net := prob.Net
+	pub := serve.NewPublisher(net)
+
+	if *modelPath != "" {
+		params, err := nn.LoadParamsFile(*modelPath, net)
+		if err != nil {
+			fatal(fmt.Errorf("checkpoint does not match the %s/%s network: %w", *dsName, *scale, err))
+		}
+		pub.PublishParams(params)
+		fmt.Printf("serving checkpoint %s (model version %d)\n", *modelPath, pub.Version())
+	}
+
+	if *train {
+		alg, err := core.ParseAlgorithm(*algName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := core.NewConfig(alg, net, prob.Dataset, sc.Preset)
+		cfg.BaseLR = 0.05
+		cfg.Seed = *seed
+		cfg.UpdateMode = tensor.UpdateLocked
+		cfg.SampleEvery = *budget / 25
+		cfg.SnapshotSink = pub
+		cfg.SnapshotEvery = *snapEvery
+		go func() {
+			res, err := core.RunReal(cfg, *budget)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res)
+			fmt.Printf("training finished; serving final model (version %d)\n", pub.Version())
+		}()
+		fmt.Printf("training %s on %s for %v, snapshot every %v\n", alg, prob.Dataset.Name, *budget, *snapEvery)
+	}
+
+	opts := serve.Options{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers}
+	b := serve.NewBatcher(pub, opts)
+	defer b.Close()
+	fmt.Printf("listening on %s  (max-batch %d, max-wait %v, queue %d)\n",
+		*addr, b.Options().MaxBatch, b.Options().MaxWait, b.Options().QueueCap)
+	if err := http.ListenAndServe(*addr, serve.NewServer(b)); err != nil {
+		fatal(err)
+	}
+}
+
+// serveBenchRow is one load-generator measurement: fixed client count,
+// swept micro-batch ceiling.
+type serveBenchRow struct {
+	Dataset       string  `json:"dataset"`
+	Arch          string  `json:"arch"`
+	Clients       int     `json:"clients"`
+	MaxBatch      int     `json:"max_batch"`
+	MaxWaitMs     float64 `json:"max_wait_ms"`
+	Workers       int     `json:"workers"`
+	DurationSec   float64 `json:"duration_sec"`
+	Requests      int64   `json:"requests"`
+	Rejected      int64   `json:"rejected"`
+	MeanBatch     float64 `json:"mean_batch"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	SpeedupVsB1   float64 `json:"speedup_vs_batch1"`
+}
+
+// runBench measures serving throughput and latency across micro-batch
+// ceilings with closed-loop concurrent clients hammering the batcher
+// directly (no HTTP, so the numbers isolate the micro-batching effect).
+func runBench(out, dsName string, sc experiments.Scale, clients int, window time.Duration, workers int, seed uint64) error {
+	spec, err := data.SpecByName(dsName)
+	if err != nil {
+		return err
+	}
+	// The dataset's MLP at the chosen scale's width (the same network
+	// `hogtrain -scale <s>` trains), with only enough generated rows to
+	// draw requests from.
+	spec = spec.Scaled(4096.0 / float64(spec.N))
+	spec.HiddenUnits = sc.HiddenUnits
+	ds := data.Generate(spec, seed)
+	net := nn.MustNetwork(spec.Arch())
+	params := net.NewParams(nn.InitXavier, rand.New(rand.NewPCG(seed, 17)))
+	pub := serve.NewPublisher(net)
+	pub.PublishParams(params)
+
+	auto := serve.AutoMaxBatch(device.NewXeon("bench", runtime.GOMAXPROCS(0)), net.Arch, 1024, 0.5)
+	fmt.Printf("serve bench: %s %s, %d clients, %v per batch size (auto micro-batch would be %d)\n",
+		ds.Name, net.Arch, clients, window, auto)
+
+	sweep := []int{1}
+	for b := 2; b <= 2*clients && b <= 256; b *= 2 {
+		sweep = append(sweep, b)
+	}
+	var rows []serveBenchRow
+	var baseRPS float64
+	for _, mb := range sweep {
+		row, err := benchOne(pub, ds, clients, mb, window, workers)
+		if err != nil {
+			return err
+		}
+		if mb == 1 {
+			baseRPS = row.ThroughputRPS
+		}
+		if baseRPS > 0 {
+			row.SpeedupVsB1 = row.ThroughputRPS / baseRPS
+		}
+		rows = append(rows, row)
+		fmt.Printf("  max-batch %4d: %9.0f req/s  mean batch %6.1f  p50 %7.3fms  p99 %7.3fms  (%.2fx vs batch-1)\n",
+			mb, row.ThroughputRPS, row.MeanBatch, row.P50Ms, row.P99Ms, row.SpeedupVsB1)
+	}
+
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	best := rows[0]
+	for _, r := range rows {
+		if r.ThroughputRPS > best.ThroughputRPS {
+			best = r
+		}
+	}
+	fmt.Printf("wrote %s — peak %0.f req/s at max-batch %d (%.2fx over batch-1)\n",
+		out, best.ThroughputRPS, best.MaxBatch, best.SpeedupVsB1)
+	return nil
+}
+
+// benchOne runs one closed-loop measurement window at a fixed micro-batch
+// ceiling.
+func benchOne(pub *serve.Publisher, ds *data.Dataset, clients, maxBatch int, window time.Duration, workers int) (serveBenchRow, error) {
+	opts := serve.Options{
+		MaxBatch: maxBatch,
+		MaxWait:  500 * time.Microsecond,
+		QueueCap: max(2*clients, 4*maxBatch),
+		Workers:  workers,
+	}
+	b := serve.NewBatcher(pub, opts)
+	defer b.Close()
+
+	var completed atomic.Int64
+	var failed atomic.Int64
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Stride through the dataset instead of drawing random rows,
+			// and check the deadline every few requests — the client loop
+			// must stay cheap relative to the work it generates.
+			i := (c * 67) % ds.N()
+			for done := false; !done; done = !time.Now().Before(deadline) {
+				for k := 0; k < 16; k++ {
+					row := ds.X.Row(i)
+					i = (i + 1) % ds.N()
+					r := b.Predict(serve.Instance{Dense: row})
+					switch r.Err {
+					case nil:
+						completed.Add(1)
+					case serve.ErrOverloaded:
+						time.Sleep(50 * time.Microsecond) // closed-loop backoff
+					default:
+						failed.Add(1)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if failed.Load() > 0 {
+		return serveBenchRow{}, fmt.Errorf("bench: %d clients aborted on unexpected errors", failed.Load())
+	}
+	rep := b.Report()
+	return serveBenchRow{
+		Dataset:       ds.Name,
+		Arch:          pub.Net().Arch.String(),
+		Clients:       clients,
+		MaxBatch:      maxBatch,
+		MaxWaitMs:     float64(opts.MaxWait) / float64(time.Millisecond),
+		Workers:       workers,
+		DurationSec:   window.Seconds(),
+		Requests:      completed.Load(),
+		Rejected:      rep.Rejected,
+		MeanBatch:     rep.MeanBatch,
+		ThroughputRPS: float64(completed.Load()) / window.Seconds(),
+		P50Ms:         rep.P50Ms,
+		P90Ms:         rep.P90Ms,
+		P99Ms:         rep.P99Ms,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hogserve:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/core"
 	"heterosgd/internal/experiments"
 )
@@ -28,8 +29,13 @@ func main() {
 		sweep   = flag.String("sweep", "lr", "what to sweep: lr, alphabeta, thresholds")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		target  = flag.Float64("target", 1.25, "normalized loss target for time-to-target")
+		ver     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	sc, err := experiments.ScaleByName(*scale)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/core"
 	"heterosgd/internal/data"
 	"heterosgd/internal/experiments"
@@ -54,8 +55,13 @@ func main() {
 		wdSlack  = flag.Float64("watchdog-slack", 0, "quarantine a worker past slack × modeled iteration time (0 = off unless -faults)")
 		wdFloor  = flag.Duration("watchdog-floor", 100*time.Millisecond, "minimum watchdog deadline")
 		guards   = flag.Bool("guards", false, "enable divergence guards (drop non-finite updates, rollback on NaN loss)")
+		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {

@@ -1,0 +1,112 @@
+// Serving demo: train briefly on covtype-shaped data while an inference
+// batcher answers concurrent predictions against lock-free model snapshots.
+// The engine publishes a fresh snapshot every 100ms; readers never block
+// the Hogwild workers. Prints the model-version progression, the serving
+// report, and the micro-batch latency histogram.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/experiments"
+	"heterosgd/internal/serve"
+	"heterosgd/internal/tensor"
+)
+
+func main() {
+	p, err := experiments.NewProblem("covtype", experiments.Small(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub := serve.NewPublisher(p.Net)
+
+	// Train on live goroutines for two seconds, publishing a snapshot of
+	// the shared model every 100ms. UpdateLocked keeps the demo
+	// race-detector clean; the snapshot path is equally safe under
+	// UpdateAtomic (the engine switches to per-element atomic copies).
+	cfg := core.NewConfig(core.AlgCPUGPUHogbatch, p.Net, p.Dataset, p.Scale.Preset)
+	cfg.BaseLR = 0.05
+	cfg.UpdateMode = tensor.UpdateLocked
+	cfg.SnapshotSink = pub
+	cfg.SnapshotEvery = 100 * time.Millisecond
+	trained := make(chan *core.Result, 1)
+	go func() {
+		res, err := core.RunReal(cfg, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trained <- res
+	}()
+
+	// Serve while training. The batcher coalesces whatever requests are
+	// queued at each wakeup into one forward pass, up to MaxBatch rows.
+	b := serve.NewBatcher(pub, serve.Options{MaxBatch: 16, MaxWait: 200 * time.Microsecond})
+	defer b.Close()
+	fmt.Printf("serving %s with max-batch %d while training runs\n",
+		p.Net.Arch, b.Options().MaxBatch)
+
+	// Eight closed-loop clients predict training rows until training ends.
+	var predictions, staleVersion atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 42))
+			var lastVersion uint64
+			for !stop.Load() {
+				row := p.Dataset.X.Row(rng.IntN(p.Dataset.N()))
+				r := b.Predict(serve.Instance{Dense: row})
+				switch r.Err {
+				case nil:
+					predictions.Add(1)
+					if r.Version < lastVersion {
+						staleVersion.Add(1) // never happens: versions are monotonic
+					}
+					lastVersion = r.Version
+				case serve.ErrNoModel:
+					time.Sleep(time.Millisecond) // first snapshot not out yet
+				case serve.ErrOverloaded:
+					time.Sleep(100 * time.Microsecond)
+				default:
+					log.Fatal(r.Err)
+				}
+			}
+		}(c)
+	}
+
+	res := <-trained
+	stop.Store(true)
+	wg.Wait()
+	fmt.Println(res)
+	fmt.Printf("answered %d predictions during training (%d version regressions)\n",
+		predictions.Load(), staleVersion.Load())
+
+	rep := b.Report()
+	fmt.Printf("served %d requests, mean batch %.1f, p50 %.3fms p99 %.3fms, final model version %d\n",
+		rep.Requests, rep.MeanBatch, rep.P50Ms, rep.P99Ms, rep.ModelVersion)
+
+	fmt.Println("\nlatency histogram:")
+	mids, counts := b.Stats().Histogram()
+	var peak int64
+	for _, n := range counts {
+		peak = max(peak, n)
+	}
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(50*n/peak))
+		fmt.Printf("  %9.3fms %8d %s\n", mids[i], n, bar)
+	}
+}

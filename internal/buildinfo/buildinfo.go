@@ -1,0 +1,41 @@
+// Package buildinfo reports the module version and VCS revision the Go
+// toolchain bakes into every binary, so each cmd/ tool can answer -version
+// without a hand-maintained version constant.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Version returns a one-line human-readable build description: module
+// version (or "devel"), the VCS revision and dirty marker when the binary
+// was built inside a checkout, and the Go toolchain version.
+func Version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "heterosgd devel (build info unavailable)"
+	}
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return fmt.Sprintf("heterosgd %s (rev %s%s, %s)", ver, rev, dirty, info.GoVersion)
+	}
+	return fmt.Sprintf("heterosgd %s (%s)", ver, info.GoVersion)
+}

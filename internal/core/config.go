@@ -219,6 +219,26 @@ type Config struct {
 	// losses trigger checkpoint rollback with bounded LR-backoff retries.
 	// nil disables the guards.
 	Guards *GuardConfig
+	// SnapshotSink, when set, receives periodic deep copies of the shared
+	// model while training runs — the serving subsystem's publish hook
+	// (internal/serve.Publisher satisfies it). The engines own the copy
+	// discipline: atomic per-element loads against UpdateAtomic writers,
+	// the model read-lock in UpdateLocked mode, plain reads in UpdateRacy
+	// mode (as unsynchronized as training itself, by design). The sink is
+	// called from the coordinator, never from worker hot paths, and the
+	// final model is always published before the run returns.
+	SnapshotSink SnapshotSink
+	// SnapshotEvery is the publish period (virtual time in RunSim, wall
+	// time in RunReal). 0 with a non-nil sink publishes at epoch barriers
+	// and run end only.
+	SnapshotEvery time.Duration
+}
+
+// SnapshotSink receives model snapshots from a running engine. PublishParams
+// takes ownership of params — it is a private deep copy the sink may retain
+// indefinitely and must treat as immutable once published.
+type SnapshotSink interface {
+	PublishParams(params *nn.Params)
 }
 
 // Validate checks the configuration for consistency.
@@ -263,6 +283,9 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Faults.Validate(len(c.Workers)); err != nil {
 		return err
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("core: snapshot period %v must be non-negative", c.SnapshotEvery)
 	}
 	if c.Watchdog != nil && c.Watchdog.Slack <= 0 {
 		return fmt.Errorf("core: watchdog slack %v must be positive", c.Watchdog.Slack)

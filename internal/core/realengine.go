@@ -229,6 +229,35 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		return guard.onEval(loss, global, health.report, events, time.Since(start))
 	}
 
+	// Snapshot publishing (the serving subsystem's attach point) runs on
+	// the coordinator goroutine, so it never blocks a worker: against
+	// UpdateAtomic writers the copy uses per-element atomic loads, in
+	// locked mode it takes the read lock (the same discipline gradient
+	// reads use), and in racy mode it reads plainly — as unsynchronized as
+	// the training it observes.
+	snapClone := func() *nn.Params {
+		if locked {
+			modelMu.RLock()
+			defer modelMu.RUnlock()
+			return global.Clone()
+		}
+		if cfg.UpdateMode == tensor.UpdateAtomic {
+			return global.CloneAtomic()
+		}
+		return global.Clone()
+	}
+	lastSnap := start
+	publishSnap := func(force bool) {
+		if cfg.SnapshotSink == nil {
+			return
+		}
+		if !force && (cfg.SnapshotEvery <= 0 || time.Since(lastSnap) < cfg.SnapshotEvery) {
+			return
+		}
+		lastSnap = time.Now()
+		cfg.SnapshotSink.PublishParams(snapClone())
+	}
+
 	trace.Add(0, 0, evalLoss())
 
 	// The coordinator loop: sequential message processing, exactly like
@@ -442,6 +471,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		if !ok {
 			break
 		}
+		publishSnap(false)
 		if msg.failed {
 			if err := handleFailure(msg); err != nil {
 				shutdown()
@@ -476,6 +506,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 			// in locked mode) and start the next epoch.
 			loss := evalLoss()
 			trace.Add(time.Since(start), coord.epochFrac(), loss)
+			publishSnap(true)
 			if cfg.TargetLoss > 0 && isFinite(loss) && loss <= cfg.TargetLoss {
 				converged = true
 				break
@@ -497,6 +528,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		overshoot = 0
 	}
 	final := evalLoss()
+	publishSnap(true)
 	// The final trace point is clamped to the budget boundary so one
 	// in-flight large batch cannot stretch the loss curve past the
 	// configured horizon; the true overrun is reported separately.

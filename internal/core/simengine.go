@@ -160,6 +160,14 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	// workers are redispatched. Crashed and quarantined workers sit idle
 	// and do not block the barrier. The divergence guard checkpoints or
 	// rolls back here, on the evaluated loss.
+	// publishSnap hands the sink a deep copy of the shared model. The
+	// engine is single-threaded, so a plain clone is always consistent.
+	publishSnap := func() {
+		if cfg.SnapshotSink != nil {
+			cfg.SnapshotSink.PublishParams(global.Clone())
+		}
+	}
+
 	maybeEpochEnd := func() {
 		if !coord.poolEmpty() || !allIdle() {
 			return
@@ -168,6 +176,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		util.AddBusy(evalDevName(evalDev, &cfg, workers), clk.Now(), clk.Now()+evalDur, 0.95)
 		loss := evalLoss()
 		addPoint(coord.epochFrac(), loss)
+		publishSnap()
 		if _, diverged := guard.onEval(loss, global, health.report, events, elapsed()); diverged {
 			horizon = lastStamp
 		}
@@ -363,6 +372,17 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		}
 		clk.Schedule(cfg.SampleEvery, sample)
 	}
+	if cfg.SnapshotSink != nil && cfg.SnapshotEvery > 0 {
+		var snap func()
+		snap = func() {
+			if elapsed() >= horizon {
+				return
+			}
+			publishSnap()
+			clk.Schedule(cfg.SnapshotEvery, snap)
+		}
+		clk.Schedule(cfg.SnapshotEvery, snap)
+	}
 
 	for _, w := range workers {
 		dispatch(w)
@@ -373,6 +393,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	}
 
 	final := evalLoss()
+	publishSnap()
 	if horizon < lastStamp {
 		horizon = lastStamp
 	}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+)
+
+// captureSink is a SnapshotSink that retains every published copy.
+type captureSink struct {
+	mu     sync.Mutex
+	params []*nn.Params
+}
+
+func (s *captureSink) PublishParams(p *nn.Params) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.params = append(s.params, p)
+}
+
+func (s *captureSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.params)
+}
+
+func (s *captureSink) last() *nn.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.params) == 0 {
+		return nil
+	}
+	return s.params[len(s.params)-1]
+}
+
+func paramsEqual(t *testing.T, a, b *nn.Params) {
+	t.Helper()
+	if len(a.Weights) != len(b.Weights) {
+		t.Fatalf("layer count %d vs %d", len(a.Weights), len(b.Weights))
+	}
+	for l := range a.Weights {
+		if !a.Weights[l].Equal(b.Weights[l], 0) {
+			t.Fatalf("layer %d weights differ", l)
+		}
+		for j := 0; j < a.Biases[l].Len(); j++ {
+			if a.Biases[l].At(j) != b.Biases[l].At(j) {
+				t.Fatalf("layer %d bias %d differs", l, j)
+			}
+		}
+	}
+}
+
+func TestSimPublishesPeriodicSnapshots(t *testing.T) {
+	sink := &captureSink{}
+	cfg := tinyConfig(t, AlgHogbatchCPU)
+	cfg.SnapshotSink = sink
+	cfg.SnapshotEvery = simHorizon / 10
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodic publishes plus epoch barriers plus the final one.
+	if sink.count() < 5 {
+		t.Fatalf("only %d snapshots for a %v period over %v", sink.count(), cfg.SnapshotEvery, simHorizon)
+	}
+	// The last publish happens after the run ends, so it must be the
+	// trained model exactly.
+	paramsEqual(t, sink.last(), res.Params)
+}
+
+func TestSimPublishesAtBarriersWhenPeriodZero(t *testing.T) {
+	sink := &captureSink{}
+	cfg := tinyConfig(t, AlgHogbatchGPU)
+	cfg.SnapshotSink = sink
+	cfg.SnapshotEvery = 0 // epoch barriers + run end only
+	res, err := RunSim(cfg, simHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() < 1 {
+		t.Fatal("no snapshots published")
+	}
+	paramsEqual(t, sink.last(), res.Params)
+}
+
+func TestRealPublishesSnapshots(t *testing.T) {
+	sink := &captureSink{}
+	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
+	cfg.UpdateMode = tensor.UpdateLocked
+	cfg.SnapshotSink = sink
+	cfg.SnapshotEvery = 10 * time.Millisecond
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() < 2 {
+		t.Fatalf("only %d snapshots for a %v period over %v", sink.count(), cfg.SnapshotEvery, realBudget)
+	}
+	paramsEqual(t, sink.last(), res.Params)
+}
+
+func TestRealSnapshotCopiesAreIndependent(t *testing.T) {
+	// Mutating a published snapshot must not perturb training: the engine
+	// hands the sink a private deep copy.
+	sink := &captureSink{}
+	cfg := tinyConfig(t, AlgHogbatchCPU)
+	cfg.UpdateMode = tensor.UpdateLocked
+	cfg.SnapshotSink = sink
+	cfg.SnapshotEvery = 5 * time.Millisecond
+	res, err := RunReal(cfg, realBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() >= 2 {
+		a, b := sink.params[0], sink.params[len(sink.params)-1]
+		if a == b || a.Weights[0] == b.Weights[0] {
+			t.Fatal("snapshots share storage")
+		}
+	}
+	if res.FinalLoss >= res.Trace.Points[0].Loss*0.9 {
+		t.Fatalf("snapshotting perturbed training: loss %v → %v", res.Trace.Points[0].Loss, res.FinalLoss)
+	}
+}
+
+func TestConfigRejectsNegativeSnapshotPeriod(t *testing.T) {
+	cfg := tinyConfig(t, AlgHogbatchCPU)
+	cfg.SnapshotEvery = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected validation error for negative snapshot period")
+	}
+}

@@ -97,17 +97,9 @@ func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
 			rw.cls = id
 		}
 		for _, f := range fields[1:] {
-			colon := strings.IndexByte(f, ':')
-			if colon < 0 {
-				return nil, fmt.Errorf("data: line %d: malformed feature %q", lineNo, f)
-			}
-			idx, err := strconv.Atoi(f[:colon])
-			if err != nil || idx < 1 || idx > maxFeatureIndex {
-				return nil, fmt.Errorf("data: line %d: bad feature index %q", lineNo, f[:colon])
-			}
-			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			idx, val, err := parseFeature(f)
 			if err != nil {
-				return nil, fmt.Errorf("data: line %d: bad feature value %q", lineNo, f[colon+1:])
+				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
 			}
 			rw.idx = append(rw.idx, idx-1)
 			rw.val = append(rw.val, val)
@@ -168,6 +160,47 @@ func ReadLIBSVM(r io.Reader, opts LIBSVMOptions) (*Dataset, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// parseFeature parses one "index:value" token, returning the 1-based index.
+func parseFeature(f string) (int, float64, error) {
+	colon := strings.IndexByte(f, ':')
+	if colon < 0 {
+		return 0, 0, fmt.Errorf("malformed feature %q", f)
+	}
+	idx, err := strconv.Atoi(f[:colon])
+	if err != nil || idx < 1 || idx > maxFeatureIndex {
+		return 0, 0, fmt.Errorf("bad feature index %q", f[:colon])
+	}
+	val, err := strconv.ParseFloat(f[colon+1:], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad feature value %q", f[colon+1:])
+	}
+	return idx, val, nil
+}
+
+// ParseLIBSVMFeatures parses the feature part of a single LIBSVM line into
+// 0-based, sorted, deduplicated (index, value) pairs — the single-line
+// counterpart of ReadLIBSVM, used by the serving path to parse prediction
+// requests. A leading label token (any token without a ':') is skipped, so
+// both bare feature lines and full training lines are accepted.
+func ParseLIBSVMFeatures(line string) ([]int, []float64, error) {
+	fields := strings.Fields(line)
+	if len(fields) > 0 && !strings.ContainsRune(fields[0], ':') {
+		fields = fields[1:] // optional label
+	}
+	idxs := make([]int, 0, len(fields))
+	vals := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		idx, val, err := parseFeature(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("data: %w", err)
+		}
+		idxs = append(idxs, idx-1)
+		vals = append(vals, val)
+	}
+	idxs, vals = sortDedupeRow(idxs, vals)
+	return idxs, vals, nil
 }
 
 // sortDedupeRow returns the row's (index, value) pairs sorted ascending by

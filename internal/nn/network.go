@@ -179,6 +179,10 @@ func activationGain(k ActKind) float64 {
 type Workspace struct {
 	net *Network
 	cap int
+	// inferOnly marks a forward-only workspace: no delta buffers are
+	// allocated, roughly halving the memory of a serving replica. Gradient
+	// computations panic on such a workspace.
+	inferOnly bool
 	// acts[0] aliases the input batch (nil for sparse input); acts[l]
 	// holds layer-l activations.
 	acts   []*tensor.Matrix
@@ -199,6 +203,19 @@ func (n *Network) NewWorkspace(maxBatch int) *Workspace {
 	return ws
 }
 
+// NewInferenceWorkspace allocates forward-only scratch for batches of up to
+// maxBatch rows: activation buffers but no delta buffers. This is the
+// serving path's workspace — Forward/Predict/Loss work normally, Gradient
+// panics.
+func (n *Network) NewInferenceWorkspace(maxBatch int) *Workspace {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	ws := &Workspace{net: n, inferOnly: true}
+	ws.grow(maxBatch)
+	return ws
+}
+
 func (ws *Workspace) grow(batch int) {
 	n := ws.net
 	ws.cap = batch
@@ -206,7 +223,9 @@ func (ws *Workspace) grow(batch int) {
 	ws.deltas = make([]*tensor.Matrix, len(n.dims))
 	for l := 1; l < len(n.dims); l++ {
 		ws.acts[l] = tensor.NewMatrix(batch, n.dims[l])
-		ws.deltas[l] = tensor.NewMatrix(batch, n.dims[l])
+		if !ws.inferOnly {
+			ws.deltas[l] = tensor.NewMatrix(batch, n.dims[l])
+		}
 	}
 }
 
@@ -277,6 +296,9 @@ func (n *Network) Gradient(p *Params, ws *Workspace, x *tensor.Matrix, y Labels,
 // that column set so downstream updates stay partial (grad.Weights[0] is
 // exactly zero outside ActiveCols). Dense input clears ActiveCols.
 func (n *Network) GradientX(p *Params, ws *Workspace, x Input, y Labels, grad *Params, workers int) float64 {
+	if ws.inferOnly {
+		panic("nn: GradientX on an inference-only workspace (use NewWorkspace)")
+	}
 	b := x.Rows()
 	logits := n.ForwardX(p, ws, x, workers)
 	P := n.Arch.NumLayers()

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"time"
+
+	"heterosgd/internal/tensor"
+)
+
+// Snapshot is an immutable published model: a deep copy of the shared
+// parameters taken at a point in training, plus provenance metadata. Once
+// constructed, neither the snapshot nor its Params may be mutated — readers
+// on any goroutine may hold it indefinitely (RCU discipline: the serving
+// subsystem swaps snapshots through an atomic.Pointer and old versions are
+// reclaimed by the garbage collector once the last reader drops them).
+type Snapshot struct {
+	// Net is the topology the parameters belong to.
+	Net *Network
+	// Params is the deep-copied model. Read-only by contract.
+	Params *Params
+	// Version counts publishes (1 = first snapshot).
+	Version uint64
+	// At is the wall-clock publish time.
+	At time.Time
+}
+
+// CloneAtomic returns a deep copy of p taken with per-element atomic loads,
+// race-free against concurrent UpdateAtomic Hogwild writers — the snapshot
+// publisher's read discipline. The copy is per-element consistent (each
+// scalar is a value some writer produced), not a point-in-time image of the
+// whole model; that is exactly the consistency Hogwild gradient reads
+// already tolerate, and SGD's robustness to it is the paper's premise.
+func (p *Params) CloneAtomic() *Params {
+	out := &Params{
+		Weights: make([]*tensor.Matrix, len(p.Weights)),
+		Biases:  make([]*tensor.Vector, len(p.Biases)),
+	}
+	for i, w := range p.Weights {
+		out.Weights[i] = tensor.NewMatrix(w.Rows, w.Cols)
+		tensor.AtomicCopy(out.Weights[i], w)
+		out.Biases[i] = tensor.NewVector(p.Biases[i].Len())
+		tensor.AtomicCopyVec(out.Biases[i], p.Biases[i])
+	}
+	return out
+}

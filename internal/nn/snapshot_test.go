@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"heterosgd/internal/tensor"
+)
+
+// A model trained through the sparse path receives column-restricted
+// first-layer updates (only the batch's ActiveCols are touched). Snapshots
+// and serialized checkpoints of such a model must still round-trip exactly:
+// the untouched columns keep their init values, the touched ones their
+// updated values, and neither path may lose or reorder anything.
+func TestSparseTrainedSnapshotAndSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 1))
+	net := MustNetwork(Arch{InputDim: 120, Hidden: []int{17, 9}, OutputDim: 5, Activation: ActSigmoid})
+	model := net.NewParams(InitXavier, rng)
+	grad := net.NewParams(InitZero, rng)
+	ws := net.NewWorkspace(16)
+
+	// A short sparse training loop: every update is column-restricted.
+	for step := 0; step < 10; step++ {
+		b := 1 + rng.IntN(16)
+		_, xs, y := sparseBatch(rng, b, net.Arch.InputDim, net.Arch.OutputDim, 0.05)
+		if xs.NNZ() == 0 {
+			continue
+		}
+		net.GradientX(model, ws, SparseInput(xs), y, grad, 1)
+		if grad.ActiveCols == nil {
+			t.Fatalf("step %d: sparse gradient lost its active-column set", step)
+		}
+		model.ApplyUpdate(tensor.UpdateRacy, -0.1, grad)
+	}
+
+	// Serialize round-trip is exact.
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadParams(&buf, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.MaxAbsDiff(loaded) != 0 {
+		t.Fatal("serialize round trip changed a sparse-trained model")
+	}
+
+	// Snapshot copies (both disciplines) are exact and independent.
+	for name, clone := range map[string]*Params{
+		"Clone":       model.Clone(),
+		"CloneAtomic": model.CloneAtomic(),
+	} {
+		if model.MaxAbsDiff(clone) != 0 {
+			t.Fatalf("%s changed a sparse-trained model", name)
+		}
+		if clone.Weights[0] == model.Weights[0] {
+			t.Fatalf("%s shares first-layer storage with the model", name)
+		}
+	}
+
+	// A snapshot of the loaded model predicts identically to the live one.
+	_, xs, _ := sparseBatch(rng, 8, net.Arch.InputDim, net.Arch.OutputDim, 0.05)
+	wsA := net.NewInferenceWorkspace(8)
+	wsB := net.NewInferenceWorkspace(8)
+	outLive := net.ForwardX(model, wsA, SparseInput(xs), 1)
+	outLoaded := net.ForwardX(loaded, wsB, SparseInput(xs), 1)
+	if !outLive.Equal(outLoaded, 0) {
+		t.Fatal("loaded sparse-trained model predicts differently")
+	}
+}
+
+// Inference workspaces skip delta buffers; the gradient path must refuse
+// them loudly rather than corrupt memory.
+func TestInferenceWorkspaceRejectsGradient(t *testing.T) {
+	rng := rand.New(rand.NewPCG(92, 1))
+	net := MustNetwork(Arch{InputDim: 6, Hidden: []int{4}, OutputDim: 3, Activation: ActSigmoid})
+	p := net.NewParams(InitXavier, rng)
+	grad := net.NewParams(InitZero, rng)
+	ws := net.NewInferenceWorkspace(2)
+
+	x := tensor.NewMatrix(2, 6)
+	x.Randomize(rng, 1)
+	// Forward works on an inference workspace…
+	out := net.ForwardX(p, ws, DenseInput(x), 1)
+	if out.Rows != 2 {
+		t.Fatalf("forward produced %d rows", out.Rows)
+	}
+	// …and matches a full workspace exactly.
+	full := net.NewWorkspace(2)
+	if !net.ForwardX(p, full, DenseInput(x), 1).Equal(out, 0) {
+		t.Fatal("inference workspace forward deviates")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GradientX on an inference workspace must panic")
+		}
+	}()
+	net.GradientX(p, ws, DenseInput(x), Labels{Class: []int{0, 1}}, grad, 1)
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"heterosgd/internal/data"
+)
+
+// Server exposes a Batcher over HTTP:
+//
+//	POST /v1/predict         JSON {"instances": [...]} — each instance a
+//	                         dense float array or {"indices","values"}
+//	POST /v1/predict/libsvm  text/plain, one LIBSVM feature line per row
+//	GET  /healthz            200 once a snapshot exists, 503 before
+//	GET  /statsz             serving telemetry Report as JSON
+//
+// Admission control surfaces as status codes: 429 when the batcher's queue
+// is full, 503 when no model has been published yet.
+type Server struct {
+	batcher *Batcher
+	mux     *http.ServeMux
+}
+
+// NewServer wraps b in an HTTP handler.
+func NewServer(b *Batcher) *Server {
+	s := &Server{batcher: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredictJSON)
+	s.mux.HandleFunc("POST /v1/predict/libsvm", s.handlePredictLIBSVM)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// jsonInstance accepts either a bare array (dense) or an object with
+// "indices" and "values" (sparse).
+type jsonInstance struct {
+	Indices []int     `json:"indices"`
+	Values  []float64 `json:"values"`
+}
+
+type predictRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+}
+
+// jsonPrediction is the wire form of one Response.
+type jsonPrediction struct {
+	Class        int       `json:"class"`
+	Scores       []float64 `json:"scores"`
+	ModelVersion uint64    `json:"model_version"`
+	BatchSize    int       `json:"batch_size"`
+}
+
+type predictResponse struct {
+	Predictions []jsonPrediction `json:"predictions"`
+}
+
+func (s *Server) handlePredictJSON(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Instances) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("no instances"))
+		return
+	}
+	insts := make([]Instance, len(req.Instances))
+	for i, raw := range req.Instances {
+		inst, err := decodeInstance(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("instance %d: %w", i, err))
+			return
+		}
+		insts[i] = inst
+	}
+	s.predictAndReply(w, insts)
+}
+
+func decodeInstance(raw json.RawMessage) (Instance, error) {
+	trimmed := strings.TrimLeft(string(raw), " \t\r\n")
+	if strings.HasPrefix(trimmed, "[") {
+		var dense []float64
+		if err := json.Unmarshal(raw, &dense); err != nil {
+			return Instance{}, err
+		}
+		return Instance{Dense: dense}, nil
+	}
+	var sp jsonInstance
+	if err := json.Unmarshal(raw, &sp); err != nil {
+		return Instance{}, err
+	}
+	if sp.Values == nil {
+		sp.Values = []float64{}
+	}
+	if sp.Indices == nil {
+		sp.Indices = []int{}
+	}
+	return Instance{Indices: sp.Indices, Values: sp.Values}, nil
+}
+
+func (s *Server) handlePredictLIBSVM(w http.ResponseWriter, r *http.Request) {
+	var insts []Instance
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		idx, val, err := data.ParseLIBSVMFeatures(text)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("line %d: %w", line, err))
+			return
+		}
+		insts = append(insts, Instance{Indices: idx, Values: val})
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(insts) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("no instances"))
+		return
+	}
+	s.predictAndReply(w, insts)
+}
+
+// predictAndReply submits every instance, gathers the responses, and maps
+// the batcher's error taxonomy onto HTTP status codes.
+func (s *Server) predictAndReply(w http.ResponseWriter, insts []Instance) {
+	chans := make([]<-chan Response, len(insts))
+	for i, inst := range insts {
+		ch, err := s.batcher.Submit(inst)
+		if err != nil {
+			// Already-submitted requests complete into their buffered
+			// channels and are dropped; nothing leaks.
+			httpError(w, statusFor(err), err)
+			return
+		}
+		chans[i] = ch
+	}
+	out := predictResponse{Predictions: make([]jsonPrediction, len(insts))}
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			httpError(w, statusFor(resp.Err), resp.Err)
+			return
+		}
+		out.Predictions[i] = jsonPrediction{
+			Class:        resp.Class,
+			Scores:       resp.Scores,
+			ModelVersion: resp.Version,
+			BatchSize:    resp.BatchSize,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNoModel), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if snap := s.batcher.pub.Load(); snap != nil {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "model_version": snap.Version})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no model published"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.batcher.Report())
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -123,3 +123,37 @@ func ApplyUpdateVec(mode UpdateMode, dst *Vector, a float64, src *Vector) {
 	}
 	dst.AddScaled(a, src)
 }
+
+// atomicLoadFloat64 reads *addr with an atomic load, pairing with the CAS
+// writes of atomicAddFloat64 under the Go memory model.
+func atomicLoadFloat64(addr *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(addr))))
+}
+
+// AtomicCopy copies src into dst reading each element atomically, so the
+// copy is race-free against concurrent AtomicAddScaled writers — the model
+// snapshot read path of the serving subsystem. dst must be private to the
+// caller; its stores are plain. Elements are copied one at a time, so the
+// copy is per-element consistent, not a point-in-time image of the whole
+// matrix — the same consistency Hogwild gradient reads already live with.
+func AtomicCopy(dst, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: atomicCopy shape mismatch")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		for j := range d {
+			d[j] = atomicLoadFloat64(&s[j])
+		}
+	}
+}
+
+// AtomicCopyVec is AtomicCopy for vectors.
+func AtomicCopyVec(dst, src *Vector) {
+	if dst.Len() != src.Len() {
+		panic("tensor: atomicCopyVec length mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = atomicLoadFloat64(&src.Data[i])
+	}
+}

@@ -8,6 +8,7 @@
 package heterosgd
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -36,7 +37,7 @@ func cachedRunSet(b *testing.B, dataset string) *experiments.RunSet {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rs, err := experiments.RunAll(p, 1)
+	rs, err := experiments.RunAll(context.Background(), p, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func BenchmarkFig7(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.Fig7(p, 1)
+		out, err := experiments.Fig7(context.Background(), p, 1)
 		if err != nil || len(out) == 0 {
 			b.Fatalf("fig7: %v", err)
 		}
@@ -169,7 +170,7 @@ func BenchmarkAblationUpdateMode(b *testing.B) {
 				_, cfg := ablationProblem(b, core.AlgCPUGPUHogbatch)
 				cfg.UpdateMode = mode
 				cfg.Workers[0].Threads = 8 // live goroutines; keep modest
-				res, err := core.RunReal(cfg, 200*time.Millisecond)
+				res, err := core.RunReal(context.Background(), cfg, 200*time.Millisecond)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -195,7 +196,7 @@ func BenchmarkAblationReplica(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p, cfg := ablationProblem(b, core.AlgHogbatchCPU)
 				cfg.Workers[0].DeepReplica = deep
-				res, err := core.RunSim(cfg, p.Horizon())
+				res, err := core.RunSim(context.Background(), cfg, p.Horizon())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -226,7 +227,7 @@ func BenchmarkAblationAlphaBeta(b *testing.B) {
 				p, cfg := ablationProblem(b, core.AlgAdaptiveHogbatch)
 				cfg.Alpha = c.alpha
 				cfg.Beta = c.beta
-				res, err := core.RunSim(cfg, p.Horizon())
+				res, err := core.RunSim(context.Background(), cfg, p.Horizon())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -249,7 +250,7 @@ func BenchmarkAblationThresholds(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p, cfg := ablationProblem(b, core.AlgAdaptiveHogbatch)
 				cfg.Workers[1].MinBatch = gpuMin
-				res, err := core.RunSim(cfg, p.Horizon())
+				res, err := core.RunSim(context.Background(), cfg, p.Horizon())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -274,7 +275,7 @@ func BenchmarkAblationLRScaling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p, cfg := ablationProblem(b, core.AlgCPUGPUHogbatch)
 				cfg.LRScaling = scaling
-				res, err := core.RunSim(cfg, p.Horizon())
+				res, err := core.RunSim(context.Background(), cfg, p.Horizon())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -294,7 +295,7 @@ func BenchmarkAblationStaleDamping(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p, cfg := ablationProblem(b, core.AlgCPUGPUHogbatch)
 				cfg.StaleDamping = damping
-				res, err := core.RunSim(cfg, p.Horizon())
+				res, err := core.RunSim(context.Background(), cfg, p.Horizon())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -321,7 +322,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 						cfg.Workers[w].Threads = 8
 					}
 				}
-				res, err := core.RunReal(cfg, 150*time.Millisecond)
+				res, err := core.RunReal(context.Background(), cfg, 150*time.Millisecond)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -342,7 +343,7 @@ func BenchmarkAblationSVRG(b *testing.B) {
 		b.Run(alg.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p, cfg := ablationProblem(b, alg)
-				res, err := core.RunSim(cfg, p.Horizon())
+				res, err := core.RunSim(context.Background(), cfg, p.Horizon())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -363,7 +364,7 @@ func BenchmarkRelatedWork(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.RelatedWork(p, 1)
+		out, err := experiments.RelatedWork(context.Background(), p, 1)
 		if err != nil || len(out) == 0 {
 			b.Fatalf("related: %v", err)
 		}

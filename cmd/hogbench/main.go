@@ -10,12 +10,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"heterosgd/internal/atomicio"
 	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/experiments"
 )
@@ -48,13 +53,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.Options{Scale: sc, Dataset: *dataset, Seed: *seed, BenchOut: *bench}
+	// SIGINT/SIGTERM cancel the suite: the current run drains, the
+	// experiment in flight is abandoned (partial figures would mislead),
+	// and the process exits 0.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts := experiments.Options{Scale: sc, Dataset: *dataset, Seed: *seed, BenchOut: *bench, Ctx: ctx}
 
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
 		start := time.Now()
 		out, err := e.Run(opts)
 		if err != nil {
+			if errors.Is(err, ctx.Err()) || ctx.Err() != nil {
+				fmt.Printf("interrupted during %s; stopping\n", e.ID)
+				os.Exit(0)
+			}
 			fatal(err)
 		}
 		fmt.Println(out)
@@ -68,7 +82,7 @@ func main() {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			if err := atomicio.WriteFile(path, []byte(out), 0o644); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("(written to %s)\n", path)

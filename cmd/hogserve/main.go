@@ -12,21 +12,30 @@
 //	hogserve -bench -clients 64 -bench-time 2s
 //
 //	curl -s localhost:8080/v1/predict -d '{"instances": [[0.1, 0.2, ...]]}'
+//
+// Lifecycle: SIGINT/SIGTERM drain gracefully — in-flight HTTP requests
+// complete, an attached training run drains its in-flight batches, and the
+// process exits 0. SIGHUP hot-reloads the -model checkpoint into the
+// publisher without dropping a request.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"heterosgd/internal/atomicio"
 	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/core"
 	"heterosgd/internal/data"
@@ -103,6 +112,19 @@ func main() {
 		fmt.Printf("serving checkpoint %s (model version %d)\n", *modelPath, pub.Version())
 	}
 
+	// SIGINT/SIGTERM start the graceful drain; SIGHUP hot-reloads -model.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := serve.Options{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers}
+	b := serve.NewBatcher(pub, opts)
+	defer b.Close()
+	server := serve.NewServer(b)
+
+	// trainDone closes when an attached training run finishes (or drains
+	// after cancellation); trainRes holds its result for /statsz.
+	var trainRes atomic.Pointer[core.Result]
+	trainDone := make(chan struct{})
 	if *train {
 		alg, err := core.ParseAlgorithm(*algName)
 		if err != nil {
@@ -116,23 +138,76 @@ func main() {
 		cfg.SnapshotSink = pub
 		cfg.SnapshotEvery = *snapEvery
 		go func() {
-			res, err := core.RunReal(cfg, *budget)
+			defer close(trainDone)
+			res, err := core.RunReal(ctx, cfg, *budget)
 			if err != nil {
 				fatal(err)
 			}
+			trainRes.Store(res)
 			fmt.Println(res)
+			if res.Interrupted {
+				fmt.Printf("training interrupted; serving last snapshot (version %d)\n", pub.Version())
+				return
+			}
 			fmt.Printf("training finished; serving final model (version %d)\n", pub.Version())
 		}()
+		server.AddStats("training", func() any {
+			res := trainRes.Load()
+			if res == nil {
+				return map[string]any{"state": "running", "model_version": pub.Version()}
+			}
+			q := res.Health.Queue
+			return map[string]any{
+				"state":       map[bool]string{true: "interrupted", false: "finished"}[res.Interrupted],
+				"epochs":      res.Epochs,
+				"final_loss":  res.FinalLoss,
+				"updates":     res.Updates.Total(),
+				"queue":       map[string]uint64{"pushed": q.Pushed, "popped": q.Popped, "dropped": q.Dropped},
+				"faulty":      res.Health.Faulty(),
+				"interrupted": res.Interrupted,
+			}
+		})
 		fmt.Printf("training %s on %s for %v, snapshot every %v\n", alg, prob.Dataset.Name, *budget, *snapEvery)
+	} else {
+		close(trainDone)
 	}
 
-	opts := serve.Options{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers}
-	b := serve.NewBatcher(pub, opts)
-	defer b.Close()
+	if *modelPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				params, err := nn.LoadParamsFile(*modelPath, net)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hogserve: SIGHUP reload of %s failed (keeping current model): %v\n", *modelPath, err)
+					continue
+				}
+				pub.PublishParams(params)
+				fmt.Printf("SIGHUP: reloaded %s (model version %d)\n", *modelPath, pub.Version())
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("listening on %s  (max-batch %d, max-wait %v, queue %d)\n",
 		*addr, b.Options().MaxBatch, b.Options().MaxWait, b.Options().QueueCap)
-	if err := http.ListenAndServe(*addr, serve.NewServer(b)); err != nil {
+
+	select {
+	case err := <-errc:
 		fatal(err)
+	case <-ctx.Done():
+		fmt.Println("signal received; draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "hogserve: shutdown:", err)
+		}
+		// The engine observes the same context; wait for its drain so the
+		// exit is clean (bounded by the run's in-flight work).
+		<-trainDone
+		fmt.Println("drained; bye")
 	}
 }
 
@@ -208,7 +283,7 @@ func runBench(out, dsName string, sc experiments.Scale, clients int, window time
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
 	best := rows[0]

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"heterosgd/internal/buildinfo"
@@ -49,6 +52,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT/SIGTERM cancel the sweep: the current run drains and the rows
+	// completed so far are reported before exiting 0.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	horizon := p.Horizon()
 	fmt.Printf("%s (%s scale) — %s, horizon %v\n\n", p.Spec.Name, sc.Name, alg, horizon.Round(time.Microsecond))
 
@@ -72,7 +79,7 @@ func main() {
 			rows = append(rows, row{fmt.Sprintf("lr=%g", lr), cfg})
 		}
 	case "alphabeta":
-		lr := experiments.TuneLR(p, *seed)
+		lr := experiments.TuneLR(ctx, p, *seed)
 		for _, alpha := range []float64{1.25, 1.5, 2, 3, 4} {
 			for _, beta := range []float64{0.25, 0.5, 1} {
 				cfg := mk("")
@@ -83,7 +90,7 @@ func main() {
 			}
 		}
 	case "thresholds":
-		lr := experiments.TuneLR(p, *seed)
+		lr := experiments.TuneLR(ctx, p, *seed)
 		gpuMax := p.Scale.Preset.GPUMax
 		for _, gpuMin := range []int{gpuMax / 16, gpuMax / 8, gpuMax / 4, gpuMax / 2} {
 			if gpuMin < 32 {
@@ -106,10 +113,15 @@ func main() {
 	best, bestLoss := "", 0.0
 	first := true
 	var results []*core.Result
+	interrupted := false
 	for _, r := range rows {
-		res, err := core.RunSim(r.cfg, horizon)
+		res, err := core.RunSim(ctx, r.cfg, horizon)
 		if err != nil {
 			fatal(err)
+		}
+		if res.Interrupted {
+			interrupted = true
+			break
 		}
 		results = append(results, res)
 		if first || res.MinLoss < bestLoss {
@@ -117,8 +129,8 @@ func main() {
 			first = false
 		}
 	}
-	for i, r := range rows {
-		res := results[i]
+	for i, res := range results {
+		r := rows[i]
 		reach := "—"
 		if at, ok := res.Trace.TimeToReach(bestLoss * *target); ok {
 			reach = at.Round(time.Microsecond).String()
@@ -126,7 +138,12 @@ func main() {
 		fmt.Printf("%-16s %12.4f %12.4f %10.2f %12s %9.1f%%\n",
 			r.label, res.FinalLoss, res.MinLoss, res.Epochs, reach, 100*res.CPUShare())
 	}
-	fmt.Printf("\nbest minimum loss: %s (%.4f); time-to-target uses %.2f× that minimum\n", best, bestLoss, *target)
+	if interrupted {
+		fmt.Printf("\ninterrupted after %d/%d configs\n", len(results), len(rows))
+	}
+	if len(results) > 0 {
+		fmt.Printf("\nbest minimum loss: %s (%.4f); time-to-target uses %.2f× that minimum\n", best, bestLoss, *target)
+	}
 }
 
 func fatal(err error) {

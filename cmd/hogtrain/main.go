@@ -9,16 +9,28 @@
 //	hogtrain -alg cpu+gpu -libsvm train.svm -engine real -time 10s
 //	hogtrain -alg adaptive -libsvm real-sim.svm -sparse -time 1s
 //	hogtrain -alg tf -dataset delicious -scale small -time 50ms
+//
+// Runs are durable: -checkpoint writes crash-consistent run-state files
+// (model + scheduler + RNG state) at every epoch barrier and on exit, and
+// -resume continues a run from one. SIGINT/SIGTERM interrupt gracefully —
+// the run drains in-flight work, writes a final checkpoint, and exits 0:
+//
+//	hogtrain -alg adaptive -checkpoint run.ckpt -checkpoint-every 5s -engine real -time 10m
+//	hogtrain -alg adaptive -checkpoint run.ckpt -resume run.ckpt -engine real -time 10m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"heterosgd/internal/buildinfo"
+	"heterosgd/internal/checkpoint"
 	"heterosgd/internal/core"
 	"heterosgd/internal/data"
 	"heterosgd/internal/experiments"
@@ -51,6 +63,10 @@ func main() {
 		schedule = flag.String("schedule", "constant", "LR schedule: constant, step, inv-t, warmup")
 		savePath = flag.String("save", "", "write the trained model to this path")
 		loadPath = flag.String("load", "", "initialize from a model checkpoint")
+		ckptPath = flag.String("checkpoint", "", "write run-state checkpoints (model + scheduler + RNG) to this path")
+		ckptEvr  = flag.Duration("checkpoint-every", 0, "also checkpoint on this wall-clock period (real engine; 0 = barriers and exit only)")
+		ckptKeep = flag.Int("checkpoint-keep", 3, "run-state generations to retain (path, path.1, ...)")
+		resume   = flag.String("resume", "", "resume a run from a run-state checkpoint (same alg/seed/arch)")
 		faultStr = flag.String("faults", "", "inject faults: crash:W:N,hang:W:N:DUR,corrupt:W:RATE (enables watchdog+guards)")
 		wdSlack  = flag.Float64("watchdog-slack", 0, "quarantine a worker past slack × modeled iteration time (0 = off unless -faults)")
 		wdFloor  = flag.Duration("watchdog-floor", 100*time.Millisecond, "minimum watchdog deadline")
@@ -134,11 +150,21 @@ func main() {
 		fmt.Printf("warm-starting from %s\n", *loadPath)
 	}
 
+	// SIGINT/SIGTERM cancel the run context: the engine stops scheduling,
+	// drains in-flight work, writes a final checkpoint (with -checkpoint),
+	// and the process exits 0 with the partial result.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	baseLR := *lr
 	if baseLR == 0 {
 		p := &experiments.Problem{Spec: data.SynthSpec{Name: ds.Name}, Dataset: ds, Net: net, Scale: sc}
-		baseLR = experiments.TuneLR(p, *seed)
+		baseLR = experiments.TuneLR(ctx, p, *seed)
 		fmt.Printf("grid-tuned base LR: %g\n", baseLR)
+	}
+
+	if (*ckptPath != "" || *resume != "") && (alg == core.AlgOmnivore || alg == core.AlgTensorFlow) {
+		fatal(fmt.Errorf("-checkpoint/-resume require a core engine algorithm (not %v)", alg))
 	}
 
 	var res *core.Result
@@ -178,19 +204,41 @@ func main() {
 		if *guards || plan != nil {
 			cfg.Guards = core.DefaultGuards()
 		}
+		if *ckptPath != "" {
+			cfg.CheckpointSink = &checkpoint.Writer{Path: *ckptPath, Keep: *ckptKeep}
+			cfg.CheckpointEvery = *ckptEvr
+		}
+		if *resume != "" {
+			st, rerr := checkpoint.LoadLatest(*resume, *ckptKeep, net)
+			if rerr != nil {
+				fatal(fmt.Errorf("loading resume state: %w", rerr))
+			}
+			cfg.Resume = st
+			cfg.InitialParams = nil
+			fmt.Printf("resuming from %s: epoch %d, %.2f epochs done, %d updates%s\n",
+				*resume, st.Epoch, float64(st.ExamplesDone)/float64(ds.N()), st.TotalUpdates,
+				map[bool]string{true: " (interrupted run)", false: ""}[st.Interrupted])
+		}
 		for _, w := range cfg.Workers {
 			if err := core.GPUMemoryCheck(net, w); err != nil {
 				fatal(err)
 			}
 		}
 		if *engine == "real" {
-			res, err = core.RunReal(cfg, *budget)
+			res, err = core.RunReal(ctx, cfg, *budget)
 		} else {
-			res, err = core.RunSim(cfg, *budget)
+			res, err = core.RunSim(ctx, cfg, *budget)
 		}
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if res.Interrupted {
+		if *ckptPath != "" {
+			fmt.Printf("interrupted: drained in-flight work; run state saved (resume with -resume %s)\n", *ckptPath)
+		} else {
+			fmt.Println("interrupted: drained in-flight work (use -checkpoint to make interrupted runs resumable)")
+		}
 	}
 
 	if *savePath != "" {

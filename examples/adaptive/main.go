@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,12 +16,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := experiments.NewProblem("real-sim", experiments.Small(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	horizon := p.Horizon()
-	lr := experiments.TuneLR(p, 1)
+	lr := experiments.TuneLR(ctx, p, 1)
 	fmt.Printf("%s — budget %v, LR %g\n\n", p.Dataset, horizon, lr)
 
 	fmt.Printf("%-6s %-6s %12s %14s %10s %10s\n",
@@ -31,7 +33,7 @@ func main() {
 			cfg.BaseLR = lr
 			cfg.Alpha = alpha
 			cfg.Beta = beta
-			res, err := core.RunSim(cfg, horizon)
+			res, err := core.RunSim(ctx, cfg, horizon)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -44,7 +46,7 @@ func main() {
 	fmt.Println("\nStatic CPU+GPU Hogbatch for comparison:")
 	cfg := core.NewConfig(core.AlgCPUGPUHogbatch, p.Net, p.Dataset, p.Scale.Preset)
 	cfg.BaseLR = lr
-	res, err := core.RunSim(cfg, horizon)
+	res, err := core.RunSim(ctx, cfg, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}

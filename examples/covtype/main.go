@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,12 +17,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := experiments.NewProblem("covtype", experiments.Small(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	horizon := p.Horizon()
-	lr := experiments.TuneLR(p, 1)
+	lr := experiments.TuneLR(ctx, p, 1)
 	fmt.Printf("%s — budget %v, grid-tuned LR %g\n\n", p.Dataset, horizon, lr)
 
 	var traces []*metrics.Trace
@@ -32,7 +34,7 @@ func main() {
 		cfg := core.NewConfig(alg, p.Net, p.Dataset, p.Scale.Preset)
 		cfg.BaseLR = lr
 		cfg.SampleEvery = horizon / 25
-		res, err := core.RunSim(cfg, horizon)
+		res, err := core.RunSim(ctx, cfg, horizon)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,12 +17,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := experiments.NewProblem("w8a", experiments.Small(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	horizon := p.Horizon()
-	lr := experiments.TuneLR(p, 1)
+	lr := experiments.TuneLR(ctx, p, 1)
 	fmt.Printf("%s — budget %v, LR %g\n\n", p.Dataset, horizon, lr)
 
 	fmt.Printf("%-6s %-6s %14s %12s %10s %12s\n",
@@ -35,7 +37,7 @@ func main() {
 		}
 		cfg.BaseLR = lr
 		cfg.EvalSubset = 1024
-		res, err := core.RunSim(cfg, horizon)
+		res, err := core.RunSim(ctx, cfg, horizon)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +55,7 @@ func main() {
 	cfg := core.NewConfig(core.AlgAdaptiveHogbatch, p.Net, p.Dataset, p.Scale.Preset)
 	cfg.BaseLR = lr
 	cfg.EvalSubset = 1024
-	res, err := core.RunSim(cfg, horizon)
+	res, err := core.RunSim(ctx, cfg, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,17 +16,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := experiments.NewProblem("delicious", experiments.Small(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s (multi-label: avg %.1f labels/example)\n", p.Dataset, avgLabels(p))
 	horizon := p.Horizon()
-	lr := experiments.TuneLR(p, 1)
+	lr := experiments.TuneLR(ctx, p, 1)
 
 	adaptive := core.NewConfig(core.AlgAdaptiveHogbatch, p.Net, p.Dataset, p.Scale.Preset)
 	adaptive.BaseLR = lr
-	res, err := core.RunSim(adaptive, horizon)
+	res, err := core.RunSim(ctx, adaptive, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func main() {
 
 	gpuCfg := core.NewConfig(core.AlgHogbatchGPU, p.Net, p.Dataset, p.Scale.Preset)
 	gpuCfg.BaseLR = lr
-	gpuRes, err := core.RunSim(gpuCfg, horizon)
+	gpuRes, err := core.RunSim(ctx, gpuCfg, horizon)
 	if err != nil {
 		log.Fatal(err)
 	}

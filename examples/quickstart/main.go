@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A covtype-shaped synthetic dataset at 1/250 scale (the real file
 	// drops in via data.ReadLIBSVMFile).
 	spec := data.Covtype.Scaled(0.004)
@@ -33,7 +35,7 @@ func main() {
 	})
 	cfg.BaseLR = 0.05
 
-	res, err := core.RunSim(cfg, 20*time.Millisecond) // 20ms of V100 time
+	res, err := core.RunSim(ctx, cfg, 20*time.Millisecond) // 20ms of V100 time
 	if err != nil {
 		log.Fatal(err)
 	}

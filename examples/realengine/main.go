@@ -7,10 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"heterosgd/internal/core"
@@ -61,9 +64,16 @@ func main() {
 	// Hogwild exactly as in the paper.
 	cfg.UpdateMode = tensor.UpdateLocked
 
-	res, err := core.RunReal(cfg, 2*time.Second)
+	// Ctrl-C interrupts gracefully: the coordinator stops scheduling,
+	// drains in-flight batches, and returns the partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := core.RunReal(ctx, cfg, 2*time.Second)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.Interrupted {
+		fmt.Println("interrupted — partial result:")
 	}
 	fmt.Println(res)
 	for worker, n := range res.Updates.Snapshot() {

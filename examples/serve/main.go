@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := experiments.NewProblem("covtype", experiments.Small(), 1)
 	if err != nil {
 		log.Fatal(err)
@@ -40,7 +42,7 @@ func main() {
 	cfg.SnapshotEvery = 100 * time.Millisecond
 	trained := make(chan *core.Result, 1)
 	go func() {
-		res, err := core.RunReal(cfg, 2*time.Second)
+		res, err := core.RunReal(ctx, cfg, 2*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// real-sim-shaped synthetic data, ~0.25% dense. Scaled() shrinks the
 	// example count but — unlike dense specs — never the feature width.
 	// (A real LIBSVM file loads the same way with LIBSVMOptions{Sparse: true}.)
@@ -43,7 +45,7 @@ func main() {
 	})
 	cfg.BaseLR = 0.1
 
-	res, err := core.RunSim(cfg, 20*time.Millisecond) // 20ms of V100 time
+	res, err := core.RunSim(ctx, cfg, 20*time.Millisecond) // 20ms of V100 time
 	if err != nil {
 		log.Fatal(err)
 	}

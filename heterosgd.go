@@ -26,16 +26,18 @@
 //	ds := heterosgd.Generate(spec, 1)
 //	net := heterosgd.MustNetwork(spec.Arch())
 //	cfg := heterosgd.NewConfig(heterosgd.AlgAdaptiveHogbatch, net, ds, heterosgd.DefaultPreset())
-//	res, err := heterosgd.RunSim(cfg, time.Second)
+//	res, err := heterosgd.RunSim(context.Background(), cfg, time.Second)
 //
 // See examples/ for complete programs and cmd/hogbench for the paper's
 // tables and figures.
 package heterosgd
 
 import (
+	"context"
 	"math/rand/v2"
 	"time"
 
+	"heterosgd/internal/checkpoint"
 	"heterosgd/internal/core"
 	"heterosgd/internal/data"
 	"heterosgd/internal/faults"
@@ -113,10 +115,18 @@ func NewConfig(alg Algorithm, net *Network, ds *Dataset, p Preset) Config {
 }
 
 // RunSim trains on the simulated CPU+GPU machine for a virtual-time budget.
-func RunSim(cfg Config, horizon time.Duration) (*Result, error) { return core.RunSim(cfg, horizon) }
+// Cancelling ctx stops scheduling, drains in-flight work, and returns the
+// partial Result with Interrupted set.
+func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, error) {
+	return core.RunSim(ctx, cfg, horizon)
+}
 
-// RunReal trains with live goroutines for a wall-clock budget.
-func RunReal(cfg Config, budget time.Duration) (*Result, error) { return core.RunReal(cfg, budget) }
+// RunReal trains with live goroutines for a wall-clock budget. Cancelling
+// ctx stops scheduling, drains in-flight work, and returns the partial
+// Result with Interrupted set.
+func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, error) {
+	return core.RunReal(ctx, cfg, budget)
+}
 
 // RunTensorFlowBaseline trains with the op-graph synchronous baseline.
 func RunTensorFlowBaseline(cfg tfbaseline.Config, horizon time.Duration) (*Result, error) {
@@ -250,3 +260,34 @@ func SaveModel(path string, p *Params) error { return nn.SaveParamsFile(path, p)
 // LoadModel reads a checkpoint for the network (use Config.InitialParams
 // to warm-start a run from it).
 func LoadModel(path string, net *Network) (*Params, error) { return nn.LoadParamsFile(path, net) }
+
+// Run lifecycle: both engines observe context cancellation (stop scheduling,
+// drain in-flight work, return the partial Result with Interrupted set),
+// emit crash-consistent run-state checkpoints through Config.CheckpointSink,
+// and warm-start from one via Config.Resume — restoring the model, adaptive
+// batch sizes, policy counters, LR schedule position, and shuffle RNG, so a
+// resumed deterministic run continues the interrupted trajectory exactly.
+type (
+	// RunState is a complete snapshot of a run's mutable state
+	// (Config.Resume, Config.CheckpointSink).
+	RunState = core.RunState
+	// CheckpointSink receives RunState snapshots from a running engine.
+	CheckpointSink = core.CheckpointSink
+	// CheckpointWriter persists run states to a file with keep-last-N
+	// rotation (a ready-made CheckpointSink).
+	CheckpointWriter = checkpoint.Writer
+)
+
+// SaveRunState writes a run-state checkpoint to path atomically.
+func SaveRunState(path string, st *RunState) error { return checkpoint.Save(path, st) }
+
+// LoadRunState reads the run-state checkpoint at path for the network.
+func LoadRunState(path string, net *Network) (*RunState, error) {
+	return checkpoint.Load(path, net)
+}
+
+// LoadLatestRunState reads path, falling back through up to keep-1 rotated
+// generations (path.1, path.2, …) when the newest is missing or corrupt.
+func LoadLatestRunState(path string, keep int, net *Network) (*RunState, error) {
+	return checkpoint.LoadLatest(path, keep, net)
+}

@@ -1,6 +1,7 @@
 package heterosgd
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestFacadeEndToEndSim(t *testing.T) {
 	cfg.BaseLR = 0.1
 	cfg.RefBatch = 4
 	cfg.EvalSubset = 256
-	res, err := RunSim(cfg, 20*time.Millisecond)
+	res, err := RunSim(context.Background(), cfg, 20*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestFacadeEndToEndReal(t *testing.T) {
 	cfg.RefBatch = 4
 	cfg.EvalSubset = 256
 	cfg.UpdateMode = tensor.UpdateLocked
-	res, err := RunReal(cfg, 200*time.Millisecond)
+	res, err := RunReal(context.Background(), cfg, 200*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestFacadeCheckpointInterop(t *testing.T) {
 	cfg := NewConfig(AlgHogbatchGPU, net, ds, facadePreset())
 	cfg.BaseLR = 0.1
 	cfg.EvalSubset = 256
-	res, err := RunSim(cfg, 5*time.Millisecond)
+	res, err := RunSim(context.Background(), cfg, 5*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFacadeSVRGAndMulti(t *testing.T) {
 	cfg.BaseLR = 0.1
 	cfg.RefBatch = 4
 	cfg.EvalSubset = 256
-	res, err := RunSim(cfg, 10*time.Millisecond)
+	res, err := RunSim(context.Background(), cfg, 10*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestFacadeSVRGAndMulti(t *testing.T) {
 	}
 	multi.BaseLR = 0.1
 	multi.EvalSubset = 256
-	if _, err := RunSim(multi, 5*time.Millisecond); err != nil {
+	if _, err := RunSim(context.Background(), multi, 5*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -186,7 +187,7 @@ func TestFacadeModelIO(t *testing.T) {
 	cfg := NewConfig(AlgHogbatchGPU, net, ds, facadePreset())
 	cfg.BaseLR = 0.1
 	cfg.EvalSubset = 256
-	res, err := RunSim(cfg, 5*time.Millisecond)
+	res, err := RunSim(context.Background(), cfg, 5*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestFacadeModelIO(t *testing.T) {
 	resume.BaseLR = 0.1
 	resume.EvalSubset = 256
 	resume.InitialParams = back
-	res2, err := RunSim(resume, 5*time.Millisecond)
+	res2, err := RunSim(context.Background(), resume, 5*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

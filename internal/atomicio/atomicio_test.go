@@ -1,0 +1,114 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("got %q", got)
+	}
+	// Overwrite replaces the contents in place.
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("after overwrite got %q", got)
+	}
+}
+
+func TestWriteFailureLeavesPreviousContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(path, 0o644, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the callback error back, got %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "good" {
+		t.Fatalf("failed write must leave previous contents; got %q", got)
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %v", entries)
+	}
+}
+
+func TestWriteMissingDirErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "out")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestRotateShiftsGenerations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+
+	// Rotating a missing file is a no-op.
+	if err := Rotate(path, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write gen-1..4, rotating before each like checkpoint.Writer does.
+	for i := 1; i <= 4; i++ {
+		if err := Rotate(path, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFile(path, []byte(fmt.Sprintf("gen%d", i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[string]string{path: "gen4", path + ".1": "gen3", path + ".2": "gen2"}
+	for p, content := range want {
+		got, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if string(got) != content {
+			t.Fatalf("%s = %q, want %q", p, got, content)
+		}
+	}
+	// gen1 fell off the end: keep=3 means the live file plus two backups.
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatal("keep=3 must retain at most two backups")
+	}
+}
+
+func TestRotateKeepOne(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := WriteFile(path, []byte("only"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rotate(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	// keep<=1: no backups are created; the live file stays for the incoming
+	// rename to replace.
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatal("keep=1 must not create backups")
+	}
+}

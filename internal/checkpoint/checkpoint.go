@@ -1,0 +1,230 @@
+// Package checkpoint persists core.RunState — a training run's complete
+// mutable state — as versioned, checksummed, atomically-replaced files, and
+// restores it for core's Config.Resume.
+//
+// File layout (little-endian):
+//
+//	magic   uint32  "HGC1"
+//	version uint32
+//	hdrLen  uint32  length of the JSON header
+//	header  []byte  JSON: every RunState field except Params
+//	hdrCRC  uint32  CRC-32 (IEEE) of the four preceding fields
+//	params  []byte  the model, in nn.WriteParams format (self-checksummed)
+//
+// The header and model sections carry independent checksums, so truncation
+// or corruption anywhere in the file yields a descriptive error instead of
+// a silently wrong resume. Files are written via atomicio (temp file +
+// rename), so a kill mid-write never leaves a torn checkpoint: readers see
+// either the previous complete generation or the new one.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"heterosgd/internal/atomicio"
+	"heterosgd/internal/core"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+)
+
+const (
+	fileMagic   = 0x48474331 // "HGC1"
+	fileVersion = 1
+)
+
+// header mirrors core.RunState minus Params (which is stored in the binary
+// model section). A dedicated struct keeps the on-disk schema explicit and
+// independent of incidental RunState changes.
+type header struct {
+	Algorithm    int             `json:"algorithm"`
+	Seed         uint64          `json:"seed"`
+	Epoch        int             `json:"epoch"`
+	Cursor       int             `json:"cursor"`
+	ExamplesDone int64           `json:"examples_done"`
+	TotalUpdates int64           `json:"total_updates"`
+	Batch        []int           `json:"batch"`
+	Updates      []int64         `json:"updates"`
+	LRMult       []float64       `json:"lr_mult"`
+	GuardLRScale float64         `json:"guard_lr_scale"`
+	GuardRetries int             `json:"guard_retries"`
+	RNG          []byte          `json:"rng"`
+	Interrupted  bool            `json:"interrupted"`
+	At           time.Duration   `json:"at_ns"`
+	Events       []metrics.Event `json:"events,omitempty"`
+}
+
+// Write serializes st to w.
+func Write(w io.Writer, st *core.RunState) error {
+	if st.Params == nil {
+		return fmt.Errorf("checkpoint: run state has no model parameters")
+	}
+	hdr, err := json.Marshal(header{
+		Algorithm:    int(st.Algorithm),
+		Seed:         st.Seed,
+		Epoch:        st.Epoch,
+		Cursor:       st.Cursor,
+		ExamplesDone: st.ExamplesDone,
+		TotalUpdates: st.TotalUpdates,
+		Batch:        st.Batch,
+		Updates:      st.Updates,
+		LRMult:       st.LRMult,
+		GuardLRScale: st.GuardLRScale,
+		GuardRetries: st.GuardRetries,
+		RNG:          st.RNG,
+		Interrupted:  st.Interrupted,
+		At:           st.At,
+		Events:       st.Events,
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding header: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	for _, v := range []uint32{fileMagic, fileVersion, uint32(len(hdr))} {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("checkpoint: writing header: %w", err)
+		}
+	}
+	if _, err := mw.Write(hdr); err != nil {
+		return fmt.Errorf("checkpoint: writing header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("checkpoint: writing header checksum: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return nn.WriteParams(w, st.Params)
+}
+
+// Read deserializes a checkpoint written by Write; the model section is
+// validated against net's architecture.
+func Read(r io.Reader, net *nn.Network) (*core.RunState, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	var magic, version, hdrLen uint32
+	for _, v := range []*uint32{&magic, &version, &hdrLen} {
+		if err := binary.Read(tr, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading header: %w", err)
+		}
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x (not a run-state checkpoint)", magic)
+	}
+	if version < 1 || version > fileVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
+	}
+	const maxHeader = 64 << 20
+	if hdrLen > maxHeader {
+		return nil, fmt.Errorf("checkpoint: implausible header length %d (corrupt file?)", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(tr, hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading header (truncated file?): %w", err)
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading header checksum (truncated file?): %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("checkpoint: header checksum mismatch (stored %#x, computed %#x): file is corrupt", got, want)
+	}
+	var h header
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding header: %w", err)
+	}
+	params, err := nn.ReadParams(r, net)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: model section: %w", err)
+	}
+	return &core.RunState{
+		Algorithm:    core.Algorithm(h.Algorithm),
+		Seed:         h.Seed,
+		Epoch:        h.Epoch,
+		Cursor:       h.Cursor,
+		ExamplesDone: h.ExamplesDone,
+		TotalUpdates: h.TotalUpdates,
+		Batch:        h.Batch,
+		Updates:      h.Updates,
+		LRMult:       h.LRMult,
+		GuardLRScale: h.GuardLRScale,
+		GuardRetries: h.GuardRetries,
+		RNG:          h.RNG,
+		Interrupted:  h.Interrupted,
+		At:           h.At,
+		Events:       h.Events,
+		Params:       params,
+	}, nil
+}
+
+// Save writes st to path atomically.
+func Save(path string, st *core.RunState) error {
+	return atomicio.Write(path, 0o644, func(w io.Writer) error {
+		return Write(w, st)
+	})
+}
+
+// Load reads the checkpoint at exactly path.
+func Load(path string, net *nn.Network) (*core.RunState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, net)
+}
+
+// LoadLatest reads path, falling back through its rotated generations
+// (path.1, path.2, …, up to keep-1 backups) when path is missing or fails
+// to validate — a kill between a Writer's rotate and write, or corruption
+// of the newest generation, then resumes from the most recent good one.
+func LoadLatest(path string, keep int, net *nn.Network) (*core.RunState, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	var firstErr error
+	for i := 0; i < keep; i++ {
+		p := path
+		if i > 0 {
+			p = fmt.Sprintf("%s.%d", path, i)
+		}
+		st, err := Load(p, net)
+		if err == nil {
+			return st, nil
+		}
+		if firstErr == nil && !os.IsNotExist(err) {
+			firstErr = fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("checkpoint: no checkpoint at %s", path)
+}
+
+// Writer is the core.CheckpointSink that persists every received RunState to
+// Path, retaining the Keep most recent generations (Path, Path.1, …) via
+// rename-only rotation.
+type Writer struct {
+	Path string
+	// Keep is the number of generations retained; values below 1 keep just
+	// Path itself.
+	Keep int
+}
+
+// WriteState implements core.CheckpointSink.
+func (w *Writer) WriteState(st *core.RunState) error {
+	if err := atomicio.Rotate(w.Path, w.Keep); err != nil {
+		return err
+	}
+	return Save(w.Path, st)
+}

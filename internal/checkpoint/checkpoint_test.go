@@ -1,0 +1,224 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+)
+
+func testNet(t *testing.T) *nn.Network {
+	t.Helper()
+	return nn.MustNetwork(nn.Arch{
+		InputDim: 6, Hidden: []int{5, 4}, OutputDim: 3, Activation: nn.ActSigmoid,
+	})
+}
+
+func testState(t *testing.T, net *nn.Network) *core.RunState {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(11, 7))
+	return &core.RunState{
+		Algorithm:    core.AlgAdaptiveHogbatch,
+		Seed:         42,
+		Epoch:        3,
+		Cursor:       128,
+		ExamplesDone: 9001,
+		TotalUpdates: 512,
+		Batch:        []int{16, 256},
+		Updates:      []int64{300, 212},
+		LRMult:       []float64{1, 1},
+		GuardLRScale: 0.5,
+		GuardRetries: 1,
+		RNG:          []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		Interrupted:  true,
+		At:           1500 * time.Millisecond,
+		Events: []metrics.Event{
+			{At: time.Second, Worker: "cpu", Kind: "interrupt", Detail: "test"},
+		},
+		Params: net.NewParams(nn.InitXavier, rng),
+	}
+}
+
+func statesEqual(t *testing.T, want, got *core.RunState) {
+	t.Helper()
+	if got.Algorithm != want.Algorithm || got.Seed != want.Seed ||
+		got.Epoch != want.Epoch || got.Cursor != want.Cursor ||
+		got.ExamplesDone != want.ExamplesDone || got.TotalUpdates != want.TotalUpdates ||
+		got.GuardLRScale != want.GuardLRScale || got.GuardRetries != want.GuardRetries ||
+		got.Interrupted != want.Interrupted || got.At != want.At {
+		t.Fatalf("scalar fields changed: got %+v", got)
+	}
+	if len(got.Batch) != len(want.Batch) || got.Batch[0] != want.Batch[0] || got.Batch[1] != want.Batch[1] {
+		t.Fatalf("batch changed: %v", got.Batch)
+	}
+	if !bytes.Equal(got.RNG, want.RNG) {
+		t.Fatalf("rng state changed: %v", got.RNG)
+	}
+	if len(got.Events) != 1 || got.Events[0].Kind != "interrupt" {
+		t.Fatalf("events changed: %v", got.Events)
+	}
+	if want.Params.MaxAbsDiff(got.Params) != 0 {
+		t.Fatal("model parameters changed")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	net := testNet(t)
+	st := testState(t, net)
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, st, back)
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	net := testNet(t)
+	st := testState(t, net)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, st, back)
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	net := testNet(t)
+	st := testState(t, net)
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[0] ^= 0xff
+		if _, err := Read(bytes.NewReader(bad), net); err == nil ||
+			!strings.Contains(err.Error(), "magic") {
+			t.Fatalf("want a bad-magic error, got %v", err)
+		}
+	})
+	t.Run("flipped header byte", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[20] ^= 0x10 // inside the JSON header
+		if _, err := Read(bytes.NewReader(bad), net); err == nil ||
+			!strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("want a header-checksum error, got %v", err)
+		}
+	})
+	t.Run("flipped model byte", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(bad)-30] ^= 0x10 // inside the params floats
+		if _, err := Read(bytes.NewReader(bad), net); err == nil ||
+			!strings.Contains(err.Error(), "model section") {
+			t.Fatalf("want a model-section error, got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 3, 10, len(raw) / 2, len(raw) - 2} {
+			if _, err := Read(bytes.NewReader(raw[:cut]), net); err == nil {
+				t.Fatalf("truncation at %d must error", cut)
+			}
+		}
+	})
+	t.Run("wrong architecture", func(t *testing.T) {
+		other := nn.MustNetwork(nn.Arch{InputDim: 6, Hidden: []int{2}, OutputDim: 3, Activation: nn.ActSigmoid})
+		if _, err := Read(bytes.NewReader(raw), other); err == nil ||
+			!strings.Contains(err.Error(), "model section") {
+			t.Fatalf("want an architecture error from the model section, got %v", err)
+		}
+	})
+}
+
+func TestWriterRotationAndLoadLatest(t *testing.T) {
+	net := testNet(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	w := &Writer{Path: path, Keep: 3}
+
+	for epoch := 1; epoch <= 4; epoch++ {
+		st := testState(t, net)
+		st.Epoch = epoch
+		if err := w.WriteState(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Newest generation wins.
+	st, err := LoadLatest(path, 3, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 4 {
+		t.Fatalf("latest epoch = %d, want 4", st.Epoch)
+	}
+
+	// Corrupt the head generation (as a kill mid-rotate or bit rot would):
+	// LoadLatest falls back to the previous complete one.
+	if err := os.WriteFile(path, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err = LoadLatest(path, 3, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 3 {
+		t.Fatalf("fallback epoch = %d, want 3", st.Epoch)
+	}
+
+	// Head missing entirely (kill between rotate and write).
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	st, err = LoadLatest(path, 3, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 3 {
+		t.Fatalf("missing-head fallback epoch = %d, want 3", st.Epoch)
+	}
+}
+
+func TestLoadLatestErrors(t *testing.T) {
+	net := testNet(t)
+	dir := t.TempDir()
+
+	// Nothing on disk: a clear not-found error.
+	_, err := LoadLatest(filepath.Join(dir, "none.ckpt"), 3, net)
+	if err == nil || !strings.Contains(err.Error(), "no checkpoint") {
+		t.Fatalf("want a no-checkpoint error, got %v", err)
+	}
+
+	// All generations corrupt: the head generation's error surfaces.
+	path := filepath.Join(dir, "bad.ckpt")
+	os.WriteFile(path, []byte("garbage"), 0o644)
+	os.WriteFile(path+".1", []byte("garbage"), 0o644)
+	_, err = LoadLatest(path, 3, net)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint:") {
+		t.Fatalf("want a descriptive error, got %v", err)
+	}
+}
+
+func TestWriteRejectsMissingParams(t *testing.T) {
+	st := testState(t, testNet(t))
+	st.Params = nil
+	if err := Write(&bytes.Buffer{}, st); err == nil {
+		t.Fatal("expected error for missing params")
+	}
+}

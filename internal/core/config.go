@@ -232,6 +232,25 @@ type Config struct {
 	// time in RunReal). 0 with a non-nil sink publishes at epoch barriers
 	// and run end only.
 	SnapshotEvery time.Duration
+	// CheckpointSink, when set, receives crash-consistent RunState
+	// snapshots: at epoch barriers, on a wall-clock period in RunReal
+	// (CheckpointEvery), and always on drain — including the drain after a
+	// context cancellation, so an interrupted run's last checkpoint
+	// reflects everything it completed. internal/checkpoint.Writer
+	// satisfies it with versioned, checksummed, atomically-replaced files.
+	CheckpointSink CheckpointSink
+	// CheckpointEvery throttles periodic checkpoints (wall time in
+	// RunReal). 0 with a non-nil sink checkpoints at every epoch barrier
+	// and on drain only.
+	CheckpointEvery time.Duration
+	// Resume warm-starts the run from a RunState captured by a previous
+	// run's CheckpointSink (e.g. loaded with checkpoint.Load): model
+	// parameters, adaptive batch sizes, policy counters, LR schedule
+	// position, shuffle RNG stream, and guard backoff are all restored, so
+	// the deterministic simulated engine continues the exact trajectory
+	// the interrupted run was on. Resume and InitialParams are mutually
+	// exclusive (Resume carries its own parameters).
+	Resume *RunState
 }
 
 // SnapshotSink receives model snapshots from a running engine. PublishParams
@@ -286,6 +305,15 @@ func (c *Config) Validate() error {
 	}
 	if c.SnapshotEvery < 0 {
 		return fmt.Errorf("core: snapshot period %v must be non-negative", c.SnapshotEvery)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: checkpoint period %v must be non-negative", c.CheckpointEvery)
+	}
+	if c.Resume != nil && c.InitialParams != nil {
+		return fmt.Errorf("core: Resume and InitialParams are mutually exclusive")
+	}
+	if err := c.validateResume(); err != nil {
+		return err
 	}
 	if c.Watchdog != nil && c.Watchdog.Slack <= 0 {
 		return fmt.Errorf("core: watchdog slack %v must be positive", c.Watchdog.Slack)
@@ -408,13 +436,18 @@ func NewConfig(alg Algorithm, net *nn.Network, ds *data.Dataset, p Preset) Confi
 	return cfg
 }
 
+// rngStream is the fixed PCG stream selector every run RNG uses; the model
+// init stream and the coordinator's shuffle stream are independent instances
+// of the same (seed, stream) source.
+const rngStream = 0xda3e39cb94b95bdb
+
 // RunRNG returns the deterministic random source a run with this seed uses
 // for model initialization and shuffling. Exported so comparison baselines
 // (internal/tfbaseline) can start from the identical model, as the paper's
 // methodology requires ("all the algorithms are initialized with the same
 // model", §VII-A).
 func RunRNG(seed uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+	return rand.New(rand.NewPCG(seed, rngStream))
 }
 
 // newRNG returns the config's deterministic random source.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"heterosgd/internal/data"
@@ -17,6 +18,10 @@ import (
 // paper's sequential message processing.
 type coordinator struct {
 	cfg *Config
+	// pcg is the shuffle stream's marshalable source; rng wraps it. The
+	// stream's only consumer is the between-epoch shuffle, which is what
+	// lets checkpoint/resume replay the dataset permutation from the seed.
+	pcg *rand.PCG
 	rng *rand.Rand
 
 	// cursor is the next unassigned example of the current epoch; the
@@ -47,9 +52,11 @@ type coordinator struct {
 }
 
 func newCoordinator(cfg *Config) *coordinator {
+	pcg := rand.NewPCG(cfg.Seed, rngStream)
 	c := &coordinator{
 		cfg:     cfg,
-		rng:     cfg.newRNG(),
+		pcg:     pcg,
+		rng:     rand.New(pcg),
 		batch:   make([]int, len(cfg.Workers)),
 		updates: make([]int64, len(cfg.Workers)),
 		resizes: make([]int, len(cfg.Workers)),
@@ -212,6 +219,48 @@ func (c *coordinator) refill() {
 	if c.cfg.Shuffle {
 		c.cfg.Dataset.Shuffle(c.rng)
 	}
+}
+
+// exportState snapshots the coordinator's scheduling state into a RunState
+// (the engine fills in the model, guard, and event fields).
+func (c *coordinator) exportState() (*RunState, error) {
+	rngBytes, err := c.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshaling RNG state: %w", err)
+	}
+	return &RunState{
+		Algorithm:    c.cfg.Algorithm,
+		Seed:         c.cfg.Seed,
+		Epoch:        c.epoch,
+		Cursor:       c.cursor,
+		ExamplesDone: c.examplesDone,
+		Batch:        append([]int(nil), c.batch...),
+		Updates:      append([]int64(nil), c.updates...),
+		LRMult:       append([]float64(nil), c.lrMult...),
+		RNG:          rngBytes,
+	}, nil
+}
+
+// restore loads a RunState's scheduling counters and RNG position. Batch
+// sizes are clamped to each worker's configured range, so a resume under
+// changed thresholds stays valid.
+func (c *coordinator) restore(st *RunState) error {
+	if err := c.pcg.UnmarshalBinary(st.RNG); err != nil {
+		return fmt.Errorf("core: restoring RNG state: %w", err)
+	}
+	c.epoch = st.Epoch
+	c.cursor = st.Cursor
+	if c.cursor > c.n() {
+		c.cursor = c.n()
+	}
+	c.examplesDone = st.ExamplesDone
+	copy(c.updates, st.Updates)
+	copy(c.lrMult, st.LRMult)
+	for i, b := range st.Batch {
+		w := c.cfg.Workers[i]
+		c.batch[i] = min(max(b, w.MinBatch), w.MaxBatch)
+	}
+	return nil
 }
 
 // updateGap returns the difference between the largest and smallest

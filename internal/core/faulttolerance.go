@@ -82,6 +82,16 @@ type FaultReport struct {
 	// Diverged reports that the retry budget was exhausted: the run
 	// stopped because loss stayed non-finite through MaxRetries rollbacks.
 	Diverged bool
+	// Queue aggregates message-queue counters across the run's channels
+	// (coordinator queue plus worker inboxes in RunReal; zero in RunSim,
+	// which passes messages by direct call).
+	Queue QueueStats
+}
+
+// QueueStats aggregates msgq counters: messages pushed, popped, and dropped
+// (drops come from expired pops whose straggler completion was discarded).
+type QueueStats struct {
+	Pushed, Popped, Dropped uint64
 }
 
 // Faulty reports whether anything abnormal happened.
@@ -291,6 +301,30 @@ func (g *guardState) scale() float64 {
 		return 1
 	}
 	return g.lrScale
+}
+
+// retryCount returns the consecutive-rollback count (0 before any rollback).
+func (g *guardState) retryCount() int {
+	if g == nil {
+		return 0
+	}
+	return g.retries
+}
+
+// restore re-applies a checkpointed guard backoff on resume: the LR scale
+// and retry budget continue where the interrupted run left them, and the
+// restored model becomes the new last-known-good checkpoint.
+func (g *guardState) restore(scale float64, retries int, global *nn.Params) {
+	if g == nil {
+		return
+	}
+	if scale > 0 {
+		g.lrScale = scale
+	}
+	if retries > 0 {
+		g.retries = retries
+	}
+	g.checkpoint.CopyFrom(global)
 }
 
 // snapshot returns the last good checkpoint (nil when guards are off).

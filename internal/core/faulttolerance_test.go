@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -165,7 +166,7 @@ func TestWatchdogDeadlineFloor(t *testing.T) {
 func TestSimCrashedWorkerSurvived(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(1, 3))
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSimCrashedWorkerSurvived(t *testing.T) {
 func TestSimAllWorkersCrashedErrors(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(0, 2), faults.CrashAfter(1, 2))
-	_, err := RunSim(cfg, simHorizon)
+	_, err := RunSim(context.Background(), cfg, simHorizon)
 	if err == nil {
 		t.Fatal("expected an error when every worker crashes")
 	}
@@ -208,7 +209,7 @@ func TestSimHangQuarantineAndReadmission(t *testing.T) {
 	// so the deadline fires mid-hang and the completion readmits.
 	cfg.Faults = faults.NewPlan(7, faults.HangAfter(1, 4, time.Millisecond))
 	cfg.Watchdog = &WatchdogConfig{Slack: 2, Floor: 10 * time.Microsecond}
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestSimCorruptGradientGuarded(t *testing.T) {
 	cfg.Faults = faults.NewPlan(7,
 		faults.CorruptGradient(0, 0.5), faults.CorruptGradient(1, 0.5))
 	cfg.Guards = DefaultGuards()
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestSimThrottledStragglerNotQuarantined(t *testing.T) {
 	cfg.Workers[1].Device = device.NewThrottled(cfg.Workers[1].Device, 50, 2)
 	cfg.Watchdog = &WatchdogConfig{Slack: 2, Floor: 10 * time.Microsecond}
 	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(0, 2))
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,8 +290,8 @@ func TestSimFaultRunsAreDeterministic(t *testing.T) {
 		cfg.Guards = DefaultGuards()
 		return cfg
 	}
-	r1, err1 := RunSim(mk(), simHorizon)
-	r2, err2 := RunSim(mk(), simHorizon)
+	r1, err1 := RunSim(context.Background(), mk(), simHorizon)
+	r2, err2 := RunSim(context.Background(), mk(), simHorizon)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -323,7 +324,7 @@ func TestRealCrashedWorkerSurvivorConverges(t *testing.T) {
 	// Healthy single-CPU baseline establishes a reachable target.
 	healthy := tinyConfig(t, AlgHogbatchCPU)
 	healthy.UpdateMode = tensor.UpdateLocked
-	base, err := RunReal(healthy, realBudget)
+	base, err := RunReal(context.Background(), healthy, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestRealCrashedWorkerSurvivorConverges(t *testing.T) {
 	cfg.UpdateMode = tensor.UpdateLocked
 	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(1, 3))
 	cfg.TargetLoss = target
-	res, err := RunReal(cfg, 4*realBudget)
+	res, err := RunReal(context.Background(), cfg, 4*realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +362,7 @@ func TestRealAllWorkersCrashedErrors(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.UpdateMode = tensor.UpdateLocked
 	cfg.Faults = faults.NewPlan(7, faults.CrashAfter(0, 1), faults.CrashAfter(1, 1))
-	_, err := RunReal(cfg, realBudget)
+	_, err := RunReal(context.Background(), cfg, realBudget)
 	if err == nil {
 		t.Fatal("expected an error when every worker crashes")
 	}
@@ -377,7 +378,7 @@ func TestRealHangTriggersWatchdogRedispatch(t *testing.T) {
 	cfg.Faults = faults.NewPlan(7, faults.HangAfter(1, 3, 30*time.Second))
 	cfg.Watchdog = &WatchdogConfig{Slack: 4, Floor: 30 * time.Millisecond}
 	start := time.Now()
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ func TestRealCorruptGradientGuarded(t *testing.T) {
 	cfg.Faults = faults.NewPlan(7,
 		faults.CorruptGradient(0, 0.5), faults.CorruptGradient(1, 0.5))
 	cfg.Guards = DefaultGuards()
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +425,7 @@ func TestRealOvershootRecordedAndTraceClamped(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.UpdateMode = tensor.UpdateLocked
 	budget := 100 * time.Millisecond
-	res, err := RunReal(cfg, budget)
+	res, err := RunReal(context.Background(), cfg, budget)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"math"
@@ -33,7 +34,7 @@ func runGolden(t *testing.T, alg Algorithm) goldenTrace {
 	t.Helper()
 	cfg := tinyConfig(t, alg)
 	cfg.SampleEvery = simHorizon / 10
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatalf("%v: %v", alg, err)
 	}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+)
+
+// This file implements the run lifecycle layer shared by both engines:
+// crash-consistent run-state capture (RunState), restore on resume, and the
+// CheckpointSink attach point that internal/checkpoint persists through.
+//
+// A RunState is captured at epoch barriers — the engines' natural
+// consistency points, where no worker holds in-flight work — and, in the
+// real engine, additionally on a wall-clock period and on drain after a
+// cancellation. It carries everything nn.SaveParamsFile does not: the
+// adaptive batch sizes Algorithm 2 converged to, the per-worker update
+// counters the policy compares, the LR schedule position (fractional
+// epochs), the PCG shuffle-stream state, the divergence-guard backoff, and
+// the health events so far. Restoring all of it makes the deterministic
+// simulated engine provably continue the same trajectory (the
+// resume-equivalence golden test pins this bit-for-bit).
+
+// RunState is a complete, self-contained snapshot of a training run's
+// mutable state. It is produced by the engines through Config.CheckpointSink
+// and consumed through Config.Resume; internal/checkpoint serializes it with
+// versioning and checksums.
+type RunState struct {
+	// Algorithm and Seed identify the run; resume requires both to match
+	// the resuming Config (the determinism guarantee is per-trajectory).
+	Algorithm Algorithm
+	Seed      uint64
+	// Epoch is the number of pool refills performed (== the number of
+	// epoch shuffles consumed from the RNG stream when Config.Shuffle is
+	// set). Cursor is the next unassigned example within the current
+	// epoch; a barrier capture has Cursor == N (pool drained).
+	Epoch  int
+	Cursor int
+	// ExamplesDone accumulates assigned examples across epochs — the LR
+	// schedule position (fractional epochs = ExamplesDone/N).
+	ExamplesDone int64
+	// TotalUpdates is the raw model-update count at capture (diagnostic).
+	TotalUpdates int64
+	// Batch and Updates are the per-worker adaptive batch sizes b^E and
+	// β-weighted policy counters u^E (Algorithm 2's entire state). LRMult
+	// is the AdaptiveLR comparator's per-worker multiplier.
+	Batch   []int
+	Updates []int64
+	LRMult  []float64
+	// GuardLRScale and GuardRetries restore the divergence guard's
+	// exponential LR backoff (1 and 0 when guards never fired).
+	GuardLRScale float64
+	GuardRetries int
+	// RNG is the marshaled PCG state of the coordinator's shuffle stream.
+	RNG []byte
+	// Interrupted records that the capture came from a cancelled run's
+	// drain rather than a clean completion.
+	Interrupted bool
+	// At is the run clock at capture (virtual time in RunSim, wall time in
+	// RunReal); informational.
+	At time.Duration
+	// Events carries the health/fault event log up to the capture.
+	Events []metrics.Event
+	// Params is the model at capture (a private deep copy).
+	Params *nn.Params
+}
+
+// CheckpointSink receives run-state checkpoints from a running engine.
+// WriteState takes ownership of st (its Params are a private deep copy). It
+// is called from the coordinator only — never from worker hot paths — and a
+// returned error is logged as a "ckpt-error" health event without stopping
+// training (a full disk must not kill an otherwise healthy run).
+type CheckpointSink interface {
+	WriteState(st *RunState) error
+}
+
+// validateResume checks a RunState against the configuration resuming from
+// it.
+func (c *Config) validateResume() error {
+	st := c.Resume
+	if st == nil {
+		return nil
+	}
+	if st.Params == nil {
+		return fmt.Errorf("core: resume state has no model parameters")
+	}
+	if c.Algorithm == AlgSVRG {
+		return fmt.Errorf("core: resume is not supported for %v (the anchor state is not checkpointed)", AlgSVRG)
+	}
+	if st.Algorithm != c.Algorithm {
+		return fmt.Errorf("core: resume state is a %v run, config is %v", st.Algorithm, c.Algorithm)
+	}
+	if st.Seed != c.Seed {
+		return fmt.Errorf("core: resume state has seed %d, config has %d — the trajectory would diverge", st.Seed, c.Seed)
+	}
+	if len(st.Batch) != len(c.Workers) || len(st.Updates) != len(c.Workers) || len(st.LRMult) != len(c.Workers) {
+		return fmt.Errorf("core: resume state has %d workers, config has %d", len(st.Batch), len(c.Workers))
+	}
+	if st.Epoch < 0 || st.Cursor < 0 || st.ExamplesDone < 0 {
+		return fmt.Errorf("core: resume state has negative progress counters")
+	}
+	if len(st.RNG) == 0 {
+		return fmt.Errorf("core: resume state has no RNG state")
+	}
+	return nil
+}
+
+// restoreRun applies a RunState to a freshly-constructed run: model
+// parameters, coordinator counters, RNG stream, and the dataset permutation
+// (replayed deterministically from the seed — the shuffle stream is the
+// coordinator RNG's only consumer, so Epoch shuffles reproduce both the
+// permutation and the restored stream position). cfg.Dataset must be in its
+// freshly-loaded, original order, as a new process provides. Returns an
+// error only on a corrupt RNG blob.
+func restoreRun(cfg *Config, coord *coordinator, global *nn.Params, guard *guardState) error {
+	st := cfg.Resume
+	if st == nil {
+		return nil
+	}
+	global.CopyFrom(st.Params)
+	if err := coord.restore(st); err != nil {
+		return err
+	}
+	if cfg.Shuffle && st.Epoch > 0 {
+		replay := rand.New(rand.NewPCG(cfg.Seed, rngStream))
+		for i := 0; i < st.Epoch; i++ {
+			cfg.Dataset.Shuffle(replay)
+		}
+	}
+	if guard != nil {
+		guard.restore(st.GuardLRScale, st.GuardRetries, global)
+	}
+	// A barrier capture leaves the pool drained; start the next epoch now
+	// so the engines' initial dispatch round finds work (this consumes the
+	// next shuffle exactly where the uninterrupted run would).
+	if coord.poolEmpty() {
+		coord.refill()
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"heterosgd/internal/device"
@@ -59,7 +60,7 @@ func TestMultiGPUSimRunAllWorkersContribute(t *testing.T) {
 	cfg.BaseLR = 0.1
 	cfg.RefBatch = 4
 	cfg.EvalSubset = 256
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestMultiGPUAdaptiveBoundsHoldManyWorkers(t *testing.T) {
 	}
 	cfg.BaseLR = 0.1
 	cfg.EvalSubset = 256
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestMoreGPUsProcessMoreExamples(t *testing.T) {
 		cfg.BaseLR = 0.1
 		cfg.EvalSubset = 256
 	}
-	r1, err := RunSim(one, simHorizon)
+	r1, err := RunSim(context.Background(), one, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunSim(two, simHorizon)
+	r2, err := RunSim(context.Background(), two, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestMultiGPURealEngine(t *testing.T) {
 	cfg.BaseLR = 0.1
 	cfg.EvalSubset = 256
 	cfg.UpdateMode = tensor.UpdateLocked
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}

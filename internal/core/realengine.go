@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -91,12 +92,21 @@ type realWorker struct {
 // at the update boundary and a non-finite epoch loss rolls the model back
 // to the last checkpoint with bounded LR-backoff retries. cfg.Faults
 // injects deterministic crashes/hangs/corruption to exercise all of this.
-func RunReal(cfg Config, budget time.Duration) (*Result, error) {
+//
+// The engine is cancellable: when ctx is cancelled the coordinator stops
+// scheduling new work, drains every in-flight ExecuteWork message, emits a
+// final checkpoint through cfg.CheckpointSink (if configured), and returns
+// the partial Result with Interrupted set — never an error. A run may also
+// warm-start from cfg.Resume.
+func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Algorithm == AlgSVRG {
 		return nil, fmt.Errorf("core: AlgSVRG is implemented on the simulated engine only (use RunSim)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := cfg.newRNG()
 	net := cfg.Net
@@ -114,6 +124,9 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 	health := newHealthTracker(&cfg, events)
 	coord.tracker = health
 	guard := newGuardState(cfg.Guards, global)
+	if err := restoreRun(&cfg, coord, global, guard); err != nil {
+		return nil, err
+	}
 
 	// modelMu guards the shared model only in UpdateLocked mode.
 	var modelMu sync.RWMutex
@@ -258,14 +271,54 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		cfg.SnapshotSink.PublishParams(snapClone())
 	}
 
-	trace.Add(0, 0, evalLoss())
-
 	// The coordinator loop: sequential message processing, exactly like
 	// the paper's coordinator thread, extended with the recovery state
 	// machine (healthy → quarantined → readmitted, healthy → crashed).
 	outstanding := 0
 	converged := false
-	overBudget := func() bool { return converged || time.Since(start) >= budget }
+	interrupted := false
+	overBudget := func() bool { return converged || interrupted || time.Since(start) >= budget }
+
+	// writeCkpt captures a RunState and hands it to the checkpoint sink.
+	// Mid-epoch periodic captures record the coordinator's live cursor, which
+	// over-counts by the in-flight batches whose updates have not landed yet
+	// — acceptable for the wall-clock engine (resume skips at most a few
+	// batches of that epoch); barrier and drain captures are exact. Sink
+	// errors are logged as "ckpt-error" events and never stop training.
+	lastCkpt := start
+	writeCkpt := func(force bool) {
+		if cfg.CheckpointSink == nil {
+			return
+		}
+		if !force && (cfg.CheckpointEvery <= 0 || time.Since(lastCkpt) < cfg.CheckpointEvery) {
+			return
+		}
+		lastCkpt = time.Now()
+		st, err := coord.exportState()
+		if err == nil {
+			st.TotalUpdates = raw.Total()
+			st.GuardLRScale = guard.scale()
+			st.GuardRetries = guard.retryCount()
+			st.Interrupted = interrupted
+			st.At = time.Since(start)
+			st.Events = events.Events()
+			st.Params = snapClone()
+			err = cfg.CheckpointSink.WriteState(st)
+		}
+		if err != nil {
+			events.Add(time.Since(start), "", "ckpt-error", err.Error())
+		}
+	}
+
+	// Cancellation wakes the (possibly blocked) coordinator with a sentinel
+	// message; the loop then stops scheduling, drains in-flight work, and
+	// exits. stopCancelWatch prevents a late sentinel from counting as a
+	// queue drop after shutdown.
+	stopCancelWatch := context.AfterFunc(ctx, func() {
+		coordQ.Push(schedMsg{workerID: -1})
+	})
+
+	trace.Add(0, coord.epochFrac(), evalLoss())
 	flight := make(map[uint64]*inflightDispatch)
 	var seq uint64
 	// Each worker holds at most ONE outstanding dispatch (busy), so a
@@ -293,6 +346,11 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 	}
 	dispatch := func(id int) bool {
 		if !health.ok(id) || busy[id] {
+			return false
+		}
+		if interrupted {
+			// A cancelled run schedules nothing — not even re-dispatched
+			// batches; the drain loop below only collects completions.
 			return false
 		}
 		if len(feed[id]) == 0 && len(pending) > 0 {
@@ -390,6 +448,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		return wait
 	}
 	shutdown := func() {
+		stopCancelWatch()
 		for _, w := range workers {
 			w.inbox.Close()
 		}
@@ -449,6 +508,9 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		return nil
 	}
 
+	if ctx.Err() != nil {
+		interrupted = true
+	}
 	for i := range workers {
 		dispatch(i)
 	}
@@ -471,7 +533,17 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		if !ok {
 			break
 		}
+		if msg.workerID < 0 {
+			// Cancellation sentinel: stop scheduling and fall through to
+			// drain the remaining in-flight completions.
+			if !interrupted {
+				interrupted = true
+				events.Add(time.Since(start), "", "interrupt", "context cancelled; draining in-flight work")
+			}
+			continue
+		}
 		publishSnap(false)
+		writeCkpt(false)
 		if msg.failed {
 			if err := handleFailure(msg); err != nil {
 				shutdown()
@@ -514,6 +586,9 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 			if _, diverged := guardEval(loss); diverged {
 				break
 			}
+			// Checkpoint after the guard verdict so a rollback's restored
+			// model and backed-off LR scale are what a resume would load.
+			writeCkpt(true)
 			coord.refill()
 			for i := range workers {
 				dispatch(i)
@@ -521,6 +596,24 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		}
 	}
 	shutdown()
+	if ctx.Err() != nil {
+		interrupted = true
+	}
+	// Aggregate queue counters across the coordinator queue and every worker
+	// inbox (Stats is mutex-protected, so straggler pushes are safe).
+	qs := &health.report.Queue
+	{
+		p, o, d := coordQ.Stats()
+		qs.Pushed += p
+		qs.Popped += o
+		qs.Dropped += d
+	}
+	for _, w := range workers {
+		p, o, d := w.inbox.Stats()
+		qs.Pushed += p
+		qs.Popped += o
+		qs.Dropped += d
+	}
 
 	elapsed := time.Since(start)
 	overshoot := elapsed - budget
@@ -529,6 +622,9 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 	}
 	final := evalLoss()
 	publishSnap(true)
+	// The drain checkpoint: always emitted, so an interrupted run's last
+	// checkpoint reflects everything it completed.
+	writeCkpt(true)
 	// The final trace point is clamped to the budget boundary so one
 	// in-flight large batch cannot stretch the loss curve past the
 	// configured horizon; the true overrun is reported separately.
@@ -563,6 +659,7 @@ func RunReal(cfg Config, budget time.Duration) (*Result, error) {
 		Health:            health.report,
 		Events:            events,
 		Checkpoint:        guard.snapshot(),
+		Interrupted:       interrupted,
 	}, nil
 }
 

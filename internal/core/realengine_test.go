@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ func TestRealAllAlgorithmsReduceLoss(t *testing.T) {
 	for _, alg := range []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch, AlgMinibatchCPU} {
 		cfg := tinyConfig(t, alg)
 		cfg.UpdateMode = tensor.UpdateLocked // race-detector-clean
-		res, err := RunReal(cfg, realBudget)
+		res, err := RunReal(context.Background(), cfg, realBudget)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -34,7 +35,7 @@ func TestRealAtomicModeConverges(t *testing.T) {
 	}
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.UpdateMode = tensor.UpdateAtomic
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRealRespectsBudgetOrder(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchGPU)
 	cfg.UpdateMode = tensor.UpdateLocked
 	start := time.Now()
-	res, err := RunReal(cfg, 150*time.Millisecond)
+	res, err := RunReal(context.Background(), cfg, 150*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestRealRespectsBudgetOrder(t *testing.T) {
 func TestRealEpochAccounting(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchGPU)
 	cfg.UpdateMode = tensor.UpdateLocked
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestRealEpochAccounting(t *testing.T) {
 func TestRealUtilizationAndUpdateShares(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.UpdateMode = tensor.UpdateLocked
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestRealUtilizationAndUpdateShares(t *testing.T) {
 func TestRealAdaptiveStaysInBounds(t *testing.T) {
 	cfg := tinyConfig(t, AlgAdaptiveHogbatch)
 	cfg.UpdateMode = tensor.UpdateLocked
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRealAdaptiveStaysInBounds(t *testing.T) {
 func TestRealRejectsInvalidConfig(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchCPU)
 	cfg.Alpha = 0.5
-	if _, err := RunReal(cfg, realBudget); err == nil {
+	if _, err := RunReal(context.Background(), cfg, realBudget); err == nil {
 		t.Fatal("expected config error")
 	}
 }
@@ -122,13 +123,13 @@ func TestRealAndSimAgreeOnUpdateAccounting(t *testing.T) {
 	// Same problem, both engines: per processed batch, the CPU worker must
 	// report Threads updates and the GPU worker one — so the ratio
 	// updates/examples must match between engines for a GPU-only run.
-	sim, err := RunSim(tinyConfig(t, AlgHogbatchGPU), simHorizon)
+	sim, err := RunSim(context.Background(), tinyConfig(t, AlgHogbatchGPU), simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgR := tinyConfig(t, AlgHogbatchGPU)
 	cfgR.UpdateMode = tensor.UpdateLocked
-	real, err := RunReal(cfgR, realBudget)
+	real, err := RunReal(context.Background(), cfgR, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}

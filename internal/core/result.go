@@ -61,6 +61,11 @@ type Result struct {
 	// Checkpoint is the divergence guard's last known-good parameter
 	// snapshot (nil when guards are disabled).
 	Checkpoint *nn.Params
+	// Interrupted reports that the run's context was cancelled before the
+	// budget: scheduling stopped, in-flight work drained, and the Result
+	// reflects the partial run (a final checkpoint was emitted if a
+	// CheckpointSink is configured).
+	Interrupted bool
 }
 
 // CPUShare returns the fraction of raw updates performed by CPU workers

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -61,7 +62,7 @@ func TestResultString(t *testing.T) {
 
 func TestBatchTraceRecordedInSim(t *testing.T) {
 	cfg := tinyConfig(t, AlgAdaptiveHogbatch)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestBatchTraceRecordedInSim(t *testing.T) {
 
 func TestBatchTraceStaticOnlyInitial(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}

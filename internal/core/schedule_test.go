@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -114,7 +115,7 @@ func TestSimWithSchedulesAndOptimizers(t *testing.T) {
 				cfg.BaseLR = 0.01
 				cfg.LRScaling = false
 			}
-			res, err := RunSim(cfg, simHorizon)
+			res, err := RunSim(context.Background(), cfg, simHorizon)
 			if err != nil {
 				t.Fatalf("%v/%v: %v", sched, kind, err)
 			}
@@ -130,7 +131,7 @@ func TestRealWithMomentum(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.Optimizer = opt.KindMomentum
 	cfg.UpdateMode = tensor.UpdateLocked
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestRealWithMomentum(t *testing.T) {
 
 func TestAdaptiveLRAlgorithm(t *testing.T) {
 	cfg := tinyConfig(t, AlgAdaptiveLR)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,13 +197,13 @@ func TestWarmStartFromCheckpoint(t *testing.T) {
 	// Train briefly, checkpoint, resume: the second run must start near
 	// the first run's final loss, not from the fresh-init loss.
 	cfg := tinyConfig(t, AlgHogbatchGPU)
-	first, err := RunSim(cfg, simHorizon)
+	first, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resume := tinyConfig(t, AlgHogbatchGPU)
 	resume.InitialParams = first.Params
-	second, err := RunSim(resume, simHorizon)
+	second, err := RunSim(context.Background(), resume, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,11 +222,11 @@ func TestWeightDecayShrinksModelNorm(t *testing.T) {
 	plain := tinyConfig(t, AlgHogbatchGPU)
 	decayed := tinyConfig(t, AlgHogbatchGPU)
 	decayed.WeightDecay = 0.1
-	r1, err := RunSim(plain, simHorizon)
+	r1, err := RunSim(context.Background(), plain, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunSim(decayed, simHorizon)
+	r2, err := RunSim(context.Background(), decayed, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,21 +242,21 @@ func TestWeightDecayShrinksModelNorm(t *testing.T) {
 func TestTargetLossStopsEarlySim(t *testing.T) {
 	cfg := tinyConfig(t, AlgAdaptiveHogbatch)
 	cfg.TargetLoss = 0.3 // reachable well before the horizon
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Converged {
 		t.Fatalf("run never converged to %v (final %v)", cfg.TargetLoss, res.FinalLoss)
 	}
-	full, _ := RunSim(tinyConfig(t, AlgAdaptiveHogbatch), simHorizon)
+	full, _ := RunSim(context.Background(), tinyConfig(t, AlgAdaptiveHogbatch), simHorizon)
 	if res.ExamplesProcessed >= full.ExamplesProcessed {
 		t.Fatal("early stop should process fewer examples than the full run")
 	}
 	// An unreachable target never converges.
 	cfg2 := tinyConfig(t, AlgAdaptiveHogbatch)
 	cfg2.TargetLoss = 1e-12
-	res2, _ := RunSim(cfg2, simHorizon)
+	res2, _ := RunSim(context.Background(), cfg2, simHorizon)
 	if res2.Converged {
 		t.Fatal("impossible target reported converged")
 	}
@@ -265,7 +266,7 @@ func TestTargetLossStopsEarlyReal(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchGPU)
 	cfg.UpdateMode = tensor.UpdateLocked
 	cfg.TargetLoss = 0.3
-	res, err := RunReal(cfg, 5*time.Second)
+	res, err := RunReal(context.Background(), cfg, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,9 +50,21 @@ type simWorker struct {
 // from the convergence clock: trace timestamps subtract the accumulated
 // end-of-epoch evaluation durations, while the utilization trace keeps them
 // (Figure 7's end-of-epoch GPU bumps).
-func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
+//
+// The engine is cancellable: cancellation of ctx is observed at every
+// dispatch and sampling point, after which no new work is scheduled, the
+// already-scheduled events drain, a final checkpoint is emitted through
+// cfg.CheckpointSink (if configured), and the partial Result returns with
+// Interrupted set. A run may also warm-start from cfg.Resume; because the
+// engine is deterministic, a resumed run continues the exact trajectory of
+// the interrupted one (cfg.Dataset must be freshly loaded, in original
+// order, as a new process provides — restore replays the epoch shuffles).
+func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := cfg.newRNG()
 	net := cfg.Net
@@ -70,6 +83,9 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	health := newHealthTracker(&cfg, events)
 	coord.tracker = health
 	guard := newGuardState(cfg.Guards, global)
+	if err := restoreRun(&cfg, coord, global, guard); err != nil {
+		return nil, err
+	}
 
 	workers := make([]*simWorker, len(cfg.Workers))
 	for i, wc := range cfg.Workers {
@@ -138,7 +154,51 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		}
 	}
 
-	addPoint(0, evalLoss())
+	// checkCancel observes context cancellation at every scheduling point:
+	// once cancelled, the horizon shrinks to the current clock so no new
+	// work is dispatched and the already-scheduled events drain — the
+	// discrete-event analogue of RunReal's sentinel-and-drain.
+	interrupted := false
+	checkCancel := func() bool {
+		if interrupted {
+			return true
+		}
+		if ctx.Err() == nil {
+			return false
+		}
+		interrupted = true
+		events.Add(elapsed(), "", "interrupt", "context cancelled; draining in-flight work")
+		if h := elapsed(); h < horizon {
+			horizon = h
+		}
+		return true
+	}
+
+	// writeCkpt captures a RunState for the checkpoint sink. The simulated
+	// engine checkpoints at epoch barriers and on drain only — both exact
+	// consistency points (no in-flight work unaccounted for), which is what
+	// makes a resumed deterministic run continue the identical trajectory.
+	writeCkpt := func() {
+		if cfg.CheckpointSink == nil {
+			return
+		}
+		st, err := coord.exportState()
+		if err == nil {
+			st.TotalUpdates = raw.Total()
+			st.GuardLRScale = guard.scale()
+			st.GuardRetries = guard.retryCount()
+			st.Interrupted = interrupted
+			st.At = elapsed()
+			st.Events = events.Events()
+			st.Params = global.Clone()
+			err = cfg.CheckpointSink.WriteState(st)
+		}
+		if err != nil {
+			events.Add(elapsed(), "", "ckpt-error", err.Error())
+		}
+	}
+
+	addPoint(coord.epochFrac(), evalLoss())
 
 	var dispatch func(w *simWorker)
 	var redispatch func(batch data.Batch, from int)
@@ -180,9 +240,13 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		if _, diverged := guard.onEval(loss, global, health.report, events, elapsed()); diverged {
 			horizon = lastStamp
 		}
+		// Checkpoint after the guard verdict so a rollback's restored model
+		// and backed-off LR scale are what a resume would load. The pool is
+		// drained here (Cursor == N): an exact barrier capture.
+		writeCkpt()
 		evalDebt += evalDur
 		clk.Schedule(evalDur, func() {
-			if elapsed() >= horizon {
+			if checkCancel() || elapsed() >= horizon {
 				return
 			}
 			coord.refill()
@@ -219,7 +283,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	lastBatch := make([]int, len(workers))
 	var batchTrace []BatchEvent
 	dispatch = func(w *simWorker) {
-		if !health.ok(w.id) || elapsed() >= horizon {
+		if !health.ok(w.id) || checkCancel() || elapsed() >= horizon {
 			w.idle = true
 			return
 		}
@@ -364,7 +428,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	if cfg.SampleEvery > 0 {
 		var sample func()
 		sample = func() {
-			if elapsed() >= horizon {
+			if checkCancel() || elapsed() >= horizon {
 				return
 			}
 			addPoint(coord.epochFrac(), evalLoss())
@@ -375,7 +439,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	if cfg.SnapshotSink != nil && cfg.SnapshotEvery > 0 {
 		var snap func()
 		snap = func() {
-			if elapsed() >= horizon {
+			if checkCancel() || elapsed() >= horizon {
 				return
 			}
 			publishSnap()
@@ -391,9 +455,15 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 	if fatalErr != nil {
 		return nil, fatalErr
 	}
+	if ctx.Err() != nil {
+		interrupted = true
+	}
 
 	final := evalLoss()
 	publishSnap()
+	// The drain checkpoint: always emitted, so an interrupted run's last
+	// checkpoint reflects everything it completed.
+	writeCkpt()
 	if horizon < lastStamp {
 		horizon = lastStamp
 	}
@@ -420,6 +490,7 @@ func RunSim(cfg Config, horizon time.Duration) (*Result, error) {
 		Health:            health.report,
 		Events:            events,
 		Checkpoint:        guard.snapshot(),
+		Interrupted:       interrupted,
 	}, nil
 }
 

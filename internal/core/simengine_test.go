@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ const simHorizon = 20 * time.Millisecond
 func TestSimAllAlgorithmsReduceLoss(t *testing.T) {
 	for _, alg := range []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch, AlgMinibatchCPU} {
 		cfg := tinyConfig(t, alg)
-		res, err := RunSim(cfg, simHorizon)
+		res, err := RunSim(context.Background(), cfg, simHorizon)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -34,8 +35,8 @@ func TestSimAllAlgorithmsReduceLoss(t *testing.T) {
 func TestSimDeterministicPerSeed(t *testing.T) {
 	cfg1 := tinyConfig(t, AlgAdaptiveHogbatch)
 	cfg2 := tinyConfig(t, AlgAdaptiveHogbatch)
-	r1, err1 := RunSim(cfg1, simHorizon)
-	r2, err2 := RunSim(cfg2, simHorizon)
+	r1, err1 := RunSim(context.Background(), cfg1, simHorizon)
+	r2, err2 := RunSim(context.Background(), cfg2, simHorizon)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -53,7 +54,7 @@ func TestSimDeterministicPerSeed(t *testing.T) {
 
 	cfg3 := tinyConfig(t, AlgAdaptiveHogbatch)
 	cfg3.Seed = 999
-	r3, _ := RunSim(cfg3, simHorizon)
+	r3, _ := RunSim(context.Background(), cfg3, simHorizon)
 	if r3.FinalLoss == r1.FinalLoss {
 		t.Fatal("different seeds produced identical losses (suspicious)")
 	}
@@ -62,7 +63,7 @@ func TestSimDeterministicPerSeed(t *testing.T) {
 func TestSimTraceTimestampsMonotonic(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.SampleEvery = simHorizon / 20
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSimUpdateDistribution(t *testing.T) {
 	// CPU+GPU Hogbatch: the tiny CPU cost model is far faster per update
 	// than the kernel-launch-bound tiny GPU, so CPU updates dominate —
 	// the Figure 8 left bar.
-	hybrid, err := RunSim(tinyConfig(t, AlgCPUGPUHogbatch), simHorizon)
+	hybrid, err := RunSim(context.Background(), tinyConfig(t, AlgCPUGPUHogbatch), simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSimUpdateDistribution(t *testing.T) {
 
 	// Adaptive: the batch policy throttles the leader, moving the
 	// distribution toward uniform — the Figure 8 right bar.
-	adaptive, err := RunSim(tinyConfig(t, AlgAdaptiveHogbatch), simHorizon)
+	adaptive, err := RunSim(context.Background(), tinyConfig(t, AlgAdaptiveHogbatch), simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSimUpdateDistribution(t *testing.T) {
 
 func TestSimAdaptiveResizesWithinBounds(t *testing.T) {
 	cfg := tinyConfig(t, AlgAdaptiveHogbatch)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSimAdaptiveResizesWithinBounds(t *testing.T) {
 		t.Fatal("adaptive run never resized a batch")
 	}
 
-	static, _ := RunSim(tinyConfig(t, AlgCPUGPUHogbatch), simHorizon)
+	static, _ := RunSim(context.Background(), tinyConfig(t, AlgCPUGPUHogbatch), simHorizon)
 	for i, n := range static.Resizes {
 		if n != 0 {
 			t.Fatalf("static worker %d resized %d times", i, n)
@@ -135,7 +136,7 @@ func TestSimAdaptiveResizesWithinBounds(t *testing.T) {
 
 func TestSimUtilizationRecorded(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestSimEvalOnGPUEvenForCPUOnlyRuns(t *testing.T) {
 	// The paper always evaluates the loss on the GPU (Figure 7); a
 	// CPU-only algorithm must still produce gpu0 busy intervals.
 	cfg := tinyConfig(t, AlgHogbatchCPU)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,10 +172,10 @@ func TestSimEvalOnGPUEvenForCPUOnlyRuns(t *testing.T) {
 
 func TestSimSampleEveryAddsPoints(t *testing.T) {
 	base := tinyConfig(t, AlgHogbatchGPU)
-	r1, _ := RunSim(base, simHorizon)
+	r1, _ := RunSim(context.Background(), base, simHorizon)
 	sampled := tinyConfig(t, AlgHogbatchGPU)
 	sampled.SampleEvery = simHorizon / 50
-	r2, _ := RunSim(sampled, simHorizon)
+	r2, _ := RunSim(context.Background(), sampled, simHorizon)
 	if len(r2.Trace.Points) <= len(r1.Trace.Points) {
 		t.Fatalf("SampleEvery added no points: %d vs %d", len(r2.Trace.Points), len(r1.Trace.Points))
 	}
@@ -184,8 +185,8 @@ func TestSimStaleDampingChangesGPUTrajectory(t *testing.T) {
 	plain := tinyConfig(t, AlgCPUGPUHogbatch)
 	damped := tinyConfig(t, AlgCPUGPUHogbatch)
 	damped.StaleDamping = 0.5
-	r1, _ := RunSim(plain, simHorizon)
-	r2, _ := RunSim(damped, simHorizon)
+	r1, _ := RunSim(context.Background(), plain, simHorizon)
+	r2, _ := RunSim(context.Background(), damped, simHorizon)
 	if r1.FinalLoss == r2.FinalLoss {
 		t.Fatal("stale damping had no effect")
 	}
@@ -198,8 +199,8 @@ func TestSimUpdateModesAgreeSingleThreaded(t *testing.T) {
 	a.UpdateMode = tensor.UpdateAtomic
 	b := tinyConfig(t, AlgCPUGPUHogbatch)
 	b.UpdateMode = tensor.UpdateRacy
-	ra, _ := RunSim(a, simHorizon)
-	rb, _ := RunSim(b, simHorizon)
+	ra, _ := RunSim(context.Background(), a, simHorizon)
+	rb, _ := RunSim(context.Background(), b, simHorizon)
 	if ra.FinalLoss != rb.FinalLoss {
 		t.Fatalf("update modes diverge in sim: %v vs %v", ra.FinalLoss, rb.FinalLoss)
 	}
@@ -208,7 +209,7 @@ func TestSimUpdateModesAgreeSingleThreaded(t *testing.T) {
 func TestSimShuffleBetweenEpochs(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchGPU)
 	cfg.Shuffle = true
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,13 +224,13 @@ func TestSimShuffleBetweenEpochs(t *testing.T) {
 func TestSimRejectsInvalidConfig(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchCPU)
 	cfg.BaseLR = -1
-	if _, err := RunSim(cfg, simHorizon); err == nil {
+	if _, err := RunSim(context.Background(), cfg, simHorizon); err == nil {
 		t.Fatal("expected config error")
 	}
 }
 
 func TestSimResultString(t *testing.T) {
-	res, err := RunSim(tinyConfig(t, AlgAdaptiveHogbatch), simHorizon)
+	res, err := RunSim(context.Background(), tinyConfig(t, AlgAdaptiveHogbatch), simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestSimResultString(t *testing.T) {
 }
 
 func TestSimMinLossLEFinal(t *testing.T) {
-	res, _ := RunSim(tinyConfig(t, AlgCPUGPUHogbatch), simHorizon)
+	res, _ := RunSim(context.Background(), tinyConfig(t, AlgCPUGPUHogbatch), simHorizon)
 	if res.MinLoss > res.FinalLoss {
 		return // fine: min before final
 	}

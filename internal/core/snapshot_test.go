@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -58,7 +59,7 @@ func TestSimPublishesPeriodicSnapshots(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchCPU)
 	cfg.SnapshotSink = sink
 	cfg.SnapshotEvery = simHorizon / 10
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSimPublishesAtBarriersWhenPeriodZero(t *testing.T) {
 	cfg := tinyConfig(t, AlgHogbatchGPU)
 	cfg.SnapshotSink = sink
 	cfg.SnapshotEvery = 0 // epoch barriers + run end only
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestRealPublishesSnapshots(t *testing.T) {
 	cfg.UpdateMode = tensor.UpdateLocked
 	cfg.SnapshotSink = sink
 	cfg.SnapshotEvery = 10 * time.Millisecond
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRealSnapshotCopiesAreIndependent(t *testing.T) {
 	cfg.UpdateMode = tensor.UpdateLocked
 	cfg.SnapshotSink = sink
 	cfg.SnapshotEvery = 5 * time.Millisecond
-	res, err := RunReal(cfg, realBudget)
+	res, err := RunReal(context.Background(), cfg, realBudget)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -36,7 +37,7 @@ func sparseRealSimConfig(t *testing.T, alg Algorithm) Config {
 func TestSimSparseRealSimFullDim(t *testing.T) {
 	for _, alg := range []Algorithm{AlgCPUGPUHogbatch, AlgAdaptiveHogbatch} {
 		cfg := sparseRealSimConfig(t, alg)
-		res, err := RunSim(cfg, simHorizon)
+		res, err := RunSim(context.Background(), cfg, simHorizon)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -59,7 +60,7 @@ func TestSimSparseRealSimFullDim(t *testing.T) {
 func TestRealSparseRealSimFullDim(t *testing.T) {
 	cfg := sparseRealSimConfig(t, AlgCPUGPUHogbatch)
 	cfg.UpdateMode = tensor.UpdateLocked
-	res, err := RunReal(cfg, 300*time.Millisecond)
+	res, err := RunReal(context.Background(), cfg, 300*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestSimSparseMatchesDenseTrajectory(t *testing.T) {
 		cfg := NewConfig(AlgCPUGPUHogbatch, net, ds, tinyPreset())
 		cfg.BaseLR = 0.1
 		cfg.RefBatch = 4
-		res, err := RunSim(cfg, simHorizon)
+		res, err := RunSim(context.Background(), cfg, simHorizon)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"heterosgd/internal/device"
@@ -19,7 +20,7 @@ func TestAdaptiveReactsToRuntimeSlowdown(t *testing.T) {
 			gpu := cfg.Workers[1].Device
 			cfg.Workers[1].Device = device.NewThrottled(gpu, 20, 10)
 		}
-		res, err := RunSim(cfg, simHorizon)
+		res, err := RunSim(context.Background(), cfg, simHorizon)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func cfg0MinBatch(t *testing.T) int {
 func TestStaticAlgorithmIgnoresSlowdown(t *testing.T) {
 	cfg := tinyConfig(t, AlgCPUGPUHogbatch)
 	cfg.Workers[1].Device = device.NewThrottled(cfg.Workers[1].Device, 20, 10)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"heterosgd/internal/nn"
@@ -8,7 +9,7 @@ import (
 
 func TestSVRGConverges(t *testing.T) {
 	cfg := tinyConfig(t, AlgSVRG)
-	res, err := RunSim(cfg, simHorizon)
+	res, err := RunSim(context.Background(), cfg, simHorizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestSVRGConverges(t *testing.T) {
 
 func TestSVRGRejectedByRealEngine(t *testing.T) {
 	cfg := tinyConfig(t, AlgSVRG)
-	if _, err := RunReal(cfg, realBudget); err == nil {
+	if _, err := RunReal(context.Background(), cfg, realBudget); err == nil {
 		t.Fatal("real engine must reject AlgSVRG explicitly")
 	}
 }

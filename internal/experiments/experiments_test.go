@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -125,7 +126,7 @@ func TestTuneLRReturnsFiniteChoice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lr := TuneLR(p, 1)
+	lr := TuneLR(context.Background(), p, 1)
 	if lr <= 0 || lr > 3 {
 		t.Fatalf("tuned LR %v outside grid", lr)
 	}
@@ -139,7 +140,7 @@ func TestRunAllProducesFiveAlgorithms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := RunAll(p, 1)
+	rs, err := RunAll(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestFig7Renders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Fig7(p, 1)
+	out, err := Fig7(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestRelatedWorkComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := RelatedWork(p, 1)
+	out, err := RelatedWork(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestBatchEvolutionOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := BatchEvolution(p, 1)
+	out, err := BatchEvolution(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestVerifyCertificate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("run-heavy")
 	}
-	checks, out, err := Verify("covtype", Small(), 1)
+	checks, out, err := Verify(context.Background(), "covtype", Small(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

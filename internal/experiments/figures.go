@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -115,17 +116,20 @@ var fig7Algorithms = []core.Algorithm{
 
 // Fig7 runs each Hogbatch algorithm for about three of its own epochs on
 // the problem and renders per-device utilization over time (Figure 7).
-func Fig7(p *Problem, seed uint64) (string, error) {
+func Fig7(ctx context.Context, p *Problem, seed uint64) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig 7 (%s): CPU and GPU utilization over ~3 epochs\n", p.Spec.Name)
-	lr := TuneLR(p, seed)
+	lr := TuneLR(ctx, p, seed)
 	for _, alg := range fig7Algorithms {
 		cfg := baseConfig(alg, p, seed)
 		cfg.BaseLR = lr
 		horizon := time.Duration(3.4 * float64(estimateEpochTime(&cfg, p)))
-		res, err := core.RunSim(cfg, horizon)
+		res, err := core.RunSim(ctx, cfg, horizon)
 		if err != nil {
 			return "", err
+		}
+		if res.Interrupted {
+			return "", fmt.Errorf("experiments: fig7 %s interrupted: %w", alg, ctx.Err())
 		}
 		fmt.Fprintf(&b, "\n%s (%.1f epochs in %v):\n", alg, res.Epochs, horizon.Round(time.Microsecond))
 		for _, dev := range []string{"cpu0", "gpu0"} {
@@ -249,13 +253,16 @@ func sortedNames[V any](m map[string]V) []string {
 // size over time — Algorithm 2's visible behaviour ("assigns batches with
 // continuously evolving size based on the relative speed of CPU and GPU",
 // abstract). Not a paper figure; a diagnostic the framework makes cheap.
-func BatchEvolution(p *Problem, seed uint64) (string, error) {
+func BatchEvolution(ctx context.Context, p *Problem, seed uint64) (string, error) {
 	cfg := baseConfig(core.AlgAdaptiveHogbatch, p, seed)
-	cfg.BaseLR = TuneLR(p, seed)
+	cfg.BaseLR = TuneLR(ctx, p, seed)
 	horizon := p.Horizon()
-	res, err := core.RunSim(cfg, horizon)
+	res, err := core.RunSim(ctx, cfg, horizon)
 	if err != nil {
 		return "", err
+	}
+	if res.Interrupted {
+		return "", fmt.Errorf("experiments: batch evolution interrupted: %w", ctx.Err())
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Batch-size evolution (%s, Adaptive Hogbatch, %v horizon)\n", p.Spec.Name, horizon.Round(time.Microsecond))

@@ -1,13 +1,19 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"os"
 	"strings"
+
+	"heterosgd/internal/atomicio"
 )
 
 // Options parameterizes an experiment invocation.
 type Options struct {
+	// Ctx, when set, makes every training run inside the experiment
+	// cancellable (nil means context.Background()). Cancellation surfaces
+	// as an "interrupted" error from Experiment.Run.
+	Ctx context.Context
 	// Scale selects fidelity (Small/Medium/Full).
 	Scale Scale
 	// Dataset restricts per-dataset experiments ("covtype", …); empty
@@ -18,6 +24,14 @@ type Options struct {
 	// BenchOut, when set, makes the sparsebench experiment also write its
 	// rows as JSON to this path (BENCH_sparse.json).
 	BenchOut string
+}
+
+// ctx returns the invocation context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions uses the medium scale and the covtype dataset.
@@ -51,7 +65,7 @@ func runSets(opts Options) ([]*RunSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := RunAll(p, opts.Seed)
+		rs, err := RunAll(opts.ctx(), p, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +124,7 @@ func All() []Experiment {
 					if err != nil {
 						return "", err
 					}
-					out, err := Fig7(p, opts.Seed)
+					out, err := Fig7(opts.ctx(), p, opts.Seed)
 					if err != nil {
 						return "", err
 					}
@@ -146,7 +160,7 @@ func All() []Experiment {
 				if ds == "" {
 					ds = "covtype"
 				}
-				_, out, err := Verify(ds, opts.Scale, opts.Seed)
+				_, out, err := Verify(opts.ctx(), ds, opts.Scale, opts.Seed)
 				return out, err
 			},
 		},
@@ -163,7 +177,7 @@ func All() []Experiment {
 					if err != nil {
 						return "", err
 					}
-					out, err := BatchEvolution(p, opts.Seed)
+					out, err := BatchEvolution(opts.ctx(), p, opts.Seed)
 					if err != nil {
 						return "", err
 					}
@@ -185,7 +199,7 @@ func All() []Experiment {
 					if err != nil {
 						return "", err
 					}
-					if err := os.WriteFile(opts.BenchOut, buf, 0o644); err != nil {
+					if err := atomicio.WriteFile(opts.BenchOut, buf, 0o644); err != nil {
 						return "", err
 					}
 					out += fmt.Sprintf("\n(rows written to %s)\n", opts.BenchOut)
@@ -202,7 +216,7 @@ func All() []Experiment {
 					if err != nil {
 						return "", err
 					}
-					out, err := RelatedWork(p, opts.Seed)
+					out, err := RelatedWork(opts.ctx(), p, opts.Seed)
 					if err != nil {
 						return "", err
 					}

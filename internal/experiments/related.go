@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -16,9 +17,9 @@ import (
 // splitting with synchronized rounds (with perfect and with misestimated
 // speeds) and parameter-server-style adaptive learning rates — all under
 // the same time budget, data, and initial model.
-func RelatedWork(p *Problem, seed uint64) (string, error) {
+func RelatedWork(ctx context.Context, p *Problem, seed uint64) (string, error) {
 	horizon := p.Horizon()
-	lr := TuneLR(p, seed)
+	lr := TuneLR(ctx, p, seed)
 
 	type entry struct {
 		name string
@@ -29,9 +30,12 @@ func RelatedWork(p *Problem, seed uint64) (string, error) {
 	for _, alg := range []core.Algorithm{core.AlgAdaptiveHogbatch, core.AlgAdaptiveLR, core.AlgCPUGPUHogbatch} {
 		cfg := baseConfig(alg, p, seed)
 		cfg.BaseLR = lr
-		res, err := core.RunSim(cfg, horizon)
+		res, err := core.RunSim(ctx, cfg, horizon)
 		if err != nil {
 			return "", err
+		}
+		if res.Interrupted {
+			return "", fmt.Errorf("experiments: %s interrupted: %w", alg, ctx.Err())
 		}
 		entries = append(entries, entry{alg.String(), res})
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -42,8 +43,9 @@ var (
 // powers of 10, §VII-A) on a short GPU-only run and returns the value with
 // the lowest final loss. The same value is then used by every algorithm on
 // the same hardware, as the paper requires. Results are cached per
-// problem+seed within the process.
-func TuneLR(p *Problem, seed uint64) float64 {
+// problem+seed within the process. A cancelled ctx stops the grid early and
+// returns the best value found so far (without caching the partial answer).
+func TuneLR(ctx context.Context, p *Problem, seed uint64) float64 {
 	key := fmt.Sprintf("%s/%s/%d/%d", p.Spec.Name, p.Scale.Name, p.Dataset.N(), seed)
 	tuneMu.Lock()
 	if lr, ok := tuneCache[key]; ok {
@@ -55,9 +57,12 @@ func TuneLR(p *Problem, seed uint64) float64 {
 	best, bestLoss := 0.05, 0.0
 	first := true
 	for _, lr := range []float64{3, 1, 0.3, 0.1, 0.03, 0.01} {
+		if ctx.Err() != nil {
+			return best
+		}
 		cfg := baseConfig(core.AlgHogbatchGPU, p, seed)
 		cfg.BaseLR = lr
-		res, err := core.RunSim(cfg, horizon)
+		res, err := core.RunSim(ctx, cfg, horizon)
 		if err != nil {
 			continue
 		}
@@ -87,10 +92,11 @@ func baseConfig(alg core.Algorithm, p *Problem, seed uint64) core.Config {
 
 // RunAll executes the five figure algorithms on the problem for the same
 // virtual-time budget (the paper's methodology: "we execute each algorithm
-// for the same fixed amount of time").
-func RunAll(p *Problem, seed uint64) (*RunSet, error) {
+// for the same fixed amount of time"). A cancelled ctx aborts with its
+// error — partial RunSets would render misleading figures.
+func RunAll(ctx context.Context, p *Problem, seed uint64) (*RunSet, error) {
 	horizon := p.Horizon()
-	lr := TuneLR(p, seed)
+	lr := TuneLR(ctx, p, seed)
 	rs := &RunSet{
 		Problem: p,
 		Horizon: horizon,
@@ -117,10 +123,13 @@ func RunAll(p *Problem, seed uint64) (*RunSet, error) {
 			cfg := baseConfig(alg, p, seed)
 			cfg.BaseLR = lr
 			cfg.SampleEvery = sampleEvery
-			res, err = core.RunSim(cfg, horizon)
+			res, err = core.RunSim(ctx, cfg, horizon)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", alg, p.Spec.Name, err)
+		}
+		if res.Interrupted || ctx.Err() != nil {
+			return nil, fmt.Errorf("experiments: %s on %s interrupted: %w", alg, p.Spec.Name, ctx.Err())
 		}
 		rs.Results[alg.String()] = res
 		rs.Order = append(rs.Order, alg.String())

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -24,7 +25,7 @@ type Check struct {
 // §VII checked against fresh runs at the given scale on one dataset, plus
 // the scale-independent cost-model checks. It returns the checks and a
 // rendered report.
-func Verify(dsName string, sc Scale, seed uint64) ([]Check, string, error) {
+func Verify(ctx context.Context, dsName string, sc Scale, seed uint64) ([]Check, string, error) {
 	var checks []Check
 	add := func(claim, measured string, pass bool) {
 		checks = append(checks, Check{Claim: claim, Measured: measured, Pass: pass})
@@ -61,7 +62,7 @@ func Verify(dsName string, sc Scale, seed uint64) ([]Check, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	rs, err := RunAll(p, seed)
+	rs, err := RunAll(ctx, p, seed)
 	if err != nil {
 		return nil, "", err
 	}

@@ -4,56 +4,95 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+
+	"heterosgd/internal/atomicio"
 )
 
 // Binary model format: magic, version, layer count, then per layer the
-// weight shape and row-major float64 data followed by the bias data.
-// Everything is little-endian.
+// weight shape and row-major float64 data followed by the bias data, then a
+// CRC-32 (IEEE) of every preceding byte. Everything is little-endian.
+// Version 1 files (no trailing checksum) are still readable; version 2 adds
+// the checksum so a truncated or bit-flipped checkpoint is rejected with a
+// descriptive error instead of silently loading corrupt weights.
 const (
 	paramsMagic   = 0x48474D31 // "HGM1"
-	paramsVersion = 1
+	paramsVersion = 2
 )
 
-// WriteParams serializes p to w.
+// hashingWriter tees every write into a running CRC.
+type hashingWriter struct {
+	w io.Writer
+	h hash.Hash32
+}
+
+func (hw *hashingWriter) Write(p []byte) (int, error) {
+	n, err := hw.w.Write(p)
+	hw.h.Write(p[:n])
+	return n, err
+}
+
+// hashingReader folds every read into a running CRC.
+type hashingReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (hr *hashingReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	hr.h.Write(p[:n])
+	return n, err
+}
+
+// WriteParams serializes p to w (format version 2, checksummed).
 func WriteParams(w io.Writer, p *Params) error {
 	bw := bufio.NewWriter(w)
+	hw := &hashingWriter{w: bw, h: crc32.NewIEEE()}
 	head := []uint32{paramsMagic, paramsVersion, uint32(len(p.Weights))}
 	for _, v := range head {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(hw, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("nn: writing model header: %w", err)
 		}
 	}
 	for l, wm := range p.Weights {
-		if err := binary.Write(bw, binary.LittleEndian, [2]uint32{uint32(wm.Rows), uint32(wm.Cols)}); err != nil {
+		if err := binary.Write(hw, binary.LittleEndian, [2]uint32{uint32(wm.Rows), uint32(wm.Cols)}); err != nil {
 			return fmt.Errorf("nn: writing layer %d shape: %w", l, err)
 		}
-		if err := writeFloats(bw, wm.Data[:wm.Rows*wm.Cols]); err != nil {
+		if err := writeFloats(hw, wm.Data[:wm.Rows*wm.Cols]); err != nil {
 			return fmt.Errorf("nn: writing layer %d weights: %w", l, err)
 		}
-		if err := writeFloats(bw, p.Biases[l].Data); err != nil {
+		if err := writeFloats(hw, p.Biases[l].Data); err != nil {
 			return fmt.Errorf("nn: writing layer %d biases: %w", l, err)
 		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hw.h.Sum32()); err != nil {
+		return fmt.Errorf("nn: writing model checksum: %w", err)
 	}
 	return bw.Flush()
 }
 
 // ReadParams deserializes parameters written by WriteParams. The result's
-// shape is validated against net's architecture.
+// shape is validated against net's architecture and (for version ≥ 2 files)
+// the payload is validated against the stored checksum, so corruption —
+// truncation, flipped bytes, a checkpoint for a different network — returns
+// a descriptive error rather than a silently wrong model.
 func ReadParams(r io.Reader, net *Network) (*Params, error) {
 	br := bufio.NewReader(r)
+	hr := &hashingReader{r: br, h: crc32.NewIEEE()}
 	var magic, version, layers uint32
 	for _, v := range []*uint32{&magic, &version, &layers} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+		if err := binary.Read(hr, binary.LittleEndian, v); err != nil {
 			return nil, fmt.Errorf("nn: reading model header: %w", err)
 		}
 	}
 	if magic != paramsMagic {
 		return nil, fmt.Errorf("nn: bad model magic %#x", magic)
 	}
-	if version != paramsVersion {
+	if version < 1 || version > paramsVersion {
 		return nil, fmt.Errorf("nn: unsupported model version %d", version)
 	}
 	if int(layers) != net.Arch.NumLayers() {
@@ -62,7 +101,7 @@ func ReadParams(r io.Reader, net *Network) (*Params, error) {
 	p := net.NewParams(InitZero, nil)
 	for l := 0; l < int(layers); l++ {
 		var shape [2]uint32
-		if err := binary.Read(br, binary.LittleEndian, &shape); err != nil {
+		if err := binary.Read(hr, binary.LittleEndian, &shape); err != nil {
 			return nil, fmt.Errorf("nn: reading layer %d shape: %w", l, err)
 		}
 		wm := p.Weights[l]
@@ -70,33 +109,34 @@ func ReadParams(r io.Reader, net *Network) (*Params, error) {
 			return nil, fmt.Errorf("nn: layer %d is %d×%d, network needs %d×%d",
 				l, shape[0], shape[1], wm.Rows, wm.Cols)
 		}
-		if err := readFloats(br, wm.Data[:wm.Rows*wm.Cols]); err != nil {
+		if err := readFloats(hr, wm.Data[:wm.Rows*wm.Cols]); err != nil {
 			return nil, fmt.Errorf("nn: reading layer %d weights: %w", l, err)
 		}
-		if err := readFloats(br, p.Biases[l].Data); err != nil {
+		if err := readFloats(hr, p.Biases[l].Data); err != nil {
 			return nil, fmt.Errorf("nn: reading layer %d biases: %w", l, err)
+		}
+	}
+	if version >= 2 {
+		// The stored CRC is read from the buffered reader directly so it is
+		// not folded into the running hash it must be compared against.
+		want := hr.h.Sum32()
+		var got uint32
+		if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+			return nil, fmt.Errorf("nn: reading model checksum (truncated file?): %w", err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("nn: model checksum mismatch (stored %#x, computed %#x): file is corrupt", got, want)
 		}
 	}
 	return p, nil
 }
 
-// SaveParamsFile writes the model to path atomically (via a temp file).
+// SaveParamsFile writes the model to path atomically (temp file + rename),
+// so a kill mid-save never leaves a torn checkpoint.
 func SaveParamsFile(path string, p *Params) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := WriteParams(f, p); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicio.Write(path, 0o644, func(w io.Writer) error {
+		return WriteParams(w, p)
+	})
 }
 
 // LoadParamsFile reads a model checkpoint for the network.

@@ -2,8 +2,11 @@ package nn
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand/v2"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -68,6 +71,107 @@ func TestReadParamsRejectsTruncation(t *testing.T) {
 	if _, err := ReadParams(bytes.NewReader(cut), net); err == nil {
 		t.Fatal("expected truncation error")
 	}
+}
+
+func TestReadParamsRejectsFlippedByte(t *testing.T) {
+	net := MustNetwork(testArch(false, ActSigmoid))
+	rng := rand.New(rand.NewPCG(65, 1))
+	p := net.NewParams(InitXavier, rng)
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit deep inside the float payload: the shapes still parse,
+	// only the checksum can catch it.
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0x40
+	_, err := ReadParams(bytes.NewReader(raw), net)
+	if err == nil {
+		t.Fatal("expected checksum error for flipped byte")
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("want a checksum-mismatch error, got: %v", err)
+	}
+}
+
+func TestReadParamsV1BackCompat(t *testing.T) {
+	// A version-1 file (no trailing checksum) must still load.
+	net := MustNetwork(testArch(false, ActSigmoid))
+	rng := rand.New(rand.NewPCG(66, 1))
+	p := net.NewParams(InitXavier, rng)
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-4] // strip the CRC...
+	binary.LittleEndian.PutUint32(raw[4:], 1)
+	back, err := ReadParams(bytes.NewReader(raw), net)
+	if err != nil {
+		t.Fatalf("version-1 file should load: %v", err)
+	}
+	if p.MaxAbsDiff(back) != 0 {
+		t.Fatal("version-1 round trip changed parameters")
+	}
+}
+
+// TestLoadParamsFileCorruption covers the on-disk failure modes a resumed run
+// can hit: truncation (partial write), a flipped byte (bit rot), and a
+// checkpoint for a different architecture. Each must produce a descriptive
+// error, never a silently wrong model.
+func TestLoadParamsFileCorruption(t *testing.T) {
+	net := MustNetwork(testArch(true, ActTanh))
+	rng := rand.New(rand.NewPCG(67, 1))
+	p := net.NewParams(InitXavier, rng)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.hgm")
+	if err := SaveParamsFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		cut := filepath.Join(dir, "truncated.hgm")
+		if err := os.WriteFile(cut, raw[:len(raw)-9], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadParamsFile(cut, net)
+		if err == nil {
+			t.Fatal("expected error for truncated file")
+		}
+		if !strings.Contains(err.Error(), "nn:") {
+			t.Fatalf("want a descriptive nn error, got: %v", err)
+		}
+	})
+
+	t.Run("flipped byte", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[3*len(bad)/4] ^= 0x01
+		flipped := filepath.Join(dir, "flipped.hgm")
+		if err := os.WriteFile(flipped, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadParamsFile(flipped, net)
+		if err == nil {
+			t.Fatal("expected error for flipped byte")
+		}
+		if !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("want a checksum-mismatch error, got: %v", err)
+		}
+	})
+
+	t.Run("wrong architecture", func(t *testing.T) {
+		other := MustNetwork(Arch{InputDim: 5, Hidden: []int{3}, OutputDim: 4, Activation: ActSigmoid})
+		_, err := LoadParamsFile(path, other)
+		if err == nil {
+			t.Fatal("expected error for wrong architecture")
+		}
+		if !strings.Contains(err.Error(), "layers") {
+			t.Fatalf("want a layer-mismatch error, got: %v", err)
+		}
+	})
 }
 
 func TestParamsFileRoundTrip(t *testing.T) {

@@ -10,6 +10,7 @@ package serve_test
 // design and are exercised without the detector).
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -92,7 +93,7 @@ func TestConcurrentPublishReadRealEngine(t *testing.T) {
 
 	stop := make(chan struct{})
 	wait, reads := spinReaders(t, pub, 4, stop)
-	res, err := core.RunReal(cfg, 200*time.Millisecond)
+	res, err := core.RunReal(context.Background(), cfg, 200*time.Millisecond)
 	close(stop)
 	wait()
 	if err != nil {
@@ -118,7 +119,7 @@ func TestConcurrentPublishReadSimEngine(t *testing.T) {
 
 	stop := make(chan struct{})
 	wait, reads := spinReaders(t, pub, 4, stop)
-	_, err := core.RunSim(cfg, 20*time.Millisecond)
+	_, err := core.RunSim(context.Background(), cfg, 20*time.Millisecond)
 	close(stop)
 	wait()
 	if err != nil {
@@ -168,7 +169,7 @@ func TestConcurrentBatcherDuringTraining(t *testing.T) {
 			}
 		}(i)
 	}
-	_, err := core.RunReal(cfg, 200*time.Millisecond)
+	_, err := core.RunReal(context.Background(), cfg, 200*time.Millisecond)
 	close(stop)
 	wg.Wait()
 	if err != nil {

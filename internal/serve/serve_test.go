@@ -161,10 +161,10 @@ func TestBatcherRejectsBadInstances(t *testing.T) {
 	b := NewBatcher(pub, Options{MaxBatch: 2, MaxWait: time.Millisecond})
 	defer b.Close()
 	for name, inst := range map[string]Instance{
-		"wrong dense dim":  {Dense: make([]float64, 5)},
-		"index too large":  {Indices: []int{6}, Values: []float64{1}},
-		"negative index":   {Indices: []int{-1}, Values: []float64{1}},
-		"length mismatch":  {Indices: []int{1, 2}, Values: []float64{1}},
+		"wrong dense dim": {Dense: make([]float64, 5)},
+		"index too large": {Indices: []int{6}, Values: []float64{1}},
+		"negative index":  {Indices: []int{-1}, Values: []float64{1}},
+		"length mismatch": {Indices: []int{1, 2}, Values: []float64{1}},
 	} {
 		if _, err := b.Submit(inst); err == nil {
 			t.Fatalf("%s: accepted", name)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 
 	"heterosgd/internal/data"
 )
@@ -24,6 +25,11 @@ import (
 type Server struct {
 	batcher *Batcher
 	mux     *http.ServeMux
+
+	// extras are additional /statsz sections registered with AddStats
+	// (e.g. the attached training run's health and queue counters).
+	extraMu sync.RWMutex
+	extras  map[string]func() any
 }
 
 // NewServer wraps b in an HTTP handler.
@@ -188,8 +194,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no model published"})
 }
 
+// AddStats registers an extra /statsz section: fn is called per request and
+// its result rendered under key. With no extras registered the endpoint
+// keeps its original shape (the bare serving Report); with extras the
+// Report moves under "serving". fn must be safe for concurrent use.
+func (s *Server) AddStats(key string, fn func() any) {
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	if s.extras == nil {
+		s.extras = make(map[string]func() any)
+	}
+	s.extras[key] = fn
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.batcher.Report())
+	s.extraMu.RLock()
+	defer s.extraMu.RUnlock()
+	if len(s.extras) == 0 {
+		writeJSON(w, http.StatusOK, s.batcher.Report())
+		return
+	}
+	out := map[string]any{"serving": s.batcher.Report()}
+	for key, fn := range s.extras {
+		out[key] = fn()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -65,7 +65,7 @@ func latBucket(d time.Duration) int {
 // bucketMid returns the representative latency of bucket i (its geometric
 // midpoint), in milliseconds.
 func bucketMid(i int) float64 {
-	lo := math.Exp2(float64(i))      // µs
+	lo := math.Exp2(float64(i))     // µs
 	return lo * math.Sqrt2 / 1000.0 // ms
 }
 

@@ -1,6 +1,7 @@
 package tfbaseline
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -165,7 +166,7 @@ func TestTFMatchesHogbatchGPUPerEpoch(t *testing.T) {
 	coreCfg.BaseLR = 0.2
 	coreCfg.LRScaling = false
 	coreCfg.EvalSubset = 256
-	coreRes, err := core.RunSim(coreCfg, 100*time.Millisecond)
+	coreRes, err := core.RunSim(context.Background(), coreCfg, 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

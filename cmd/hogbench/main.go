@@ -23,6 +23,7 @@ import (
 	"heterosgd/internal/atomicio"
 	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/experiments"
+	"heterosgd/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		outDir  = flag.String("out", "", "also write each experiment's output to <out>/<exp>[_<dataset>]_<scale>.txt")
 		bench   = flag.String("benchjson", "BENCH_sparse.json", "path for the sparsebench experiment's JSON rows (\"\" disables)")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics (Go runtime gauges) and /debug/pprof on this address while the suite runs")
 		ver     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -47,6 +49,16 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		addr, err := telemetry.ServeDebug(*telAddr, reg)
+		if err != nil {
+			fatal(fmt.Errorf("telemetry server: %w", err))
+		}
+		fmt.Printf("telemetry: serving /metrics and /debug/pprof on http://%s\n", addr)
 	}
 
 	sc, err := experiments.ScaleByName(*scale)

@@ -43,6 +43,7 @@ import (
 	"heterosgd/internal/experiments"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/serve"
+	"heterosgd/internal/telemetry"
 	"heterosgd/internal/tensor"
 )
 
@@ -116,10 +117,19 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	opts := serve.Options{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers}
+	// One shared registry backs the serving stats, the attached training
+	// run's train_*/msgq_* series, and the Go runtime gauges; the debug mux
+	// exposes it as Prometheus text on /metrics next to /debug/pprof.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+
+	opts := serve.Options{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers, Metrics: reg}
 	b := serve.NewBatcher(pub, opts)
 	defer b.Close()
 	server := serve.NewServer(b)
+	debug := telemetry.NewDebugMux(reg)
+	server.Handle("/metrics", debug)
+	server.Handle("/debug/pprof/", debug)
 
 	// trainDone closes when an attached training run finishes (or drains
 	// after cancellation); trainRes holds its result for /statsz.
@@ -137,6 +147,7 @@ func main() {
 		cfg.SampleEvery = *budget / 25
 		cfg.SnapshotSink = pub
 		cfg.SnapshotEvery = *snapEvery
+		cfg.Metrics = reg
 		go func() {
 			defer close(trainDone)
 			res, err := core.RunReal(ctx, cfg, *budget)

@@ -22,6 +22,7 @@ import (
 	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/core"
 	"heterosgd/internal/experiments"
+	"heterosgd/internal/telemetry"
 )
 
 func main() {
@@ -32,12 +33,23 @@ func main() {
 		sweep   = flag.String("sweep", "lr", "what to sweep: lr, alphabeta, thresholds")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		target  = flag.Float64("target", 1.25, "normalized loss target for time-to-target")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics (Go runtime gauges) and /debug/pprof on this address while the sweep runs")
 		ver     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *ver {
 		fmt.Println(buildinfo.Version())
 		return
+	}
+
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		addr, err := telemetry.ServeDebug(*telAddr, reg)
+		if err != nil {
+			fatal(fmt.Errorf("telemetry server: %w", err))
+		}
+		fmt.Printf("telemetry: serving /metrics and /debug/pprof on http://%s\n", addr)
 	}
 
 	sc, err := experiments.ScaleByName(*scale)

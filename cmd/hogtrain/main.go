@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"heterosgd/internal/atomicio"
 	"heterosgd/internal/buildinfo"
 	"heterosgd/internal/checkpoint"
 	"heterosgd/internal/core"
@@ -39,39 +40,42 @@ import (
 	"heterosgd/internal/nn"
 	"heterosgd/internal/omnivore"
 	"heterosgd/internal/opt"
+	"heterosgd/internal/telemetry"
 	"heterosgd/internal/tfbaseline"
 )
 
 func main() {
 	var (
-		algName  = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, adaptive-lr, minibatch-cpu, tf, omnivore, svrg")
-		dsName   = flag.String("dataset", "covtype", "synthetic dataset: covtype, w8a, delicious, real-sim")
-		libsvm   = flag.String("libsvm", "", "train on a LIBSVM file instead of synthetic data")
-		multi    = flag.Bool("multilabel", false, "parse the LIBSVM file as multi-label")
-		sparse   = flag.Bool("sparse", false, "keep LIBSVM features in CSR form (required for very wide inputs like real-sim)")
-		scale    = flag.String("scale", "small", "synthetic scale: small, medium, full")
-		engine   = flag.String("engine", "sim", "execution engine: sim (virtual clock) or real (goroutines)")
-		budget   = flag.Duration("time", 50*time.Millisecond, "training budget (virtual for sim, wall for real)")
-		lr       = flag.Float64("lr", 0, "base learning rate (0 = grid-tune like the paper)")
-		alpha    = flag.Float64("alpha", 2, "adaptive batch scale factor α")
-		beta     = flag.Float64("beta", 1, "CPU update survival fraction β")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		csv      = flag.Bool("csv", false, "emit the loss trace as CSV")
-		hidden   = flag.Int("hidden", 0, "override hidden-layer width")
-		shuffled = flag.Bool("shuffle", false, "reshuffle data between epochs")
-		optName  = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
-		schedule = flag.String("schedule", "constant", "LR schedule: constant, step, inv-t, warmup")
-		savePath = flag.String("save", "", "write the trained model to this path")
-		loadPath = flag.String("load", "", "initialize from a model checkpoint")
-		ckptPath = flag.String("checkpoint", "", "write run-state checkpoints (model + scheduler + RNG) to this path")
-		ckptEvr  = flag.Duration("checkpoint-every", 0, "also checkpoint on this wall-clock period (real engine; 0 = barriers and exit only)")
-		ckptKeep = flag.Int("checkpoint-keep", 3, "run-state generations to retain (path, path.1, ...)")
-		resume   = flag.String("resume", "", "resume a run from a run-state checkpoint (same alg/seed/arch)")
-		faultStr = flag.String("faults", "", "inject faults: crash:W:N,hang:W:N:DUR,corrupt:W:RATE (enables watchdog+guards)")
-		wdSlack  = flag.Float64("watchdog-slack", 0, "quarantine a worker past slack × modeled iteration time (0 = off unless -faults)")
-		wdFloor  = flag.Duration("watchdog-floor", 100*time.Millisecond, "minimum watchdog deadline")
-		guards   = flag.Bool("guards", false, "enable divergence guards (drop non-finite updates, rollback on NaN loss)")
-		showVer  = flag.Bool("version", false, "print version and exit")
+		algName   = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, adaptive-lr, minibatch-cpu, tf, omnivore, svrg")
+		dsName    = flag.String("dataset", "covtype", "synthetic dataset: covtype, w8a, delicious, real-sim")
+		libsvm    = flag.String("libsvm", "", "train on a LIBSVM file instead of synthetic data")
+		multi     = flag.Bool("multilabel", false, "parse the LIBSVM file as multi-label")
+		sparse    = flag.Bool("sparse", false, "keep LIBSVM features in CSR form (required for very wide inputs like real-sim)")
+		scale     = flag.String("scale", "small", "synthetic scale: small, medium, full")
+		engine    = flag.String("engine", "sim", "execution engine: sim (virtual clock) or real (goroutines)")
+		budget    = flag.Duration("time", 50*time.Millisecond, "training budget (virtual for sim, wall for real)")
+		lr        = flag.Float64("lr", 0, "base learning rate (0 = grid-tune like the paper)")
+		alpha     = flag.Float64("alpha", 2, "adaptive batch scale factor α")
+		beta      = flag.Float64("beta", 1, "CPU update survival fraction β")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit the loss trace as CSV")
+		hidden    = flag.Int("hidden", 0, "override hidden-layer width")
+		shuffled  = flag.Bool("shuffle", false, "reshuffle data between epochs")
+		optName   = flag.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
+		schedule  = flag.String("schedule", "constant", "LR schedule: constant, step, inv-t, warmup")
+		savePath  = flag.String("save", "", "write the trained model to this path")
+		loadPath  = flag.String("load", "", "initialize from a model checkpoint")
+		ckptPath  = flag.String("checkpoint", "", "write run-state checkpoints (model + scheduler + RNG) to this path")
+		ckptEvr   = flag.Duration("checkpoint-every", 0, "also checkpoint on this wall-clock period (real engine; 0 = barriers and exit only)")
+		ckptKeep  = flag.Int("checkpoint-keep", 3, "run-state generations to retain (path, path.1, ...)")
+		resume    = flag.String("resume", "", "resume a run from a run-state checkpoint (same alg/seed/arch)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this path (open in chrome://tracing or ui.perfetto.dev)")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address during the run")
+		faultStr  = flag.String("faults", "", "inject faults: crash:W:N,hang:W:N:DUR,corrupt:W:RATE (enables watchdog+guards)")
+		wdSlack   = flag.Float64("watchdog-slack", 0, "quarantine a worker past slack × modeled iteration time (0 = off unless -faults)")
+		wdFloor   = flag.Duration("watchdog-floor", 100*time.Millisecond, "minimum watchdog deadline")
+		guards    = flag.Bool("guards", false, "enable divergence guards (drop non-finite updates, rollback on NaN loss)")
+		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -166,8 +170,12 @@ func main() {
 	if (*ckptPath != "" || *resume != "") && (alg == core.AlgOmnivore || alg == core.AlgTensorFlow) {
 		fatal(fmt.Errorf("-checkpoint/-resume require a core engine algorithm (not %v)", alg))
 	}
+	if (*tracePath != "" || *telAddr != "") && (alg == core.AlgOmnivore || alg == core.AlgTensorFlow) {
+		fatal(fmt.Errorf("-trace/-telemetry-addr require a core engine algorithm (not %v)", alg))
+	}
 
 	var res *core.Result
+	var tracer *telemetry.Tracer
 	if alg == core.AlgOmnivore {
 		cfg := omnivore.DefaultConfig(net, ds)
 		cfg.RoundBatch = sc.Preset.GPUMax
@@ -219,6 +227,20 @@ func main() {
 				*resume, st.Epoch, float64(st.ExamplesDone)/float64(ds.N()), st.TotalUpdates,
 				map[bool]string{true: " (interrupted run)", false: ""}[st.Interrupted])
 		}
+		if *tracePath != "" {
+			cfg.Tracer = core.NewRunTracer(&cfg, 0)
+			tracer = cfg.Tracer
+		}
+		if *telAddr != "" {
+			reg := telemetry.NewRegistry()
+			telemetry.RegisterRuntimeMetrics(reg)
+			cfg.Metrics = reg
+			addr, serr := telemetry.ServeDebug(*telAddr, reg)
+			if serr != nil {
+				fatal(fmt.Errorf("telemetry server: %w", serr))
+			}
+			fmt.Printf("telemetry: serving /metrics and /debug/pprof on http://%s\n", addr)
+		}
 		for _, w := range cfg.Workers {
 			if err := core.GPUMemoryCheck(net, w); err != nil {
 				fatal(err)
@@ -232,6 +254,20 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if tracer != nil {
+		buf, merr := tracer.MarshalChromeTrace()
+		if merr != nil {
+			fatal(fmt.Errorf("marshal trace: %w", merr))
+		}
+		if werr := atomicio.WriteFile(*tracePath, buf, 0o644); werr != nil {
+			fatal(fmt.Errorf("write trace: %w", werr))
+		}
+		dropped := ""
+		if n := tracer.Dropped(); n > 0 {
+			dropped = fmt.Sprintf(" (%d dropped: ring full)", n)
+		}
+		fmt.Printf("trace: %d spans written to %s%s\n", tracer.Len(), *tracePath, dropped)
 	}
 	if res.Interrupted {
 		if *ckptPath != "" {

@@ -25,6 +25,7 @@ import (
 	"heterosgd/internal/faults"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/opt"
+	"heterosgd/internal/telemetry"
 	"heterosgd/internal/tensor"
 )
 
@@ -251,6 +252,17 @@ type Config struct {
 	// the interrupted run was on. Resume and InitialParams are mutually
 	// exclusive (Resume carries its own parameters).
 	Resume *RunState
+	// Tracer, when set, records typed span events (schedule, queue wait,
+	// gradient, apply, checkpoint, eval, snapshot) into per-worker ring
+	// buffers for Chrome-trace export (`hogtrain -trace`). Build one shaped
+	// for this config with NewRunTracer. Nil disables tracing at the cost
+	// of one nil check per event — no allocation, no atomics.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, surfaces live training counters and gauges
+	// (train_updates_total, train_loss, msgq_* queue counters, ...) for
+	// the /metrics exposition. Nil disables metric recording the same
+	// compile-out-cheap way.
+	Metrics *telemetry.Registry
 }
 
 // SnapshotSink receives model snapshots from a running engine. PublishParams

@@ -15,6 +15,7 @@ import (
 	"heterosgd/internal/msgq"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/opt"
+	"heterosgd/internal/telemetry"
 	"heterosgd/internal/tensor"
 )
 
@@ -33,11 +34,14 @@ type schedMsg struct {
 
 // workMsg is the coordinator→worker ExecuteWork message carrying a batch
 // reference, the learning rate for this iteration, and the dispatch
-// sequence number the completion must echo.
+// sequence number the completion must echo. sent stamps the dispatch on the
+// run clock so the worker can report how long the message waited in its
+// inbox (the KindQueueWait span).
 type workMsg struct {
 	seq   uint64
 	batch data.Batch
 	lr    float64
+	sent  time.Duration
 }
 
 // inflightDispatch is the coordinator's record of one outstanding workMsg:
@@ -117,7 +121,16 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	}
 	modelBytes := global.SizeBytes()
 	coord := newCoordinator(&cfg)
+	// Telemetry: worker rings are written only by their owning goroutines
+	// (queue wait, gradient, apply); the coordinator ring (schedule, eval,
+	// checkpoint, snapshot) only by this goroutine — the tracer's
+	// single-writer-per-ring contract. Spans use wall time from the run
+	// origin.
+	tel := cfg.Tracer
+	rm := newRunMetrics(cfg.Metrics)
+	coordRing := cfg.coordRing()
 	raw := metrics.NewUpdateCounter()
+	raw.Mirror(rm.updates)
 	util := metrics.NewUtilizationTrace()
 	trace := &metrics.Trace{Name: cfg.Algorithm.String()}
 	events := metrics.NewEventLog()
@@ -158,6 +171,22 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	}
 
 	coordQ := msgq.New[schedMsg]()
+	if cfg.Metrics != nil {
+		// One shared instrument set aggregates traffic across the
+		// coordinator queue and every worker inbox; the wait histogram
+		// measures how long messages sit queued (the msgq half of the
+		// schedule→execute latency).
+		qins := msgq.Instruments{
+			Pushed:  cfg.Metrics.Counter("msgq_pushed_total"),
+			Popped:  cfg.Metrics.Counter("msgq_popped_total"),
+			Dropped: cfg.Metrics.Counter("msgq_dropped_total"),
+			Wait:    cfg.Metrics.Histogram("msgq_wait_seconds"),
+		}
+		coordQ.Instrument(qins)
+		for _, w := range workers {
+			w.inbox.Instrument(qins)
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	gemmWorkers := runtime.GOMAXPROCS(0)
@@ -189,6 +218,8 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			n, dropped = realGPUIteration(net, global, w, msg, &cfg, &modelMu, locked, gemmWorkers, step.Corrupt)
 		}
 		t1 := time.Since(start)
+		tel.Span(w.id, telemetry.KindGradient, t0, t1-t0, int64(msg.batch.Size()))
+		tel.Span(w.id, telemetry.KindApply, t1, 0, n)
 		util.AddBusy(w.name, t0, t1, w.wc.Device.Utilization(net.Arch, msg.batch.Size()))
 		raw.Add(w.name, n)
 		out.updates = n
@@ -204,6 +235,10 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 				msg, ok := w.inbox.Pop()
 				if !ok {
 					return
+				}
+				if tel != nil {
+					now := time.Since(start)
+					tel.Span(w.id, telemetry.KindQueueWait, msg.sent, now-msg.sent, int64(msg.batch.Size()))
 				}
 				out := runIteration(w, msg)
 				coordQ.Push(out)
@@ -268,7 +303,10 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			return
 		}
 		lastSnap = time.Now()
+		snapT0 := time.Since(start)
 		cfg.SnapshotSink.PublishParams(snapClone())
+		tel.Span(coordRing, telemetry.KindSnapshot, snapT0, time.Since(start)-snapT0, int64(modelBytes))
+		rm.snapshots.Inc()
 	}
 
 	// The coordinator loop: sequential message processing, exactly like
@@ -294,6 +332,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			return
 		}
 		lastCkpt = time.Now()
+		ckptT0 := time.Since(start)
 		st, err := coord.exportState()
 		if err == nil {
 			st.TotalUpdates = raw.Total()
@@ -307,7 +346,10 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		}
 		if err != nil {
 			events.Add(time.Since(start), "", "ckpt-error", err.Error())
+			return
 		}
+		tel.Span(coordRing, telemetry.KindCheckpoint, ckptT0, time.Since(start)-ckptT0, raw.Total())
+		rm.checkpoints.Inc()
 	}
 
 	// Cancellation wakes the (possibly blocked) coordinator with a sentinel
@@ -318,7 +360,12 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		coordQ.Push(schedMsg{workerID: -1})
 	})
 
-	trace.Add(0, coord.epochFrac(), evalLoss())
+	{
+		loss := evalLoss()
+		trace.Add(0, coord.epochFrac(), loss)
+		rm.loss.Set(loss)
+		rm.epochs.Set(coord.epochFrac())
+	}
 	flight := make(map[uint64]*inflightDispatch)
 	var seq uint64
 	// Each worker holds at most ONE outstanding dispatch (busy), so a
@@ -340,7 +387,10 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		}
 		flight[seq] = fl
 		lr := cfg.ScheduledLR(batch.Size(), coord.epochFrac()) * coord.lrScale(id) * guard.scale()
-		workers[id].inbox.Push(workMsg{seq: seq, batch: batch, lr: lr})
+		sent := time.Since(start)
+		tel.Span(coordRing, telemetry.KindSchedule, sent, 0, int64(batch.Size()))
+		rm.examples.Add(int64(batch.Size()))
+		workers[id].inbox.Push(workMsg{seq: seq, batch: batch, lr: lr, sent: sent})
 		busy[id] = true
 		outstanding++
 	}
@@ -357,6 +407,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			b := pending[0]
 			pending = pending[1:]
 			health.report.Redispatches++
+			rm.redispatch.Inc()
 			events.Add(time.Since(start), workers[id].name, "redispatch",
 				fmt.Sprintf("%d examples from pending queue", b.Size()))
 			feed[id] = append(feed[id], splitBatch(b, cfg.Workers[id].MaxBatch)...)
@@ -392,6 +443,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			return
 		}
 		health.report.Redispatches++
+		rm.redispatch.Inc()
 		events.Add(time.Since(start), workers[target].name, "redispatch",
 			fmt.Sprintf("%d examples from %s", batch.Size(), workers[from].name))
 		feed[target] = append(feed[target], splitBatch(batch, cfg.Workers[target].MaxBatch)...)
@@ -556,6 +608,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		coord.reportUpdates(msg.workerID, msg.updates)
 		if msg.dropped > 0 {
 			health.report.DroppedUpdates += msg.dropped
+			rm.dropped.Add(msg.dropped)
 			events.Add(time.Since(start), workers[msg.workerID].name, "drop",
 				fmt.Sprintf("%d non-finite updates discarded", msg.dropped))
 		}
@@ -576,8 +629,12 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			// Epoch barrier: all workers idle, pool drained — evaluate
 			// loss (quarantined stragglers are fenced by the model lock
 			// in locked mode) and start the next epoch.
+			evalT0 := time.Since(start)
 			loss := evalLoss()
+			tel.Span(coordRing, telemetry.KindEval, evalT0, time.Since(start)-evalT0, int64(evalN))
 			trace.Add(time.Since(start), coord.epochFrac(), loss)
+			rm.loss.Set(loss)
+			rm.epochs.Set(coord.epochFrac())
 			publishSnap(true)
 			if cfg.TargetLoss > 0 && isFinite(loss) && loss <= cfg.TargetLoss {
 				converged = true
@@ -620,7 +677,9 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	if overshoot < 0 {
 		overshoot = 0
 	}
+	finalT0 := time.Since(start)
 	final := evalLoss()
+	tel.Span(coordRing, telemetry.KindEval, finalT0, time.Since(start)-finalT0, int64(evalN))
 	publishSnap(true)
 	// The drain checkpoint: always emitted, so an interrupted run's last
 	// checkpoint reflects everything it completed.
@@ -636,6 +695,8 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		stamp = trace.Points[n-1].Time
 	}
 	trace.Add(stamp, coord.epochFrac(), final)
+	rm.loss.Set(final)
+	rm.epochs.Set(coord.epochFrac())
 	if cfg.TargetLoss > 0 && isFinite(final) && final <= cfg.TargetLoss {
 		converged = true
 	}

@@ -12,6 +12,7 @@ import (
 	"heterosgd/internal/nn"
 	"heterosgd/internal/opt"
 	"heterosgd/internal/simclock"
+	"heterosgd/internal/telemetry"
 	"heterosgd/internal/tensor"
 )
 
@@ -76,7 +77,15 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	modelBytes := global.SizeBytes()
 	coord := newCoordinator(&cfg)
 	clk := simclock.New()
+	// Telemetry: spans are stamped with the virtual clock, so a fixed-seed
+	// run exports a byte-identical Chrome trace. The engine is
+	// single-threaded, so every ring (workers and coordinator alike) obeys
+	// the single-writer contract trivially.
+	tel := cfg.Tracer
+	rm := newRunMetrics(cfg.Metrics)
+	coordRing := cfg.coordRing()
 	raw := metrics.NewUpdateCounter()
+	raw.Mirror(rm.updates)
 	util := metrics.NewUtilizationTrace()
 	trace := &metrics.Trace{Name: cfg.Algorithm.String()}
 	events := metrics.NewEventLog()
@@ -146,6 +155,8 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		}
 		lastStamp = at
 		trace.Add(at, epoch, loss)
+		rm.loss.Set(loss)
+		rm.epochs.Set(epoch)
 		if cfg.TargetLoss > 0 && loss <= cfg.TargetLoss && !converged {
 			converged = true
 			// Shrink the horizon so no further work is dispatched; the
@@ -195,7 +206,10 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		}
 		if err != nil {
 			events.Add(elapsed(), "", "ckpt-error", err.Error())
+			return
 		}
+		tel.Span(coordRing, telemetry.KindCheckpoint, clk.Now(), 0, raw.Total())
+		rm.checkpoints.Inc()
 	}
 
 	addPoint(coord.epochFrac(), evalLoss())
@@ -225,6 +239,8 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	publishSnap := func() {
 		if cfg.SnapshotSink != nil {
 			cfg.SnapshotSink.PublishParams(global.Clone())
+			tel.Span(coordRing, telemetry.KindSnapshot, clk.Now(), 0, int64(modelBytes))
+			rm.snapshots.Inc()
 		}
 	}
 
@@ -234,6 +250,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		}
 		evalDur := evalDev.EvalTime(net.Arch, ds.N())
 		util.AddBusy(evalDevName(evalDev, &cfg, workers), clk.Now(), clk.Now()+evalDur, 0.95)
+		tel.Span(coordRing, telemetry.KindEval, clk.Now(), evalDur, int64(evalN))
 		loss := evalLoss()
 		addPoint(coord.epochFrac(), loss)
 		publishSnap()
@@ -271,6 +288,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		}
 		tw := workers[target]
 		health.report.Redispatches++
+		rm.redispatch.Inc()
 		events.Add(elapsed(), tw.name, "redispatch",
 			fmt.Sprintf("%d examples from %s", batch.Size(), workers[from].name))
 		tw.backlog = append(tw.backlog, splitBatch(batch, tw.wc.MaxBatch)...)
@@ -305,6 +323,8 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 			}
 		}
 		b := batch.Size()
+		tel.Span(coordRing, telemetry.KindSchedule, clk.Now(), 0, int64(b))
+		rm.examples.Add(int64(b))
 		step := w.inj.Begin()
 		if step.Crash {
 			// The worker dies before computing anything; its batch moves
@@ -322,6 +342,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 			return
 		}
 		dur := w.wc.Device.IterTime(net.Arch, b, modelBytes) + step.Hang
+		tel.Span(w.id, telemetry.KindGradient, clk.Now(), dur, int64(b))
 		util.AddBusy(w.name, clk.Now(), clk.Now()+dur, w.wc.Device.Utilization(net.Arch, b))
 		lr := cfg.ScheduledLR(b, coord.epochFrac()) * coord.lrScale(w.id) * guard.scale()
 
@@ -372,9 +393,11 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 			raw.Add(w.name, n)
 			if dropped > 0 {
 				health.report.DroppedUpdates += dropped
+				rm.dropped.Add(dropped)
 				events.Add(elapsed(), w.name, "drop", fmt.Sprintf("%d non-finite updates discarded", dropped))
 			}
 			clk.Schedule(dur, finish(func() {
+				tel.Span(w.id, telemetry.KindApply, clk.Now(), 0, n)
 				coord.reportUpdates(w.id, n)
 			}))
 			return
@@ -388,6 +411,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 			svrg.beginAnchor(net, global, w.ws, batch)
 			clk.Schedule(dur, finish(func() {
 				svrg.publishAnchor()
+				tel.Span(w.id, telemetry.KindApply, clk.Now(), 0, 1)
 				raw.Add(w.name, 1)
 				coord.reportUpdates(w.id, 1)
 			}))
@@ -409,6 +433,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		clk.Schedule(dur, finish(func() {
 			if cfg.Guards != nil && !w.grad.AllFinite() {
 				health.report.DroppedUpdates++
+				rm.dropped.Inc()
 				events.Add(elapsed(), w.name, "drop", "non-finite gradient discarded")
 				coord.reportUpdates(w.id, 0)
 				return
@@ -419,6 +444,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 				lrEff = lr / (1 + cfg.StaleDamping*float64(stale))
 			}
 			applyStep(w.optim, w.grad, w.delta, global, cfg.UpdateMode, lrEff)
+			tel.Span(w.id, telemetry.KindApply, clk.Now(), 0, 1)
 			globalUpdates++
 			raw.Add(w.name, 1)
 			coord.reportUpdates(w.id, 1)
@@ -468,6 +494,8 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		horizon = lastStamp
 	}
 	trace.Add(horizon, coord.epochFrac(), final)
+	rm.loss.Set(final)
+	rm.epochs.Set(coord.epochFrac())
 	if cfg.TargetLoss > 0 && isFinite(final) && final <= cfg.TargetLoss {
 		converged = true
 	}

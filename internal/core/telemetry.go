@@ -1,0 +1,50 @@
+package core
+
+import (
+	"heterosgd/internal/telemetry"
+)
+
+// NewRunTracer returns a tracer shaped for cfg's run: one ring per worker,
+// labeled with the device name, plus a final coordinator ring. Assign the
+// result to cfg.Tracer before calling RunSim or RunReal. perRingCap ≤ 0
+// selects telemetry.DefaultRingCap.
+func NewRunTracer(cfg *Config, perRingCap int) *telemetry.Tracer {
+	names := make([]string, 0, len(cfg.Workers)+1)
+	for _, w := range cfg.Workers {
+		names = append(names, w.Device.Name())
+	}
+	names = append(names, "coordinator")
+	return telemetry.NewTracer(names, perRingCap)
+}
+
+// coordRing returns the tracer ring index reserved for coordinator-side
+// events (eval, checkpoint, snapshot, schedule decisions).
+func (c *Config) coordRing() int { return len(c.Workers) }
+
+// runMetrics bundles the training instruments both engines feed, resolved
+// once at engine start so the hot path never touches the registry's lock.
+// With a nil registry every instrument is nil, and every record is a no-op
+// behind a single nil check.
+type runMetrics struct {
+	updates     *telemetry.Counter // model updates applied (mirrors UpdateCounter)
+	examples    *telemetry.Counter // examples dispatched to workers
+	redispatch  *telemetry.Counter // batches re-routed after crash/timeout
+	dropped     *telemetry.Counter // non-finite updates discarded by guards
+	checkpoints *telemetry.Counter // run-state captures handed to the sink
+	snapshots   *telemetry.Counter // model snapshots published for serving
+	loss        *telemetry.Gauge   // latest evaluated loss
+	epochs      *telemetry.Gauge   // fractional epochs completed
+}
+
+func newRunMetrics(reg *telemetry.Registry) runMetrics {
+	return runMetrics{
+		updates:     reg.Counter("train_updates_total"),
+		examples:    reg.Counter("train_examples_total"),
+		redispatch:  reg.Counter("train_redispatches_total"),
+		dropped:     reg.Counter("train_dropped_updates_total"),
+		checkpoints: reg.Counter("train_checkpoints_total"),
+		snapshots:   reg.Counter("train_snapshots_total"),
+		loss:        reg.Gauge("train_loss"),
+		epochs:      reg.Gauge("train_epochs"),
+	}
+}

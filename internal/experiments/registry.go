@@ -208,6 +208,13 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID: "telbench", Title: "Telemetry overhead: traced+metered sim run vs identical untraced run",
+			Run: func(opts Options) (string, error) {
+				_, out, err := TelemetryBench(opts.Seed, 3)
+				return out, err
+			},
+		},
+		{
 			ID: "related", Title: "§II: Adaptive Hogbatch vs Omnivore vs adaptive learning rates",
 			Run: func(opts Options) (string, error) {
 				var b strings.Builder

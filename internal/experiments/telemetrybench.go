@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"heterosgd/internal/core"
+	"heterosgd/internal/telemetry"
+)
+
+// TelemetryBenchResult is one telemetry-off vs telemetry-on measurement of
+// the sim engine on a fixed-seed problem. OffSec/OnSec are best-of-Trials
+// wall-clock times for the identical run; OverheadPct is the relative cost
+// of tracing plus metrics ((on-off)/off, in percent). Spans and Updates
+// document how much instrumentation fired during the measured run — an
+// overhead number for a run that barely traced anything would be
+// meaningless.
+type TelemetryBenchResult struct {
+	Dataset     string  `json:"dataset"`
+	Algorithm   string  `json:"algorithm"`
+	HorizonNS   int64   `json:"horizon_ns"`
+	Trials      int     `json:"trials"`
+	OffSec      float64 `json:"telemetry_off_sec"`
+	OnSec       float64 `json:"telemetry_on_sec"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Spans       int     `json:"spans"`
+	Dropped     int64   `json:"spans_dropped"`
+	Updates     int64   `json:"updates"`
+}
+
+// telemetryBenchConfig builds the measured run: adaptive Hogbatch on
+// small-scale covtype, the suite's usual headline configuration.
+func telemetryBenchConfig(p *Problem, seed uint64) core.Config {
+	cfg := core.NewConfig(core.AlgAdaptiveHogbatch, p.Net, p.Dataset, p.Scale.Preset)
+	cfg.BaseLR = 0.05
+	cfg.Seed = seed
+	cfg.EvalSubset = min(2048, p.Dataset.N())
+	return cfg
+}
+
+// TelemetryBench measures the wall-clock cost of full telemetry (tracer and
+// metrics registry both attached) against the identical untraced run.
+// Off and on trials are interleaved — off, on, off, on, … — so a
+// time-varying background load (other test packages, a busy CI runner)
+// hits both modes alike, and the best (minimum) time per mode is
+// compared, which filters scheduler noise the way Go's testing.B does.
+// The two runs share the seed and the virtual-time horizon, so they
+// execute the same schedule — the sim engine guarantees identical updates
+// and final loss, which TelemetryBench verifies as a precondition for the
+// timing comparison to mean anything.
+func TelemetryBench(seed uint64, trials int) (TelemetryBenchResult, string, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	p, err := NewProblem("covtype", Small(), seed)
+	if err != nil {
+		return TelemetryBenchResult{}, "", err
+	}
+	horizon := p.Horizon()
+
+	runOnce := func(instrument bool) (time.Duration, *core.Result, *telemetry.Tracer, error) {
+		cfg := telemetryBenchConfig(p, seed)
+		var tracer *telemetry.Tracer
+		if instrument {
+			tracer = core.NewRunTracer(&cfg, 0)
+			cfg.Tracer = tracer
+			cfg.Metrics = telemetry.NewRegistry()
+		}
+		t0 := time.Now()
+		r, rerr := core.RunSim(context.Background(), cfg, horizon)
+		return time.Since(t0), r, tracer, rerr
+	}
+
+	var offBest, onBest time.Duration
+	var offRes, onRes *core.Result
+	var spans int
+	var dropped int64
+	for trial := 0; trial < trials; trial++ {
+		offT, offR, _, err := runOnce(false)
+		if err != nil {
+			return TelemetryBenchResult{}, "", err
+		}
+		onT, onR, tracer, err := runOnce(true)
+		if err != nil {
+			return TelemetryBenchResult{}, "", err
+		}
+		if trial == 0 || offT < offBest {
+			offBest = offT
+		}
+		if trial == 0 || onT < onBest {
+			onBest = onT
+		}
+		offRes, onRes = offR, onR
+		spans, dropped = tracer.Len(), tracer.Dropped()
+	}
+	if offRes.Updates.Total() != onRes.Updates.Total() || offRes.FinalLoss != onRes.FinalLoss {
+		return TelemetryBenchResult{}, "", fmt.Errorf(
+			"telemetry perturbed the run: %d updates / loss %v traced vs %d / %v untraced",
+			onRes.Updates.Total(), onRes.FinalLoss, offRes.Updates.Total(), offRes.FinalLoss)
+	}
+
+	row := TelemetryBenchResult{
+		Dataset:   "covtype",
+		Algorithm: core.AlgAdaptiveHogbatch.String(),
+		HorizonNS: int64(horizon),
+		Trials:    trials,
+		OffSec:    offBest.Seconds(),
+		OnSec:     onBest.Seconds(),
+		Spans:     spans,
+		Dropped:   dropped,
+		Updates:   onRes.Updates.Total(),
+	}
+	if offBest > 0 {
+		row.OverheadPct = 100 * (onBest.Seconds() - offBest.Seconds()) / offBest.Seconds()
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry overhead, %s %s, horizon %v, best of %d:\n",
+		row.Algorithm, row.Dataset, horizon.Round(time.Microsecond), trials)
+	fmt.Fprintf(&b, "  off %8.2fms   on %8.2fms   overhead %+.2f%%\n",
+		1e3*row.OffSec, 1e3*row.OnSec, row.OverheadPct)
+	fmt.Fprintf(&b, "  %d spans recorded (%d dropped), %d model updates\n", spans, dropped, row.Updates)
+	return row, b.String(), nil
+}
+
+// TelemetryBenchJSON renders the row the way BENCH_telemetry.json stores it.
+func TelemetryBenchJSON(row TelemetryBenchResult) ([]byte, error) {
+	buf, err := json.MarshalIndent(row, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

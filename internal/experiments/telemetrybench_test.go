@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heterosgd/internal/atomicio"
+)
+
+// repoRoot walks up from the package directory to the module root (the
+// directory holding go.mod), where results/ lives.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the package directory")
+		}
+		dir = parent
+	}
+}
+
+// TestTelemetryOverheadGuard is the telemetry layer's acceptance gate: a
+// fixed-seed sim run with the tracer and metrics registry attached must
+// cost no more than 5% wall clock over the identical untraced run. The
+// measurement is written to results/BENCH_telemetry.json so the number is
+// tracked alongside the other benchmark artifacts.
+func TestTelemetryOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full sim-engine training runs")
+	}
+	row, out, err := TelemetryBench(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + out)
+
+	if row.Spans == 0 {
+		t.Fatal("traced run recorded no spans; the overhead number is meaningless")
+	}
+	if row.Dropped > 0 {
+		t.Errorf("%d spans dropped: the default ring capacity no longer covers the bench run", row.Dropped)
+	}
+
+	buf, err := TelemetryBenchJSON(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TelemetryBenchResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("BENCH_telemetry.json payload does not round-trip: %v", err)
+	}
+	path := filepath.Join(repoRoot(t), "results", "BENCH_telemetry.json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicio.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+
+	const maxOverheadPct = 5.0
+	if row.OverheadPct > maxOverheadPct {
+		t.Fatalf("telemetry overhead %.2f%% exceeds the %.0f%% budget (off %.2fms, on %.2fms)",
+			row.OverheadPct, maxOverheadPct, 1e3*row.OffSec, 1e3*row.OnSec)
+	}
+}

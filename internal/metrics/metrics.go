@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"heterosgd/internal/telemetry"
 )
 
 // LossPoint is one loss observation, stamped with both the elapsed
@@ -107,6 +109,7 @@ func Normalize(traces []*Trace, base float64) []*Trace {
 type UpdateCounter struct {
 	mu     sync.Mutex
 	counts map[string]int64
+	mirror *telemetry.Counter
 }
 
 // NewUpdateCounter returns an empty counter.
@@ -114,10 +117,20 @@ func NewUpdateCounter() *UpdateCounter {
 	return &UpdateCounter{counts: make(map[string]int64)}
 }
 
+// Mirror additionally feeds every Add into t (a live telemetry counter such
+// as train_updates_total), so a /metrics scrape sees update progress without
+// taking this counter's lock. A nil t detaches the mirror.
+func (c *UpdateCounter) Mirror(t *telemetry.Counter) {
+	c.mu.Lock()
+	c.mirror = t
+	c.mu.Unlock()
+}
+
 // Add credits worker with n updates.
 func (c *UpdateCounter) Add(worker string, n int64) {
 	c.mu.Lock()
 	c.counts[worker] += n
+	c.mirror.Add(n)
 	c.mu.Unlock()
 }
 

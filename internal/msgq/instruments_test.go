@@ -1,0 +1,103 @@
+package msgq
+
+import (
+	"testing"
+	"time"
+
+	"heterosgd/internal/telemetry"
+)
+
+// TestInstrumentsCountPushPopDrop pins the instrumented queue's bookkeeping:
+// every push, pop, and post-close drop lands in the registry counters, and
+// each popped message contributes one queue-wait observation.
+func TestInstrumentsCountPushPopDrop(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	q := New[int]()
+	q.Instrument(Instruments{
+		Pushed:  reg.Counter("msgq_pushed_total"),
+		Popped:  reg.Counter("msgq_popped_total"),
+		Dropped: reg.Counter("msgq_dropped_total"),
+		Wait:    reg.Histogram("msgq_wait_seconds"),
+	})
+
+	for i := 0; i < 5; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d refused", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v)", i, v, ok)
+		}
+	}
+	q.Close()
+	if q.Push(99) {
+		t.Fatal("push after close succeeded")
+	}
+
+	if got := reg.Counter("msgq_pushed_total").Value(); got != 5 {
+		t.Errorf("pushed = %d, want 5", got)
+	}
+	if got := reg.Counter("msgq_popped_total").Value(); got != 3 {
+		t.Errorf("popped = %d, want 3", got)
+	}
+	if got := reg.Counter("msgq_dropped_total").Value(); got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+	if got := reg.Histogram("msgq_wait_seconds").Count(); got != 3 {
+		t.Errorf("wait observations = %d, want 3", got)
+	}
+}
+
+// TestInstrumentsMidStreamAttach attaches instruments to a queue that
+// already holds messages: the un-timestamped backlog must pop cleanly
+// (no wait observation), while messages pushed after attachment are timed.
+func TestInstrumentsMidStreamAttach(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	q := New[string]()
+	q.Push("old-1")
+	q.Push("old-2")
+
+	q.Instrument(Instruments{
+		Pushed:  reg.Counter("msgq_pushed_total"),
+		Popped:  reg.Counter("msgq_popped_total"),
+		Dropped: reg.Counter("msgq_dropped_total"),
+		Wait:    reg.Histogram("msgq_wait_seconds"),
+	})
+	q.Push("new-1")
+
+	for _, want := range []string{"old-1", "old-2", "new-1"} {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = (%q, %v), want %q", v, ok, want)
+		}
+	}
+	if got := reg.Histogram("msgq_wait_seconds").Count(); got != 1 {
+		t.Errorf("wait observations = %d, want 1 (only the post-attach push is timed)", got)
+	}
+	if got := reg.Counter("msgq_popped_total").Value(); got != 3 {
+		t.Errorf("popped = %d, want 3", got)
+	}
+}
+
+// TestInstrumentsWaitReflectsQueueTime sanity-checks the wait histogram's
+// magnitude: a message that sat in the queue for ~20ms must observe at
+// least that long a wait.
+func TestInstrumentsWaitReflectsQueueTime(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	q := New[int]()
+	q.Instrument(Instruments{Wait: reg.Histogram("msgq_wait_seconds")})
+	q.Push(1)
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	h := reg.Histogram("msgq_wait_seconds")
+	if h.Count() != 1 {
+		t.Fatalf("wait observations = %d, want 1", h.Count())
+	}
+	if got := h.SumSeconds(); got < 0.018 {
+		t.Errorf("observed wait %.6fs, expected ≥ ~0.02s", got)
+	}
+}

@@ -9,7 +9,24 @@ package msgq
 import (
 	"sync"
 	"time"
+
+	"heterosgd/internal/telemetry"
 )
+
+// Instruments hooks a queue into the telemetry registry: lifetime
+// push/pop/drop counters plus an optional queue-wait histogram (enqueue →
+// dequeue latency per message). All fields are optional — nil instruments
+// record nothing — and several queues may share one set, aggregating their
+// traffic under a single metric name.
+type Instruments struct {
+	Pushed  *telemetry.Counter
+	Popped  *telemetry.Counter
+	Dropped *telemetry.Counter
+	// Wait records each message's time in the queue. Setting it makes Push
+	// stamp every message with time.Now (one extra word per queued message,
+	// zero when unset).
+	Wait *telemetry.Histogram
+}
 
 // Queue is an unbounded MPSC FIFO queue. The zero value is not usable; use
 // New.
@@ -20,10 +37,14 @@ type Queue[T any] struct {
 	// it by reversing back when empty. Amortized O(1) with no per-element
 	// allocation.
 	front, back []T
-	closed      bool
-	pushed      uint64
-	popped      uint64
-	dropped     uint64
+	// frontT/backT shadow front/back with enqueue timestamps, maintained
+	// only while ins.Wait is set.
+	frontT, backT []time.Time
+	closed        bool
+	pushed        uint64
+	popped        uint64
+	dropped       uint64
+	ins           Instruments
 }
 
 // New returns an empty open queue.
@@ -33,6 +54,15 @@ func New[T any]() *Queue[T] {
 	return q
 }
 
+// Instrument attaches telemetry instruments to the queue. Call it before the
+// first Push: the wait histogram only covers messages enqueued while it was
+// attached (messages already in flight report no wait).
+func (q *Queue[T]) Instrument(ins Instruments) {
+	q.mu.Lock()
+	q.ins = ins
+	q.mu.Unlock()
+}
+
 // Push enqueues v. It never blocks. Push on a closed queue reports false
 // and drops the message.
 func (q *Queue[T]) Push(v T) bool {
@@ -40,10 +70,15 @@ func (q *Queue[T]) Push(v T) bool {
 	defer q.mu.Unlock()
 	if q.closed {
 		q.dropped++
+		q.ins.Dropped.Add(1)
 		return false
 	}
 	q.back = append(q.back, v)
+	if q.ins.Wait != nil {
+		q.backT = append(q.backT, time.Now())
+	}
 	q.pushed++
+	q.ins.Pushed.Add(1)
 	q.nonEmp.Signal()
 	return true
 }
@@ -116,12 +151,25 @@ func (q *Queue[T]) popLocked() (T, bool) {
 			q.front = append(q.front, q.back[i])
 		}
 		q.back = q.back[:0]
+		for i := len(q.backT) - 1; i >= 0; i-- {
+			q.frontT = append(q.frontT, q.backT[i])
+		}
+		q.backT = q.backT[:0]
+	}
+	// The timestamp stacks shadow the value stacks only for messages pushed
+	// while the wait histogram was attached; once the lengths align the
+	// stacks stay parallel.
+	if n := len(q.frontT); n > 0 && n == len(q.front) {
+		q.ins.Wait.Observe(time.Since(q.frontT[n-1]))
+		q.frontT[n-1] = time.Time{}
+		q.frontT = q.frontT[:n-1]
 	}
 	v := q.front[len(q.front)-1]
 	var zero T
 	q.front[len(q.front)-1] = zero // release reference
 	q.front = q.front[:len(q.front)-1]
 	q.popped++
+	q.ins.Popped.Add(1)
 	return v, true
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"heterosgd/internal/device"
 	"heterosgd/internal/nn"
+	"heterosgd/internal/telemetry"
 	"heterosgd/internal/tensor"
 )
 
@@ -65,6 +66,11 @@ type Options struct {
 	// defaults to 1 (concurrency comes from batching, not from splitting
 	// a single small forward).
 	Workers int
+	// Metrics, when set, resolves the batcher's stats instruments in this
+	// registry, surfacing the serving series (serve_requests_total,
+	// serve_latency_seconds, serve_queue_depth, serve_model_version, ...)
+	// on its /metrics exposition. Nil keeps them private to /statsz.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults(arch nn.Arch) Options {
@@ -142,11 +148,15 @@ func NewBatcher(pub *Publisher, opts Options) *Batcher {
 	b := &Batcher{
 		pub:   pub,
 		opts:  opts,
-		stats: NewStats(),
+		stats: NewStatsIn(opts.Metrics),
 		queue: make(chan *request, opts.QueueCap),
 		stop:  make(chan struct{}),
 		ws:    pub.Net().NewInferenceWorkspace(opts.MaxBatch),
 		dense: tensor.NewMatrix(opts.MaxBatch, arch.InputDim),
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.GaugeFunc("serve_queue_depth", func() float64 { return float64(b.QueueDepth()) })
+		opts.Metrics.GaugeFunc("serve_model_version", func() float64 { return float64(pub.Version()) })
 	}
 	b.wg.Add(1)
 	go b.run()

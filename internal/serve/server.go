@@ -47,6 +47,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Handle registers an additional handler on the server's mux — how hogserve
+// mounts the telemetry /metrics exposition and the pprof endpoints next to
+// the serving API.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
 // jsonInstance accepts either a bare array (dense) or an object with
 // "indices" and "values" (sparse).
 type jsonInstance struct {

@@ -1,123 +1,92 @@
 package serve
 
 import (
-	"math"
-	"sync/atomic"
 	"time"
+
+	"heterosgd/internal/telemetry"
 )
 
-// latBuckets is the number of power-of-two latency histogram buckets:
-// bucket i counts requests whose total latency fell in [2^i, 2^(i+1)) µs,
-// with bucket 0 also absorbing sub-microsecond requests. 2^31 µs ≈ 36 min
-// comfortably covers any request that ever completes.
-const latBuckets = 32
-
-// Stats accumulates serving telemetry with atomic counters only, so the
-// request hot path never takes a lock. All methods are safe for concurrent
-// use.
+// Stats accumulates serving telemetry with lock-free instruments only, so
+// the request hot path never takes a lock. All methods are safe for
+// concurrent use.
+//
+// The counters and latency histogram are telemetry instruments: NewStatsIn
+// resolves them in a shared registry (surfacing them on the /metrics
+// exposition as serve_* series); NewStats keeps them private. The histogram
+// bucket layout — power-of-two microsecond buckets, [2^i, 2^(i+1)) µs —
+// lived here before it was extracted into internal/telemetry;
+// TestStatszUnchangedByHistogramExtraction pins the /statsz output against
+// the original formulas.
 type Stats struct {
 	start time.Time
 
-	requests atomic.Int64 // admitted requests
-	rejected atomic.Int64 // admission-control rejections (HTTP 429)
-	errors   atomic.Int64 // per-request failures (bad input, no model)
-	batches  atomic.Int64 // forward passes executed
-	examples atomic.Int64 // requests served across all batches
+	requests *telemetry.Counter // admitted requests
+	rejected *telemetry.Counter // admission-control rejections (HTTP 429)
+	errors   *telemetry.Counter // per-request failures (bad input, no model)
+	batches  *telemetry.Counter // forward passes executed
+	examples *telemetry.Counter // requests served across all batches
 
-	lat [latBuckets]atomic.Int64
+	lat *telemetry.Histogram // queue-to-response latency
 }
 
-// NewStats returns an empty stats accumulator.
-func NewStats() *Stats { return &Stats{start: time.Now()} }
+// NewStats returns an empty stats accumulator with private instruments.
+func NewStats() *Stats { return NewStatsIn(nil) }
+
+// NewStatsIn returns a stats accumulator whose instruments live in reg, so
+// the serving series (serve_requests_total, serve_latency_seconds, ...)
+// appear on the registry's /metrics exposition alongside everything else.
+// A nil registry falls back to private instruments, exactly like NewStats.
+func NewStatsIn(reg *telemetry.Registry) *Stats {
+	s := &Stats{start: time.Now()}
+	if reg == nil {
+		s.requests = &telemetry.Counter{}
+		s.rejected = &telemetry.Counter{}
+		s.errors = &telemetry.Counter{}
+		s.batches = &telemetry.Counter{}
+		s.examples = &telemetry.Counter{}
+		s.lat = telemetry.NewHistogram()
+		return s
+	}
+	s.requests = reg.Counter("serve_requests_total")
+	s.rejected = reg.Counter("serve_rejected_total")
+	s.errors = reg.Counter("serve_errors_total")
+	s.batches = reg.Counter("serve_batches_total")
+	s.examples = reg.Counter("serve_examples_total")
+	s.lat = reg.Histogram("serve_latency_seconds")
+	return s
+}
 
 // RecordAdmit counts one admitted request.
-func (s *Stats) RecordAdmit() { s.requests.Add(1) }
+func (s *Stats) RecordAdmit() { s.requests.Inc() }
 
 // RecordReject counts one admission-control rejection.
-func (s *Stats) RecordReject() { s.rejected.Add(1) }
+func (s *Stats) RecordReject() { s.rejected.Inc() }
 
 // RecordError counts one failed request.
-func (s *Stats) RecordError() { s.errors.Add(1) }
+func (s *Stats) RecordError() { s.errors.Inc() }
 
 // RecordBatch counts one executed forward pass over size requests.
 func (s *Stats) RecordBatch(size int) {
-	s.batches.Add(1)
+	s.batches.Inc()
 	s.examples.Add(int64(size))
 }
 
 // RecordLatency adds one request's queue-to-response latency.
 func (s *Stats) RecordLatency(d time.Duration) {
-	s.lat[latBucket(d)].Add(1)
-}
-
-func latBucket(d time.Duration) int {
-	us := d.Microseconds()
-	if us < 1 {
-		return 0
-	}
-	b := int(math.Log2(float64(us)))
-	if b >= latBuckets {
-		b = latBuckets - 1
-	}
-	return b
-}
-
-// bucketMid returns the representative latency of bucket i (its geometric
-// midpoint), in milliseconds.
-func bucketMid(i int) float64 {
-	lo := math.Exp2(float64(i))     // µs
-	return lo * math.Sqrt2 / 1000.0 // ms
+	s.lat.Observe(d)
 }
 
 // Quantile returns the q-quantile (0 < q ≤ 1) of recorded latencies in
 // milliseconds, resolved to histogram-bucket granularity (≈×√2). Returns 0
 // when nothing has been recorded.
 func (s *Stats) Quantile(q float64) float64 {
-	var total int64
-	var counts [latBuckets]int64
-	for i := range s.lat {
-		counts[i] = s.lat[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range counts {
-		seen += c
-		if seen >= rank {
-			return bucketMid(i)
-		}
-	}
-	return bucketMid(latBuckets - 1)
+	return s.lat.Quantile(q)
 }
 
 // Histogram returns the latency bucket counts alongside each bucket's
 // midpoint in milliseconds, trimmed to the occupied range.
 func (s *Stats) Histogram() (midsMs []float64, counts []int64) {
-	lo, hi := -1, -1
-	var all [latBuckets]int64
-	for i := range s.lat {
-		all[i] = s.lat[i].Load()
-		if all[i] > 0 {
-			if lo < 0 {
-				lo = i
-			}
-			hi = i
-		}
-	}
-	if lo < 0 {
-		return nil, nil
-	}
-	for i := lo; i <= hi; i++ {
-		midsMs = append(midsMs, bucketMid(i))
-		counts = append(counts, all[i])
-	}
-	return midsMs, counts
+	return s.lat.Occupied()
 }
 
 // Report is a point-in-time summary of serving telemetry, shaped for the
@@ -144,10 +113,10 @@ func (s *Stats) Snapshot(queueDepth int, version uint64) Report {
 	up := time.Since(s.start).Seconds()
 	r := Report{
 		UptimeSec:    up,
-		Requests:     s.requests.Load(),
-		Rejected:     s.rejected.Load(),
-		Errors:       s.errors.Load(),
-		Batches:      s.batches.Load(),
+		Requests:     s.requests.Value(),
+		Rejected:     s.rejected.Value(),
+		Errors:       s.errors.Value(),
+		Batches:      s.batches.Value(),
 		P50Ms:        s.Quantile(0.50),
 		P90Ms:        s.Quantile(0.90),
 		P99Ms:        s.Quantile(0.99),
@@ -155,7 +124,7 @@ func (s *Stats) Snapshot(queueDepth int, version uint64) Report {
 		ModelVersion: version,
 	}
 	if r.Batches > 0 {
-		r.MeanBatch = float64(s.examples.Load()) / float64(r.Batches)
+		r.MeanBatch = float64(s.examples.Value()) / float64(r.Batches)
 	}
 	if up > 0 {
 		r.ThroughputRPS = float64(r.Requests) / up

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// WriteChromeTrace renders the tracer's merged snapshot in the Chrome
+// trace_event JSON format (JSON-object form with a traceEvents array),
+// loadable in chrome://tracing and https://ui.perfetto.dev. Each ring
+// becomes one thread (tid = ring index, named via thread_name metadata);
+// spans are complete ("ph":"X") events with microsecond timestamps.
+//
+// The output is deterministic for a deterministic event set: metadata
+// events first in ring order, then spans in Snapshot's (Start, Worker,
+// Kind) order, every number formatted with fixed precision — which is what
+// lets a fixed-seed simulated run pin the export byte-for-byte in a golden
+// file.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, line)
+		return err
+	}
+	for i, name := range t.Names() {
+		line := fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%q}}`, i, name)
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.Snapshot() {
+		line := fmt.Sprintf(`{"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{%q:%d}}`,
+			ev.Kind.String(), us(ev.Start), us(ev.Dur), ev.Worker, ev.Kind.argName(), ev.Arg)
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// MarshalChromeTrace returns the Chrome trace_event JSON as a byte slice.
+func (t *Tracer) MarshalChromeTrace() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.WriteChromeTrace(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// us converts a duration to fractional microseconds (the trace_event unit).
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// NewDebugMux returns an http.ServeMux exposing reg at /metrics (Prometheus
+// text, ?format=json for JSON) alongside the standard net/http/pprof
+// profiling handlers under /debug/pprof/ — the telemetry debug surface the
+// CLIs mount behind their -telemetry-addr flags.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug server on addr in a background goroutine and
+// returns the bound address (useful with ":0"). The server lives for the
+// rest of the process — it is a diagnostics side-channel, torn down by exit.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// referenceBucket is the formula internal/serve used for its latency
+// histogram before the extraction into this package — the equivalence
+// oracle (ISSUE 5 satellite: identical bucket boundaries before/after).
+func referenceBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+func TestBucketBoundariesMatchServeOriginal(t *testing.T) {
+	// Sweep sub-µs through the 36-minute cap, hitting every power-of-two
+	// boundary, its neighbours, and geometric midpoints.
+	var probes []time.Duration
+	probes = append(probes, 0, time.Nanosecond, 500*time.Nanosecond, 999*time.Nanosecond)
+	for exp := 0; exp <= 32; exp++ {
+		us := time.Duration(1<<uint(exp)) * time.Microsecond
+		probes = append(probes, us-time.Microsecond, us, us+time.Microsecond, us+us/2)
+	}
+	for _, d := range probes {
+		if got, want := BucketOf(d), referenceBucket(d); got != want {
+			t.Fatalf("BucketOf(%v) = %d, reference = %d", d, got, want)
+		}
+	}
+	// And the midpoint rendering must match serve's bucketMid.
+	for i := 0; i < NumBuckets; i++ {
+		want := math.Exp2(float64(i)) * math.Sqrt2 / 1000.0
+		if got := BucketMidMs(i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("BucketMidMs(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileAndCounts(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond) // bucket 1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(200 * time.Microsecond) // bucket 7
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != BucketMidMs(1) {
+		t.Fatalf("p50 = %v, want bucket-1 midpoint %v", got, BucketMidMs(1))
+	}
+	if got := h.Quantile(0.99); got != BucketMidMs(7) {
+		t.Fatalf("p99 = %v, want bucket-7 midpoint %v", got, BucketMidMs(7))
+	}
+	mids, counts := h.Occupied()
+	if len(mids) != 7 || counts[0] != 90 || counts[len(counts)-1] != 10 {
+		t.Fatalf("occupied = %v / %v", mids, counts)
+	}
+	wantSum := (90*3 + 10*200) * time.Microsecond
+	if got := h.SumSeconds(); math.Abs(got-wantSum.Seconds()) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, wantSum.Seconds())
+	}
+}
+
+func TestHistogramClampsExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)    // negative → bucket 0
+	h.Observe(100 * time.Hour) // far past 2^31 µs → top bucket
+	counts := h.Counts()
+	if counts[0] != 1 || counts[NumBuckets-1] != 1 {
+		t.Fatalf("extreme observations landed in %v", counts)
+	}
+}

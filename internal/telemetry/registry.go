@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil Counter is a valid disabled counter (Add is a no-op), which is
+// what a nil Registry hands out — instrumented code never branches on
+// "telemetry enabled".
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as a float64 behind a
+// single atomic word. Nil gauges are valid disabled gauges.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the gauge's current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a named collection of metrics. Registration (the get-or-create
+// lookups) takes a mutex; the returned instruments are lock-free, so the
+// pattern is: resolve instruments once at setup, hold the pointers on the
+// hot path. All methods are safe for concurrent use and safe on a nil
+// receiver (they return nil instruments, i.e. disabled telemetry).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (disabled) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (disabled) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a function-backed gauge evaluated at exposition time
+// (queue depths, goroutine counts). Re-registering a name replaces the
+// function. fn must be safe for concurrent use. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (disabled) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// regSnapshot is one consistent view of the registered instrument sets (the
+// instruments themselves keep accumulating; only membership is snapshotted).
+func (r *Registry) snapshot() (counters map[string]*Counter, gauges map[string]*Gauge, fns map[string]func() float64, hists map[string]*Histogram) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	counters = make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges = make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	fns = make(map[string]func() float64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		fns[k] = v
+	}
+	hists = make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	return counters, gauges, fns, hists
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), names sorted for stable output.
+// Histograms render as cumulative le-labeled buckets with _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, gauges, fns, hists := r.snapshot()
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	gaugeVals := make(map[string]float64, len(gauges)+len(fns))
+	for name, g := range gauges {
+		gaugeVals[name] = g.Value()
+	}
+	for name, fn := range fns {
+		gaugeVals[name] = fn()
+	}
+	for _, name := range sortedKeys(gaugeVals) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gaugeVals[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		counts := h.Counts()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			// Skip interior empty buckets to keep the payload small, but
+			// always emit occupied ones and the terminal +Inf bucket.
+			if c == 0 && i != NumBuckets-1 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, BucketHiSec(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			name, cum, name, h.SumSeconds(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every registered metric as a JSON-marshalable map —
+// counters and gauges by name, histograms as {count, sum_sec, p50_ms,
+// p99_ms}. The expvar-style alternative to the Prometheus exposition.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	counters, gauges, fns, hists := r.snapshot()
+	for name, c := range counters {
+		out[name] = c.Value()
+	}
+	for name, g := range gauges {
+		out[name] = g.Value()
+	}
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	for name, h := range hists {
+		out[name] = map[string]any{
+			"count":   h.Count(),
+			"sum_sec": h.SumSeconds(),
+			"p50_ms":  h.Quantile(0.50),
+			"p99_ms":  h.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// Handler returns the exposition endpoint: Prometheus text by default,
+// expvar-style JSON with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// RegisterRuntimeMetrics adds Go-runtime gauges (goroutines, heap bytes, GC
+// cycles) to the registry, evaluated at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("go_gc_cycles", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("requests_total") != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	g := r.Gauge("loss")
+	g.Set(0.25)
+	if got := g.Value(); got != 0.25 {
+		t.Fatalf("gauge = %v, want 0.25", got)
+	}
+	r.GaugeFunc("depth", func() float64 { return 7 })
+	snap := r.Snapshot()
+	if snap["requests_total"] != int64(5) || snap["loss"] != 0.25 || snap["depth"] != 7.0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3) // must not panic
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h := r.Histogram("z")
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+
+	var tr *Tracer
+	tr.Span(0, KindGradient, 0, 0, 0) // must not panic
+	if tr.Snapshot() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer holds events")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("depth").Set(3)
+	h := r.Histogram("lat")
+	h.Observe(3 * time.Microsecond) // bucket 1: [2µs, 4µs)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond) // bucket 6: [64µs, 128µs)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Counters sorted by name.
+	if strings.Index(out, "a_total 1") > strings.Index(out, "b_total 2") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"# TYPE depth gauge\ndepth 3",
+		"# TYPE lat histogram",
+		`lat_bucket{le="4e-06"} 2`,    // cumulative through bucket 1
+		`lat_bucket{le="0.000128"} 3`, // cumulative through bucket 6
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(9)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "hits_total 9") {
+		t.Fatalf("prometheus body = %q", body)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m["hits_total"] != 9.0 {
+		t.Fatalf("json body = %v", m)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	snap := r.Snapshot()
+	if snap["go_goroutines"].(float64) < 1 {
+		t.Fatalf("goroutines gauge = %v", snap["go_goroutines"])
+	}
+	if snap["go_heap_alloc_bytes"].(float64) <= 0 {
+		t.Fatalf("heap gauge = %v", snap["go_heap_alloc_bytes"])
+	}
+	RegisterRuntimeMetrics(nil) // no-op
+}

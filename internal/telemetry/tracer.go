@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRingCap is the per-ring event capacity when NewTracer is given a
+// non-positive capacity: large enough to hold every span of a typical
+// benchmark run, small enough (~a few hundred KB per worker) to sit
+// preallocated for the whole run.
+const DefaultRingCap = 4096
+
+// slot is one preallocated ring entry. Writes and reads are all atomic so
+// the single-writer/any-reader protocol is race-detector clean; the ver
+// seqlock makes multi-field reads consistent: the writer bumps ver to odd,
+// stores the fields, bumps ver to even; a reader retries (or skips) any slot
+// whose ver was odd or changed across its field loads.
+type slot struct {
+	ver   atomic.Uint64
+	meta  atomic.Uint64 // kind<<32 | ring index
+	start atomic.Int64
+	dur   atomic.Int64
+	arg   atomic.Int64
+}
+
+// ring is one worker's fixed-size event buffer. Exactly one goroutine
+// writes it (the worker that owns it); any goroutine may snapshot it.
+type ring struct {
+	slots []slot
+	n     atomic.Uint64 // events ever written; n-len(slots) have been overwritten
+}
+
+// Tracer records typed span events into fixed-size per-worker ring buffers.
+// Ring i must only be written by the single goroutine owning worker i —
+// that is what makes writes lock-free — while Snapshot may run concurrently
+// from any goroutine. A nil Tracer is the disabled tracer: Span is a single
+// nil check, no allocation, no atomics.
+//
+// When a ring wraps, the oldest events are overwritten (Dropped reports how
+// many); a trace therefore always holds the most recent window, which is
+// what a "why is it slow right now" investigation wants.
+type Tracer struct {
+	rings []ring
+	names []string
+}
+
+// NewTracer returns a tracer with one ring per name. names[i] labels ring i
+// in exports (worker device names, with the coordinator ring last, is the
+// convention the engines use). perRingCap is rounded up to a power of two;
+// non-positive selects DefaultRingCap.
+func NewTracer(names []string, perRingCap int) *Tracer {
+	if perRingCap <= 0 {
+		perRingCap = DefaultRingCap
+	}
+	capPow := 1
+	for capPow < perRingCap {
+		capPow <<= 1
+	}
+	t := &Tracer{
+		rings: make([]ring, len(names)),
+		names: append([]string(nil), names...),
+	}
+	for i := range t.rings {
+		t.rings[i].slots = make([]slot, capPow)
+	}
+	return t
+}
+
+// Names returns the ring labels.
+func (t *Tracer) Names() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.names...)
+}
+
+// Span records one event into ring. It must only be called from the single
+// goroutine owning that ring. Out-of-range rings are dropped silently (a
+// misconfigured tracer must never crash a training run). start and dur use
+// whatever clock the engine runs on (virtual or wall), measured from the
+// run origin.
+func (t *Tracer) Span(ringIdx int, k Kind, start, dur time.Duration, arg int64) {
+	if t == nil || ringIdx < 0 || ringIdx >= len(t.rings) {
+		return
+	}
+	r := &t.rings[ringIdx]
+	i := r.n.Load() & uint64(len(r.slots)-1)
+	s := &r.slots[i]
+	s.ver.Add(1) // odd: write in progress
+	s.meta.Store(uint64(k)<<32 | uint64(uint32(ringIdx)))
+	s.start.Store(int64(start))
+	s.dur.Store(int64(dur))
+	s.arg.Store(arg)
+	s.ver.Add(1) // even: committed
+	r.n.Add(1)
+}
+
+// Len returns the number of events currently held across all rings.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	total := 0
+	for i := range t.rings {
+		n := t.rings[i].n.Load()
+		if c := uint64(len(t.rings[i].slots)); n > c {
+			n = c
+		}
+		total += int(n)
+	}
+	return total
+}
+
+// Dropped returns the number of events overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	var dropped int64
+	for i := range t.rings {
+		n := t.rings[i].n.Load()
+		if c := uint64(len(t.rings[i].slots)); n > c {
+			dropped += int64(n - c)
+		}
+	}
+	return dropped
+}
+
+// Snapshot merges every ring into one event list ordered by (Start, Worker,
+// Kind) — the coordinator-side merge. It is safe to call while writers are
+// still emitting: a slot caught mid-write is retried a few times and then
+// skipped, so the snapshot contains only consistent events.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for ri := range t.rings {
+		r := &t.rings[ri]
+		n := r.n.Load()
+		count := uint64(len(r.slots))
+		if n < count {
+			count = n
+		}
+		for i := uint64(0); i < count; i++ {
+			s := &r.slots[i]
+			for attempt := 0; attempt < 4; attempt++ {
+				v1 := s.ver.Load()
+				if v1%2 == 1 {
+					continue // mid-write; retry
+				}
+				meta := s.meta.Load()
+				ev := Event{
+					Kind:   Kind(meta >> 32),
+					Worker: int(uint32(meta)),
+					Start:  time.Duration(s.start.Load()),
+					Dur:    time.Duration(s.dur.Load()),
+					Arg:    s.arg.Load(),
+				}
+				if s.ver.Load() != v1 {
+					continue // overwritten underneath us; retry
+				}
+				out = append(out, ev)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		if out[a].Worker != out[b].Worker {
+			return out[a].Worker < out[b].Worker
+		}
+		return out[a].Kind < out[b].Kind
+	})
+	return out
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// httpGet fetches url and returns its body.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestTracerRecordsAndMerges(t *testing.T) {
+	tr := NewTracer([]string{"cpu0", "gpu0", "coordinator"}, 16)
+	tr.Span(1, KindGradient, 5*time.Microsecond, 10*time.Microsecond, 128)
+	tr.Span(0, KindGradient, 2*time.Microsecond, 3*time.Microsecond, 8)
+	tr.Span(2, KindEval, 20*time.Microsecond, 4*time.Microsecond, 256)
+	tr.Span(0, KindApply, 5*time.Microsecond, 0, 8)
+
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(evs))
+	}
+	// Ordered by (Start, Worker, Kind): cpu0@2, cpu0 apply@5, gpu0@5, coord@20.
+	want := []struct {
+		kind   Kind
+		worker int
+	}{
+		{KindGradient, 0}, {KindApply, 0}, {KindGradient, 1}, {KindEval, 2},
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Worker != w.worker {
+			t.Fatalf("event %d = %+v, want kind %v worker %d", i, evs[i], w.kind, w.worker)
+		}
+	}
+	if evs[2].Arg != 128 || evs[2].Dur != 10*time.Microsecond {
+		t.Fatalf("gpu event lost fields: %+v", evs[2])
+	}
+	if tr.Len() != 4 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestTracerWraparoundKeepsNewestAndCounts(t *testing.T) {
+	tr := NewTracer([]string{"w"}, 8)
+	for i := 0; i < 20; i++ {
+		tr.Span(0, KindGradient, time.Duration(i)*time.Millisecond, time.Millisecond, int64(i))
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("snapshot has %d events, want ring capacity 8", len(evs))
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", tr.Dropped())
+	}
+	// The surviving events are the 8 most recent (args 12..19).
+	seen := map[int64]bool{}
+	for _, ev := range evs {
+		seen[ev.Arg] = true
+	}
+	for arg := int64(12); arg < 20; arg++ {
+		if !seen[arg] {
+			t.Fatalf("recent event %d overwritten; snapshot args: %v", arg, seen)
+		}
+	}
+}
+
+func TestTracerOutOfRangeRingIsDropped(t *testing.T) {
+	tr := NewTracer([]string{"w"}, 8)
+	tr.Span(-1, KindGradient, 0, 0, 0)
+	tr.Span(5, KindGradient, 0, 0, 0)
+	if tr.Len() != 0 {
+		t.Fatal("out-of-range spans were recorded")
+	}
+}
+
+func TestTracerCapacityRoundsUpToPowerOfTwo(t *testing.T) {
+	tr := NewTracer([]string{"w"}, 9)
+	for i := 0; i < 16; i++ {
+		tr.Span(0, KindGradient, time.Duration(i), 0, 0)
+	}
+	if tr.Len() != 16 || tr.Dropped() != 0 {
+		t.Fatalf("cap 9 should round to 16: Len=%d Dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestChromeTraceExportShape(t *testing.T) {
+	tr := NewTracer([]string{"cpu0", "coordinator"}, 16)
+	tr.Span(0, KindGradient, 1500*time.Nanosecond, 2*time.Microsecond, 64)
+	tr.Span(1, KindCheckpoint, 10*time.Microsecond, 0, 42)
+
+	buf, err := tr.MarshalChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 { // 2 thread_name metadata + 2 spans
+		t.Fatalf("%d trace events, want 4", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "cpu0" {
+		t.Fatalf("first metadata event = %+v", meta)
+	}
+	span := doc.TraceEvents[2]
+	if span.Ph != "X" || span.Name != "gradient" || span.TID != 0 {
+		t.Fatalf("first span = %+v", span)
+	}
+	if span.TS != 1.5 || span.Dur != 2.0 { // µs with sub-µs precision preserved
+		t.Fatalf("span ts/dur = %v/%v, want 1.5/2.0", span.TS, span.Dur)
+	}
+	if span.Args["batch"] != 64.0 {
+		t.Fatalf("span args = %v", span.Args)
+	}
+	ckpt := doc.TraceEvents[3]
+	if ckpt.Name != "checkpoint" || ckpt.TID != 1 || ckpt.Args["total_updates"] != 42.0 {
+		t.Fatalf("checkpoint span = %+v", ckpt)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if k.argName() == "" {
+			t.Fatalf("kind %d has no arg name", k)
+		}
+	}
+	if numKinds.String() != "unknown" {
+		t.Fatal("out-of-range kind should be unknown")
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pings_total").Add(3)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := httpGet(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "pings_total 3") {
+		t.Fatalf("/metrics body = %q", body)
+	}
+	if !strings.Contains(httpGet(t, "http://"+addr+"/debug/pprof/cmdline"), "telemetry") {
+		t.Fatal("pprof cmdline endpoint not serving")
+	}
+}

@@ -1,0 +1,267 @@
+// Command hogcluster runs multi-process training: a coordinator process
+// schedules batches over TCP to worker processes, each of which builds the
+// identical dataset from the shared spec/scale/seed flags and returns
+// parameter deltas. The link layer heartbeats, reconnects with jittered
+// backoff, retransmits unacknowledged completions, and the coordinator
+// deduplicates by dispatch sequence — so killed workers and severed links
+// degrade training instead of corrupting it.
+//
+// Quickstart (one machine, loopback):
+//
+//	hogcluster -workers 2 -spawn -time 2s
+//
+// spawns the coordinator plus two worker processes of the same binary. To
+// run the pieces by hand (or on several machines):
+//
+//	hogcluster -role coordinator -listen :7117 -workers 2 -time 2s
+//	hogcluster -role worker -id 0 -connect host:7117
+//	hogcluster -role worker -id 1 -connect host:7117
+//
+// Fault drills:
+//
+//	hogcluster -workers 3 -spawn -time 2s -kill-worker 1 -kill-after 500ms
+//	hogcluster -workers 3 -spawn -time 2s -linkfaults sever:2:10:2
+//
+// The first kills worker 1 mid-run (quarantined, batch re-dispatched, run
+// completes on the survivors); the second routes every worker through an
+// in-process partition proxy that severs worker 2's link after its 10th
+// dispatch and refuses 2 redials before healing (quarantined, then
+// readmitted). Both runs exit 0 with the full fault report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"heterosgd/internal/buildinfo"
+	"heterosgd/internal/core"
+	"heterosgd/internal/experiments"
+	"heterosgd/internal/faults"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/telemetry"
+	"heterosgd/internal/transport"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "coordinator", "process role: coordinator or worker")
+		dsName  = flag.String("dataset", "covtype", "synthetic dataset: covtype, w8a, delicious, real-sim")
+		scale   = flag.String("scale", "small", "synthetic scale: small, medium, full")
+		algName = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, minibatch-cpu")
+		seed    = flag.Uint64("seed", 1, "random seed (must match across all processes of a run)")
+		hidden  = flag.Int("hidden", 0, "override hidden-layer width (must match across processes)")
+		lr      = flag.Float64("lr", 0.1, "base learning rate")
+		shuffle = flag.Bool("shuffle", true, "reshuffle between epochs (workers replay the shuffles)")
+		guards  = flag.Bool("guards", true, "enable divergence guards on both sides")
+		decay   = flag.Float64("weight-decay", 0, "L2 weight decay (must match across processes)")
+
+		// Coordinator flags.
+		listen    = flag.String("listen", "127.0.0.1:0", "coordinator listen address")
+		workers   = flag.Int("workers", 2, "number of remote workers")
+		budget    = flag.Duration("time", 2*time.Second, "wall-clock training budget")
+		heartbeat = flag.Duration("heartbeat", 250*time.Millisecond, "link heartbeat period (link declared down after 3 missed)")
+		attach    = flag.Duration("attach-timeout", 30*time.Second, "how long to wait for all workers to connect")
+		dispatchT = flag.Duration("dispatch-timeout", 0, "flat per-dispatch deadline (0 = partitions detected by heartbeat only)")
+		spawn     = flag.Bool("spawn", false, "also spawn the worker processes (this binary, -role worker) on loopback")
+		linkStr   = flag.String("linkfaults", "", "partition plan routed through an in-process proxy: drop:W:RATE,dup:W:RATE,delay:W:EVERY:DUR,sever:W:AFTER:REFUSE (implies -spawn routing)")
+		killID    = flag.Int("kill-worker", -1, "with -spawn: kill this worker's process mid-run")
+		killAfter = flag.Duration("kill-after", 500*time.Millisecond, "with -kill-worker: how far into the run to kill it")
+		telAddr   = flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+
+		// Worker flags.
+		id      = flag.Int("id", 0, "worker id (0-based, unique per run)")
+		connect = flag.String("connect", "", "coordinator (or fault proxy) address to dial")
+		threads = flag.Int("threads", 0, "sequential gradient lanes per dispatch (0 = from handshake)")
+
+		showVer = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVer {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *hidden != 0 {
+		sc.HiddenUnits = *hidden
+	}
+	prob, err := experiments.NewProblem(*dsName, sc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *role == "worker" {
+		if *connect == "" {
+			fatal(fmt.Errorf("-role worker requires -connect"))
+		}
+		err := core.RunClusterWorker(ctx, *connect, *id, prob.Net, prob.Dataset, core.ClusterWorkerOptions{
+			Client:      transport.ClientOptions{Seed: *seed},
+			Threads:     *threads,
+			WeightDecay: *decay,
+			Guards:      *guards,
+		})
+		if err != nil && ctx.Err() == nil {
+			fatal(fmt.Errorf("worker %d: %w", *id, err))
+		}
+		fmt.Printf("worker %d: done\n", *id)
+		return
+	}
+	if *role != "coordinator" {
+		fatal(fmt.Errorf("unknown -role %q (coordinator or worker)", *role))
+	}
+
+	alg, err := core.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	linkPlan, err := faults.ParseLinks(*linkStr)
+	if err != nil {
+		fatal(err)
+	}
+	if linkPlan != nil {
+		linkPlan.Seed = *seed
+		if err := linkPlan.Validate(*workers); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := core.NewConfig(alg, prob.Net, prob.Dataset, sc.Preset)
+	cfg.BaseLR = *lr
+	cfg.Seed = *seed
+	cfg.Shuffle = *shuffle
+	cfg.WeightDecay = *decay
+	cfg.SampleEvery = *budget / 25
+	if *guards {
+		cfg.Guards = core.DefaultGuards()
+	}
+	// The Config's worker list sizes the scheduler (batch windows, adaptive
+	// thresholds); the processes filling those slots are remote. Pad or trim
+	// to the requested cluster size by cycling the algorithm's device mix.
+	orig := len(cfg.Workers)
+	for len(cfg.Workers) < *workers {
+		cfg.Workers = append(cfg.Workers, cfg.Workers[len(cfg.Workers)%orig])
+	}
+	cfg.Workers = cfg.Workers[:*workers]
+
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		cfg.Metrics = reg
+		addr, serr := telemetry.ServeDebug(*telAddr, reg)
+		if serr != nil {
+			fatal(fmt.Errorf("telemetry server: %w", serr))
+		}
+		fmt.Printf("telemetry: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+
+	trans, err := transport.ListenTCP(*listen, *workers, core.ClusterTCPOptions(&cfg, *heartbeat))
+	if err != nil {
+		fatal(err)
+	}
+	dialAddr := trans.Addr()
+	var proxy *transport.Proxy
+	if linkPlan != nil {
+		proxy, err = transport.NewProxy("127.0.0.1:0", trans.Addr(), linkPlan)
+		if err != nil {
+			fatal(err)
+		}
+		defer proxy.Close()
+		dialAddr = proxy.Addr()
+		fmt.Printf("partition proxy: workers dial %s (plan %s)\n", dialAddr, linkPlan)
+	}
+	fmt.Printf("coordinator: listening on %s, waiting for %d workers\n", trans.Addr(), *workers)
+
+	var spawned []*exec.Cmd
+	var spawnWG sync.WaitGroup
+	if *spawn {
+		self, err := os.Executable()
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < *workers; i++ {
+			cmd := exec.Command(self,
+				"-role", "worker",
+				"-id", strconv.Itoa(i),
+				"-connect", dialAddr,
+				"-dataset", *dsName,
+				"-scale", *scale,
+				"-seed", strconv.FormatUint(*seed, 10),
+				"-hidden", strconv.Itoa(*hidden),
+				"-weight-decay", strconv.FormatFloat(*decay, 'g', -1, 64),
+				"-guards="+strconv.FormatBool(*guards),
+			)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				fatal(fmt.Errorf("spawning worker %d: %w", i, err))
+			}
+			fmt.Printf("spawned worker %d (pid %d)\n", i, cmd.Process.Pid)
+			spawned = append(spawned, cmd)
+			spawnWG.Add(1)
+			go func(c *exec.Cmd) { defer spawnWG.Done(); c.Wait() }(cmd)
+		}
+		if *killID >= 0 && *killID < len(spawned) {
+			victim := spawned[*killID]
+			kid := *killID
+			time.AfterFunc(*killAfter, func() {
+				fmt.Printf("killing worker %d (pid %d) %v into the run\n", kid, victim.Process.Pid, *killAfter)
+				victim.Process.Kill()
+			})
+		}
+	} else if *killID >= 0 {
+		fatal(fmt.Errorf("-kill-worker requires -spawn (the coordinator only owns processes it spawned)"))
+	}
+
+	res, err := core.RunCluster(ctx, cfg, *budget, trans, core.ClusterOptions{
+		AttachTimeout:   *attach,
+		DispatchTimeout: *dispatchT,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	spawnWG.Wait()
+
+	if res.Interrupted {
+		fmt.Println("interrupted: drained in-flight work")
+	}
+	fmt.Println(res)
+	if res.Health.Faulty() {
+		fmt.Printf("fault report: %s\n", res.Health)
+		fmt.Print(res.Events)
+	}
+	if tr := res.Health.Transport; tr != nil {
+		fmt.Printf("transport: %d examples applied of %d scheduled; duplicates discarded %d, abandoned discarded %d, partitions %d, reconnects %d\n",
+			tr.AppliedExamples, res.ExamplesProcessed, tr.Duplicates, tr.Abandoned, tr.Partitions, tr.Reconnects)
+	}
+	fmt.Printf("final batch sizes: %v (resizes %v)\n", res.FinalBatch, res.Resizes)
+	snap := res.Updates.Snapshot()
+	names := make([]string, 0, len(snap))
+	for w := range snap {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		fmt.Printf("  %-6s %10d updates (%.1f%%)\n", w, snap[w], 100*res.Updates.Share(w))
+	}
+	fmt.Print(metrics.ASCIIChart([]*metrics.Trace{res.Trace}, 64, 12, false, "loss vs time"))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hogcluster:", err)
+	os.Exit(1)
+}

@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -162,10 +163,28 @@ func main() {
 			}
 			fmt.Printf("training finished; serving final model (version %d)\n", pub.Version())
 		}()
+		// liveQueues filters the shared registry down to the engine's
+		// message-queue and network-transport instruments (msgq_* from the
+		// in-process transport, transport_* from TCP links), so /statsz
+		// shows queue pressure — dropped pushes in particular — while the
+		// run is still going, not only in the post-run report.
+		liveQueues := func() map[string]any {
+			out := make(map[string]any)
+			for name, v := range reg.Snapshot() {
+				if strings.HasPrefix(name, "msgq_") || strings.HasPrefix(name, "transport_") {
+					out[name] = v
+				}
+			}
+			return out
+		}
 		server.AddStats("training", func() any {
 			res := trainRes.Load()
 			if res == nil {
-				return map[string]any{"state": "running", "model_version": pub.Version()}
+				return map[string]any{
+					"state":         "running",
+					"model_version": pub.Version(),
+					"queues":        liveQueues(),
+				}
 			}
 			q := res.Health.Queue
 			return map[string]any{
@@ -174,6 +193,7 @@ func main() {
 				"final_loss":  res.FinalLoss,
 				"updates":     res.Updates.Total(),
 				"queue":       map[string]uint64{"pushed": q.Pushed, "popped": q.Popped, "dropped": q.Dropped},
+				"queues":      liveQueues(),
 				"faulty":      res.Health.Faulty(),
 				"interrupted": res.Interrupted,
 			}

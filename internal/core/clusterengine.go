@@ -1,0 +1,603 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"heterosgd/internal/data"
+	"heterosgd/internal/metrics"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/opt"
+	"heterosgd/internal/telemetry"
+	"heterosgd/internal/transport"
+)
+
+// This file implements the networked training engine: the same coordinator
+// (Algorithm 1/2 scheduling, health tracking, divergence guards) as RunReal,
+// but speaking transport.Transport to workers that live in other processes.
+// The engine is a parameter server — each dispatch carries the serialized
+// global model, each completion carries the worker's parameter delta, and
+// the coordinator (the model's single writer) applies deltas sequentially.
+//
+// Delivery semantics: the transport is at-least-once (workers retransmit
+// unacknowledged completions across reconnects), and the engine makes
+// application exactly-once by deduplicating on the dispatch sequence number.
+// A completion is applied only if its sequence is still in flight and not
+// abandoned; duplicates and abandoned stragglers are discarded, so a worker
+// that was severed and healed neither loses nor double-applies a batch.
+
+// ClusterOptions tunes RunCluster's behavior beyond the shared Config.
+type ClusterOptions struct {
+	// AttachTimeout bounds the initial wait for all workers to connect.
+	// Zero defaults to 30 s.
+	AttachTimeout time.Duration
+	// DispatchTimeout, when positive, is a flat per-dispatch deadline:
+	// a dispatch outstanding longer quarantines the worker and re-routes
+	// the batch, exactly like cfg.Watchdog in the in-process engines (whose
+	// device cost model does not describe remote processes). Zero disables
+	// deadlines; partitions are then detected by heartbeat loss alone.
+	DispatchTimeout time.Duration
+}
+
+func (o *ClusterOptions) defaults() {
+	if o.AttachTimeout <= 0 {
+		o.AttachTimeout = 30 * time.Second
+	}
+}
+
+// linkStatser is implemented by transports that track delivery statistics
+// (transport.TCP); the engine folds them into the TransportReport events.
+type linkStatser interface {
+	Stats() transport.Stats
+}
+
+// encodeParams serializes p with the checksummed nn wire format.
+func encodeParams(p *nn.Params) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RunCluster trains cfg's model for a wall-clock budget over trans: the
+// coordinator (this goroutine) dispatches batches — as absolute dataset
+// ranges plus the serialized global parameters — to remote workers, and
+// applies the parameter deltas they return. Both sides must construct the
+// identical dataset (same spec, scale, and seed); workers replay the
+// coordinator's epoch shuffles from the seed carried in the handshake, so a
+// dispatched [Lo,Hi) range denotes the same examples in every process.
+//
+// Fault tolerance extends RunReal's state machine to network failures. A
+// severed or silent link surfaces as a LinkDown event: the worker is
+// quarantined (event kind "partition"), its in-flight batch re-dispatched
+// to a survivor, and the eventual completion of the abandoned dispatch is
+// discarded. When the link heals (LinkUp) the worker is readmitted and
+// receives work again. Completions are deduplicated by dispatch sequence,
+// so the at-least-once transport never double-applies an update; see
+// TransportReport for the accounting.
+//
+// Restrictions relative to RunReal: plain SGD only (optimizer state lives
+// worker-side and is not replicated), no cfg.Resume (workers replay
+// shuffles from epoch zero), and cfg.Faults is ignored — inject network
+// faults with transport.NewProxy and a faults.LinkPlan instead.
+func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans transport.Transport, opts ClusterOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Algorithm == AlgSVRG {
+		return nil, fmt.Errorf("core: AlgSVRG is implemented on the simulated engine only (use RunSim)")
+	}
+	if cfg.Optimizer != opt.KindSGD {
+		return nil, fmt.Errorf("core: RunCluster supports plain SGD only (optimizer state is not replicated to workers)")
+	}
+	if cfg.Resume != nil {
+		return nil, fmt.Errorf("core: RunCluster does not support resume (workers replay shuffles from epoch zero)")
+	}
+	if trans == nil {
+		return nil, fmt.Errorf("core: RunCluster needs a transport")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.defaults()
+
+	rng := cfg.newRNG()
+	net := cfg.Net
+	ds := cfg.Dataset
+	global := net.NewParams(nn.InitXavier, rng)
+	if cfg.InitialParams != nil {
+		global.CopyFrom(cfg.InitialParams)
+	}
+	coord := newCoordinator(&cfg)
+	tel := cfg.Tracer
+	rm := newRunMetrics(cfg.Metrics)
+	coordRing := cfg.coordRing()
+	raw := metrics.NewUpdateCounter()
+	raw.Mirror(rm.updates)
+	trace := &metrics.Trace{Name: cfg.Algorithm.String()}
+	events := metrics.NewEventLog()
+	health := newHealthTracker(&cfg, events)
+	coord.tracker = health
+	guard := newGuardState(cfg.Guards, global)
+	tr := &TransportReport{}
+	health.report.Transport = tr
+
+	start := time.Now()
+	gemmWorkers := runtime.GOMAXPROCS(0)
+
+	evalN := ds.N()
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < evalN {
+		evalN = cfg.EvalSubset
+	}
+	evalWS := net.NewWorkspace(evalN)
+	evalLoss := func() float64 {
+		v := ds.View(0, evalN)
+		return net.LossX(global, evalWS, v.Input(), v.Y, gemmWorkers)
+	}
+
+	lastSnap := start
+	publishSnap := func(force bool) {
+		if cfg.SnapshotSink == nil {
+			return
+		}
+		if !force && (cfg.SnapshotEvery <= 0 || time.Since(lastSnap) < cfg.SnapshotEvery) {
+			return
+		}
+		lastSnap = time.Now()
+		snapT0 := time.Since(start)
+		cfg.SnapshotSink.PublishParams(global.Clone())
+		tel.Span(coordRing, telemetry.KindSnapshot, snapT0, time.Since(start)-snapT0, global.SizeBytes())
+		rm.snapshots.Inc()
+	}
+
+	outstanding := 0
+	converged := false
+	interrupted := false
+	overBudget := func() bool { return converged || interrupted || time.Since(start) >= budget }
+
+	lastCkpt := start
+	writeCkpt := func(force bool) {
+		if cfg.CheckpointSink == nil {
+			return
+		}
+		if !force && (cfg.CheckpointEvery <= 0 || time.Since(lastCkpt) < cfg.CheckpointEvery) {
+			return
+		}
+		lastCkpt = time.Now()
+		ckptT0 := time.Since(start)
+		st, err := coord.exportState()
+		if err == nil {
+			st.TotalUpdates = raw.Total()
+			st.GuardLRScale = guard.scale()
+			st.GuardRetries = guard.retryCount()
+			st.Interrupted = interrupted
+			st.At = time.Since(start)
+			st.Events = events.Events()
+			st.Params = global.Clone()
+			err = cfg.CheckpointSink.WriteState(st)
+		}
+		if err != nil {
+			events.Add(time.Since(start), "", "ckpt-error", err.Error())
+			return
+		}
+		tel.Span(coordRing, telemetry.KindCheckpoint, ckptT0, time.Since(start)-ckptT0, raw.Total())
+		rm.checkpoints.Inc()
+	}
+
+	stopCancelWatch := context.AfterFunc(ctx, func() {
+		trans.Wake()
+	})
+	defer stopCancelWatch()
+
+	// ---- Attach phase: every worker must link up before training starts,
+	// so epoch-zero dispatches are never silently dropped on dead links.
+	connected := make([]bool, len(cfg.Workers))
+	attached := 0
+	attachDeadline := time.Now().Add(opts.AttachTimeout)
+	for attached < len(cfg.Workers) {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		remaining := time.Until(attachDeadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("core: only %d of %d workers attached within %v", attached, len(cfg.Workers), opts.AttachTimeout)
+		}
+		m, st := trans.Recv(remaining)
+		if st == transport.RecvClosed {
+			return nil, fmt.Errorf("core: transport closed during attach")
+		}
+		if st == transport.RecvOK && m.Event != nil && m.Event.Kind == transport.LinkUp {
+			if !connected[m.Event.Worker] {
+				connected[m.Event.Worker] = true
+				attached++
+				events.Add(time.Since(start), health.report.Workers[m.Event.Worker].Worker, "attach", "worker linked up")
+			}
+		}
+	}
+
+	{
+		loss := evalLoss()
+		trace.Add(0, coord.epochFrac(), loss)
+		rm.loss.Set(loss)
+		rm.epochs.Set(coord.epochFrac())
+	}
+
+	flight := make(map[uint64]*inflightDispatch)
+	var seq uint64
+	busy := make([]bool, len(cfg.Workers))
+	feed := make([][]data.Batch, len(cfg.Workers))
+	var pending []data.Batch
+	lastBatch := make([]int, len(cfg.Workers))
+	var batchTrace []BatchEvent
+
+	workerName := func(id int) string { return health.report.Workers[id].Worker }
+
+	var redispatch func(batch data.Batch, from int)
+	var dispatch func(id int) bool
+
+	// benchWorker takes a worker out of rotation on a link failure: its
+	// in-flight dispatch is abandoned (the eventual completion becomes the
+	// readmission probe and its delta is discarded) and the batch re-routed.
+	benchWorker := func(id int, kind, detail string) {
+		if !health.quarantineKind(id, time.Since(start), kind, detail) {
+			return
+		}
+		for _, fl := range flight {
+			if fl.worker != id || fl.abandoned {
+				continue
+			}
+			fl.abandoned = true
+			busy[id] = false
+			outstanding--
+			redispatch(fl.batch, id)
+		}
+	}
+
+	send := func(id int, batch data.Batch) {
+		blob, err := encodeParams(global)
+		if err != nil {
+			// Serialization of an in-memory model cannot fail in practice;
+			// treat it as fatal rather than silently training nothing.
+			panic(fmt.Sprintf("core: serializing global params: %v", err))
+		}
+		seq++
+		fl := &inflightDispatch{worker: id, batch: batch}
+		if opts.DispatchTimeout > 0 {
+			fl.deadline = time.Now().Add(opts.DispatchTimeout)
+		}
+		flight[seq] = fl
+		lr := cfg.ScheduledLR(batch.Size(), coord.epochFrac()) * coord.lrScale(id) * guard.scale()
+		sent := time.Since(start)
+		tel.Span(coordRing, telemetry.KindSchedule, sent, 0, int64(batch.Size()))
+		rm.examples.Add(int64(batch.Size()))
+		epoch := 0
+		if cfg.Shuffle {
+			epoch = coord.epoch
+		}
+		err = trans.Send(id, transport.Work{
+			Seq:    seq,
+			Epoch:  uint32(epoch),
+			Lo:     batch.Lo,
+			Hi:     batch.Hi,
+			LR:     lr,
+			SentNS: int64(sent),
+			Params: blob,
+		})
+		busy[id] = true
+		outstanding++
+		if err != nil {
+			// The link died between the last event and this send; bench the
+			// worker now instead of waiting for the LinkDown event, so the
+			// batch is back in rotation immediately.
+			benchWorker(id, "partition", fmt.Sprintf("send failed: %v", err))
+		}
+	}
+	dispatch = func(id int) bool {
+		if !health.ok(id) || busy[id] {
+			return false
+		}
+		if interrupted {
+			return false
+		}
+		if len(feed[id]) == 0 && len(pending) > 0 {
+			b := pending[0]
+			pending = pending[1:]
+			health.report.Redispatches++
+			rm.redispatch.Inc()
+			events.Add(time.Since(start), workerName(id), "redispatch",
+				fmt.Sprintf("%d examples from pending queue", b.Size()))
+			feed[id] = append(feed[id], splitBatch(b, cfg.Workers[id].MaxBatch)...)
+		}
+		if len(feed[id]) > 0 {
+			b := feed[id][0]
+			feed[id] = feed[id][1:]
+			send(id, b)
+			return true
+		}
+		if overBudget() {
+			return false
+		}
+		batch, ok := coord.scheduleWork(id)
+		if !ok {
+			return false
+		}
+		if coord.batch[id] != lastBatch[id] {
+			lastBatch[id] = coord.batch[id]
+			batchTrace = append(batchTrace, BatchEvent{At: time.Since(start), Worker: workerName(id), Size: coord.batch[id]})
+		}
+		send(id, batch)
+		return true
+	}
+	redispatch = func(batch data.Batch, from int) {
+		target := health.pickHealthy(from)
+		if target < 0 {
+			pending = append(pending, batch)
+			return
+		}
+		health.report.Redispatches++
+		rm.redispatch.Inc()
+		events.Add(time.Since(start), workerName(target), "redispatch",
+			fmt.Sprintf("%d examples from %s", batch.Size(), workerName(from)))
+		feed[target] = append(feed[target], splitBatch(batch, cfg.Workers[target].MaxBatch)...)
+		dispatch(target)
+	}
+	queuedWork := func() bool {
+		if len(pending) > 0 {
+			return true
+		}
+		for i := range feed {
+			if len(feed[i]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	expireOverdue := func() {
+		now := time.Now()
+		for _, fl := range flight {
+			if fl.abandoned || fl.deadline.IsZero() || now.Before(fl.deadline) {
+				continue
+			}
+			health.quarantine(fl.worker, time.Since(start),
+				fmt.Sprintf("dispatch of %d examples overdue", fl.batch.Size()))
+			fl.abandoned = true
+			busy[fl.worker] = false
+			outstanding--
+			redispatch(fl.batch, fl.worker)
+		}
+	}
+	popWait := func() time.Duration {
+		var wait time.Duration = -1
+		for _, fl := range flight {
+			if fl.abandoned || fl.deadline.IsZero() {
+				continue
+			}
+			if d := time.Until(fl.deadline); wait < 0 || d < wait {
+				wait = d
+			}
+		}
+		if wait < 0 {
+			wait = budget - time.Since(start)
+		}
+		// Unlike the in-process engines a networked run never blocks
+		// unboundedly: completions can be in flight through a partition, so
+		// the loop must wake to notice budget expiry and link deadlines.
+		if wait < 10*time.Millisecond {
+			wait = 10 * time.Millisecond
+		}
+		if wait > time.Second {
+			wait = time.Second
+		}
+		return wait
+	}
+	handleFailure := func(msg transport.Done) error {
+		fl := flight[msg.Seq]
+		delete(flight, msg.Seq)
+		if fl != nil && !fl.abandoned {
+			outstanding--
+		}
+		busy[msg.Worker] = false
+		health.markCrashed(msg.Worker, time.Since(start), msg.Err)
+		if fl != nil {
+			redispatch(fl.batch, msg.Worker)
+		}
+		stranded := feed[msg.Worker]
+		feed[msg.Worker] = nil
+		for _, b := range stranded {
+			redispatch(b, msg.Worker)
+		}
+		if health.aliveCount() == 0 {
+			return fmt.Errorf("core: all %d workers failed — cannot continue training: %s", len(cfg.Workers), msg.Err)
+		}
+		return nil
+	}
+	// applyDelta folds one accepted completion into the global model.
+	applyDelta := func(msg transport.Done, batch data.Batch) {
+		coord.reportUpdates(msg.Worker, int64(msg.Updates))
+		raw.Add(workerName(msg.Worker), int64(msg.Updates))
+		if msg.Dropped > 0 {
+			health.report.DroppedUpdates += int64(msg.Dropped)
+			rm.dropped.Add(int64(msg.Dropped))
+			events.Add(time.Since(start), workerName(msg.Worker), "drop",
+				fmt.Sprintf("%d non-finite updates discarded", msg.Dropped))
+		}
+		tr.AppliedExamples += int64(batch.Size())
+		if msg.Updates == 0 || len(msg.Delta) == 0 {
+			return
+		}
+		delta, err := nn.ReadParams(bytes.NewReader(msg.Delta), net)
+		if err != nil {
+			// A corrupt delta is dropped like a non-finite gradient: the
+			// examples still count as processed, the update does not land.
+			health.report.DroppedUpdates += int64(msg.Updates)
+			rm.dropped.Add(int64(msg.Updates))
+			events.Add(time.Since(start), workerName(msg.Worker), "delta-error", err.Error())
+			return
+		}
+		if cfg.Guards != nil && !delta.AllFinite() {
+			health.report.DroppedUpdates += int64(msg.Updates)
+			rm.dropped.Add(int64(msg.Updates))
+			events.Add(time.Since(start), workerName(msg.Worker), "drop", "non-finite delta discarded")
+			return
+		}
+		global.AddScaled(1, delta)
+	}
+
+	if ctx.Err() != nil {
+		interrupted = true
+	}
+	for i := range cfg.Workers {
+		dispatch(i)
+	}
+	for outstanding > 0 || (queuedWork() && health.aliveCount() > 0 && !overBudget()) {
+		m, st := trans.Recv(popWait())
+		if opts.DispatchTimeout > 0 {
+			expireOverdue()
+		}
+		if ctx.Err() != nil && !interrupted {
+			interrupted = true
+			events.Add(time.Since(start), "", "interrupt", "context cancelled; draining in-flight work")
+		}
+		if st == transport.RecvTimeout {
+			continue
+		}
+		if st == transport.RecvClosed {
+			break
+		}
+		if m.Event != nil {
+			id := m.Event.Worker
+			switch m.Event.Kind {
+			case transport.LinkDown:
+				tr.Partitions++
+				benchWorker(id, "partition", m.Event.Reason)
+			case transport.LinkUp:
+				tr.Reconnects++
+				if health.readmitWith(id, time.Since(start), "link healed") {
+					dispatch(id)
+				}
+			}
+			continue
+		}
+		if m.Done == nil {
+			continue // wakeup
+		}
+		msg := *m.Done
+		publishSnap(false)
+		writeCkpt(false)
+		if msg.Failed {
+			if err := handleFailure(msg); err != nil {
+				trans.Close()
+				return nil, err
+			}
+			continue
+		}
+		fl := flight[msg.Seq]
+		if fl == nil {
+			// Already settled: a retransmission of an acked completion, or
+			// a fault-injected duplicate frame. The delta was applied on
+			// first receipt; discarding here is what makes the at-least-once
+			// transport exactly-once at the model.
+			tr.Duplicates++
+			events.Add(time.Since(start), workerName(msg.Worker), "duplicate",
+				fmt.Sprintf("completion for settled seq %d discarded", msg.Seq))
+			continue
+		}
+		delete(flight, msg.Seq)
+		if fl.abandoned {
+			// The dispatch was given up on (partition or deadline) and its
+			// batch re-dispatched elsewhere; the straggler's delta must be
+			// discarded — applying it would double-count the batch.
+			tr.Abandoned++
+			events.Add(time.Since(start), workerName(msg.Worker), "abandoned",
+				fmt.Sprintf("stale completion for seq %d discarded", msg.Seq))
+			if health.readmit(msg.Worker, time.Since(start)) {
+				dispatch(msg.Worker)
+			}
+			continue
+		}
+		applyDelta(msg, fl.batch)
+		busy[msg.Worker] = false
+		outstanding--
+		dispatch(msg.Worker)
+		if outstanding == 0 && !overBudget() && coord.poolEmpty() {
+			evalT0 := time.Since(start)
+			loss := evalLoss()
+			tel.Span(coordRing, telemetry.KindEval, evalT0, time.Since(start)-evalT0, int64(evalN))
+			trace.Add(time.Since(start), coord.epochFrac(), loss)
+			rm.loss.Set(loss)
+			rm.epochs.Set(coord.epochFrac())
+			publishSnap(true)
+			if cfg.TargetLoss > 0 && isFinite(loss) && loss <= cfg.TargetLoss {
+				converged = true
+				break
+			}
+			if _, diverged := guard.onEval(loss, global, health.report, events, time.Since(start)); diverged {
+				break
+			}
+			writeCkpt(true)
+			coord.refill()
+			for i := range cfg.Workers {
+				dispatch(i)
+			}
+		}
+	}
+	if ls, ok := trans.(linkStatser); ok {
+		s := ls.Stats()
+		qs := &health.report.Queue
+		qs.Pushed, qs.Popped = s.Dispatched, s.Completed
+	}
+	trans.Close()
+	if ctx.Err() != nil {
+		interrupted = true
+	}
+
+	elapsed := time.Since(start)
+	overshoot := elapsed - budget
+	if overshoot < 0 {
+		overshoot = 0
+	}
+	finalT0 := time.Since(start)
+	final := evalLoss()
+	tel.Span(coordRing, telemetry.KindEval, finalT0, time.Since(start)-finalT0, int64(evalN))
+	publishSnap(true)
+	writeCkpt(true)
+	stamp := elapsed
+	if stamp > budget {
+		stamp = budget
+	}
+	if n := len(trace.Points); n > 0 && trace.Points[n-1].Time > stamp {
+		stamp = trace.Points[n-1].Time
+	}
+	trace.Add(stamp, coord.epochFrac(), final)
+	rm.loss.Set(final)
+	rm.epochs.Set(coord.epochFrac())
+	if cfg.TargetLoss > 0 && isFinite(final) && final <= cfg.TargetLoss {
+		converged = true
+	}
+
+	return &Result{
+		Algorithm:         cfg.Algorithm,
+		Trace:             trace,
+		Updates:           raw,
+		Utilization:       metrics.NewUtilizationTrace(),
+		Epochs:            coord.epochFrac(),
+		Duration:          elapsed,
+		Overshoot:         overshoot,
+		FinalLoss:         final,
+		MinLoss:           trace.MinLoss(),
+		ExamplesProcessed: coord.examplesDone,
+		FinalBatch:        append([]int(nil), coord.batch...),
+		Resizes:           append([]int(nil), coord.resizes...),
+		BatchTrace:        batchTrace,
+		Converged:         converged,
+		Params:            global,
+		Health:            health.report,
+		Events:            events,
+		Checkpoint:        guard.snapshot(),
+		Interrupted:       interrupted,
+	}, nil
+}

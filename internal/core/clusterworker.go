@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"heterosgd/internal/data"
+	"heterosgd/internal/nn"
+	"heterosgd/internal/tensor"
+	"heterosgd/internal/transport"
+)
+
+// ClusterWorkerOptions configures one remote worker process.
+type ClusterWorkerOptions struct {
+	// Client tunes the transport link (dial/send deadlines, reconnect
+	// backoff, ack timeouts). Client.Seed should be the run seed so
+	// reconnect jitter replays deterministically.
+	Client transport.ClientOptions
+	// Threads is the number of sequential gradient lanes per dispatch
+	// (the batch splits into Threads sub-batches applied one after
+	// another). Zero falls back to the handshake's Welcome.Threads, then 1.
+	Threads int
+	// WeightDecay mirrors the coordinator's Config.WeightDecay; both sides
+	// of a run must agree.
+	WeightDecay float64
+	// Guards drops non-finite lane gradients before they reach the local
+	// replica, mirroring Config.Guards on the coordinator.
+	Guards bool
+}
+
+// RunClusterWorker joins the coordinator at addr as worker id and serves
+// dispatches until the coordinator says goodbye (returns nil), ctx is
+// cancelled, or the link stays down past the reconnect budget (returns an
+// error).
+//
+// The worker must construct the exact dataset and network the coordinator
+// trains on (same spec, scale, and generation seed); it replays the
+// coordinator's epoch shuffles from the handshake seed, so the [Lo,Hi)
+// ranges in dispatched work denote the same examples in both processes.
+// Each dispatch carries the serialized global parameters; the worker runs
+// its gradient lanes sequentially against a local replica and returns the
+// replica's delta, which the coordinator applies exactly once (completions
+// are retransmitted until acked, and deduplicated by sequence number on the
+// other side — a severed-and-healed link loses nothing).
+func RunClusterWorker(ctx context.Context, addr string, id int, net *nn.Network, ds *data.Dataset, opts ClusterWorkerOptions) error {
+	if net == nil || ds == nil {
+		return fmt.Errorf("core: cluster worker needs a network and dataset")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c, err := transport.DialWorker(ctx, addr, id, opts.Client)
+	if err != nil {
+		return err
+	}
+	welcome := c.Welcome()
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = welcome.Threads
+	}
+	if threads <= 0 {
+		threads = 1
+	}
+	gemm := 1
+	if threads == 1 {
+		gemm = runtime.GOMAXPROCS(0)
+	}
+
+	// The shuffle replay stream: the same (seed, stream) pair the
+	// coordinator's epoch reshuffles consume, fresh from epoch zero.
+	replay := RunRNG(welcome.Seed)
+	shuffled := uint32(0)
+
+	base := net.NewParams(nn.InitZero, nil)
+	replica := net.NewParams(nn.InitZero, nil)
+	grad := net.NewParams(nn.InitZero, nil)
+	var ws *nn.Workspace
+	wsCap := 0
+
+	compute := func(wk transport.Work) transport.Done {
+		if wk.Lo < 0 || wk.Hi > ds.N() {
+			return transport.Done{Failed: true, Err: fmt.Sprintf("core: dispatched range [%d,%d) outside dataset of %d", wk.Lo, wk.Hi, ds.N())}
+		}
+		// Catch up on epoch shuffles so the dispatched range denotes the
+		// coordinator's examples. Epochs only advance, so replay is
+		// incremental.
+		if welcome.Shuffle {
+			for shuffled < wk.Epoch {
+				ds.Shuffle(replay)
+				shuffled++
+			}
+		}
+		p, err := nn.ReadParams(bytes.NewReader(wk.Params), net)
+		if err != nil {
+			return transport.Done{Failed: true, Err: fmt.Sprintf("core: decoding dispatched params: %v", err)}
+		}
+		base.CopyFrom(p)
+		replica.CopyFrom(p)
+		batch := ds.View(wk.Lo, wk.Hi)
+		size := batch.Size()
+		t := threads
+		if t > size {
+			t = size
+		}
+		var updates, dropped int
+		for i := 0; i < t; i++ {
+			lo := i * size / t
+			hi := (i + 1) * size / t
+			if hi <= lo {
+				continue
+			}
+			sub := batch.Sub(lo, hi)
+			if n := sub.Size(); n > wsCap {
+				ws = net.NewWorkspace(n)
+				wsCap = n
+			}
+			net.GradientX(replica, ws, sub.Input(), sub.Y, grad, gemm)
+			if opts.WeightDecay > 0 {
+				grad.AddDecay(opts.WeightDecay, replica)
+			}
+			if opts.Guards && !grad.AllFinite() {
+				dropped++
+				continue
+			}
+			replica.ApplyUpdate(tensor.UpdateRacy, -wk.LR, grad)
+			updates++
+		}
+		out := transport.Done{Updates: updates, Dropped: dropped}
+		if updates > 0 {
+			// The delta — what this dispatch changed, computed against the
+			// exact parameters it started from, so the coordinator can fold
+			// it into a model other workers have meanwhile advanced.
+			replica.AddScaled(-1, base)
+			blob, err := encodeParams(replica)
+			if err != nil {
+				return transport.Done{Failed: true, Err: fmt.Sprintf("core: encoding delta: %v", err)}
+			}
+			out.Delta = blob
+		}
+		return out
+	}
+
+	handler := func(wk transport.Work) (out transport.Done) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = transport.Done{Failed: true, Err: fmt.Sprintf("core: cluster worker %d panicked: %v", id, r)}
+			}
+		}()
+		return compute(wk)
+	}
+	return c.Run(ctx, handler)
+}
+
+// ClusterTCPOptions derives the coordinator-side transport options for
+// cfg: the handshake carries the run seed, shuffle flag, and scheduling
+// hints, so worker processes can configure themselves from the wire.
+func ClusterTCPOptions(cfg *Config, heartbeat time.Duration) transport.TCPOptions {
+	maxBatch, threads := 0, 1
+	for _, w := range cfg.Workers {
+		if w.MaxBatch > maxBatch {
+			maxBatch = w.MaxBatch
+		}
+		if w.Threads > threads {
+			threads = w.Threads
+		}
+	}
+	return transport.TCPOptions{
+		Heartbeat: heartbeat,
+		Welcome: transport.Welcome{
+			Seed:     cfg.Seed,
+			Shuffle:  cfg.Shuffle,
+			Threads:  threads,
+			MaxBatch: maxBatch,
+		},
+		Metrics: cfg.Metrics,
+	}
+}

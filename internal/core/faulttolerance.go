@@ -86,6 +86,32 @@ type FaultReport struct {
 	// (coordinator queue plus worker inboxes in RunReal; zero in RunSim,
 	// which passes messages by direct call).
 	Queue QueueStats
+	// Transport aggregates networked-transport accounting (RunCluster
+	// only; nil for the in-process engines).
+	Transport *TransportReport
+}
+
+// TransportReport is RunCluster's delivery accounting. Its core invariant
+// is exactly-once application: every dispatched batch's update lands in the
+// global model exactly once, no matter how often the transport duplicated,
+// retransmitted, or re-dispatched it — so at the end of a fully drained run
+// AppliedExamples equals Result.ExamplesProcessed.
+type TransportReport struct {
+	// Duplicates counts completions whose sequence number was already
+	// settled (retransmissions and fault-injected duplicate frames); their
+	// deltas were discarded.
+	Duplicates uint64
+	// Abandoned counts completions for dispatches the coordinator had
+	// given up on (partition or deadline) and re-dispatched elsewhere;
+	// their deltas were discarded and they served as readmission probes.
+	Abandoned uint64
+	// Partitions counts link-down transitions observed by the coordinator.
+	Partitions uint64
+	// Reconnects counts links that came back after a failure.
+	Reconnects uint64
+	// AppliedExamples sums the batch sizes of completions whose delta was
+	// accepted (applied or guard-dropped after processing).
+	AppliedExamples int64
 }
 
 // QueueStats aggregates msgq counters: messages pushed, popped, and dropped
@@ -238,26 +264,40 @@ func (h *healthTracker) markCrashed(id int, at time.Duration, detail string) {
 // quarantine moves a healthy worker out of the dispatch rotation after a
 // watchdog timeout; it reports false if the worker was already benched.
 func (h *healthTracker) quarantine(id int, at time.Duration, detail string) bool {
+	return h.quarantineKind(id, at, "timeout", detail)
+}
+
+// quarantineKind is quarantine with an explicit event kind, so the cluster
+// engine can log a severed link as "partition" rather than "timeout" while
+// sharing the same state machine (both count as Timeouts: deadlines missed
+// from the coordinator's point of view).
+func (h *healthTracker) quarantineKind(id int, at time.Duration, kind, detail string) bool {
 	w := &h.report.Workers[id]
 	if w.State != WorkerHealthy {
 		return false
 	}
 	w.State = WorkerQuarantined
 	w.Timeouts++
-	h.log.Add(at, w.Worker, "timeout", detail)
+	h.log.Add(at, w.Worker, kind, detail)
 	return true
 }
 
 // readmit returns a quarantined worker to the rotation (its overdue
 // completion arrived — the probe succeeded).
 func (h *healthTracker) readmit(id int, at time.Duration) bool {
+	return h.readmitWith(id, at, "overdue completion arrived")
+}
+
+// readmitWith is readmit with an explicit event detail (the cluster engine
+// readmits on link recovery, not only on overdue completions).
+func (h *healthTracker) readmitWith(id int, at time.Duration, detail string) bool {
 	w := &h.report.Workers[id]
 	if w.State != WorkerQuarantined {
 		return false
 	}
 	w.State = WorkerHealthy
 	w.Readmissions++
-	h.log.Add(at, w.Worker, "readmit", "overdue completion arrived")
+	h.log.Add(at, w.Worker, "readmit", detail)
 	return true
 }
 

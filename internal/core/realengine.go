@@ -17,34 +17,18 @@ import (
 	"heterosgd/internal/opt"
 	"heterosgd/internal/telemetry"
 	"heterosgd/internal/tensor"
+	"heterosgd/internal/transport"
 )
 
-// schedMsg is the worker→coordinator ScheduleWork message (Algorithm 1/2),
-// extended with the fault-tolerance fields: seq identifies which dispatch
-// completed, dropped counts divergence-guard discards, and failed+err
-// report a recovered worker panic (the worker's last message).
-type schedMsg struct {
-	workerID int
-	seq      uint64
-	updates  int64
-	dropped  int64
-	failed   bool
-	err      error
-}
+// The coordinator↔worker messages are transport.Work (ExecuteWork: the
+// batch as an absolute [Lo,Hi) range, the learning rate, and the dispatch
+// sequence number the completion must echo) and transport.Done
+// (ScheduleWork: updates applied, divergence-guard drops, and failure
+// reports from recovered worker panics). RunReal speaks them over
+// transport.Local — the same msgq queues as always, behind the interface
+// RunCluster drives over TCP.
 
-// workMsg is the coordinator→worker ExecuteWork message carrying a batch
-// reference, the learning rate for this iteration, and the dispatch
-// sequence number the completion must echo. sent stamps the dispatch on the
-// run clock so the worker can report how long the message waited in its
-// inbox (the KindQueueWait span).
-type workMsg struct {
-	seq   uint64
-	batch data.Batch
-	lr    float64
-	sent  time.Duration
-}
-
-// inflightDispatch is the coordinator's record of one outstanding workMsg:
+// inflightDispatch is the coordinator's record of one outstanding dispatch:
 // who has it, what it carries, and when the watchdog gives up on it.
 // abandoned marks dispatches whose worker was quarantined — the batch was
 // re-dispatched elsewhere and the eventual completion only serves as the
@@ -61,7 +45,6 @@ type realWorker struct {
 	id      int
 	name    string
 	wc      WorkerConfig
-	inbox   *msgq.Queue[workMsg]
 	inj     *faults.Injector
 	ws      []*nn.Workspace // one per CPU sub-batch thread (GPU uses ws[0])
 	grads   []*nn.Params
@@ -147,7 +130,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 
 	workers := make([]*realWorker, len(cfg.Workers))
 	for i, wc := range cfg.Workers {
-		w := &realWorker{id: i, name: wc.Device.Name(), wc: wc, inbox: msgq.New[workMsg](), inj: cfg.Faults.ForWorker(i)}
+		w := &realWorker{id: i, name: wc.Device.Name(), wc: wc, inj: cfg.Faults.ForWorker(i)}
 		lanes := 1
 		if wc.Device.Kind() == device.KindCPU && wc.Threads > 1 {
 			lanes = wc.Threads
@@ -170,22 +153,18 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		workers[i] = w
 	}
 
-	coordQ := msgq.New[schedMsg]()
+	trans := transport.NewLocal(len(cfg.Workers))
 	if cfg.Metrics != nil {
 		// One shared instrument set aggregates traffic across the
 		// coordinator queue and every worker inbox; the wait histogram
 		// measures how long messages sit queued (the msgq half of the
 		// schedule→execute latency).
-		qins := msgq.Instruments{
+		trans.Instrument(msgq.Instruments{
 			Pushed:  cfg.Metrics.Counter("msgq_pushed_total"),
 			Popped:  cfg.Metrics.Counter("msgq_popped_total"),
 			Dropped: cfg.Metrics.Counter("msgq_dropped_total"),
 			Wait:    cfg.Metrics.Histogram("msgq_wait_seconds"),
-		}
-		coordQ.Instrument(qins)
-		for _, w := range workers {
-			w.inbox.Instrument(qins)
-		}
+		})
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -195,12 +174,12 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	// goroutine, injecting scheduled faults and converting any panic —
 	// injected or genuine — into a failure message instead of killing the
 	// process.
-	runIteration := func(w *realWorker, msg workMsg) (out schedMsg) {
-		out = schedMsg{workerID: w.id, seq: msg.seq}
+	runIteration := func(w *realWorker, batch data.Batch, lr float64) (out transport.Done) {
+		out = transport.Done{Worker: w.id}
 		defer func() {
 			if r := recover(); r != nil {
-				out.failed = true
-				out.err = fmt.Errorf("core: worker %s panicked: %v", w.name, r)
+				out.Failed = true
+				out.Err = fmt.Sprintf("core: worker %s panicked: %v", w.name, r)
 			}
 		}()
 		step := w.inj.Begin()
@@ -213,17 +192,17 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		t0 := time.Since(start)
 		var n, dropped int64
 		if w.wc.Device.Kind() == device.KindCPU {
-			n, dropped = realCPUIteration(net, global, w, msg, &cfg, &modelMu, locked, step.Corrupt)
+			n, dropped = realCPUIteration(net, global, w, batch, lr, &cfg, &modelMu, locked, step.Corrupt)
 		} else {
-			n, dropped = realGPUIteration(net, global, w, msg, &cfg, &modelMu, locked, gemmWorkers, step.Corrupt)
+			n, dropped = realGPUIteration(net, global, w, batch, lr, &cfg, &modelMu, locked, gemmWorkers, step.Corrupt)
 		}
 		t1 := time.Since(start)
-		tel.Span(w.id, telemetry.KindGradient, t0, t1-t0, int64(msg.batch.Size()))
+		tel.Span(w.id, telemetry.KindGradient, t0, t1-t0, int64(batch.Size()))
 		tel.Span(w.id, telemetry.KindApply, t1, 0, n)
-		util.AddBusy(w.name, t0, t1, w.wc.Device.Utilization(net.Arch, msg.batch.Size()))
+		util.AddBusy(w.name, t0, t1, w.wc.Device.Utilization(net.Arch, batch.Size()))
 		raw.Add(w.name, n)
-		out.updates = n
-		out.dropped = dropped
+		out.Updates = int(n)
+		out.Dropped = int(dropped)
 		return out
 	}
 
@@ -232,17 +211,23 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		go func(w *realWorker) {
 			defer wg.Done()
 			for {
-				msg, ok := w.inbox.Pop()
+				msg, ok := trans.NextWork(w.id)
 				if !ok {
 					return
 				}
+				// Both sides view the same in-memory dataset, so the wire
+				// message is just the range; this is the identical batch
+				// the coordinator scheduled.
+				batch := ds.View(msg.Lo, msg.Hi)
 				if tel != nil {
 					now := time.Since(start)
-					tel.Span(w.id, telemetry.KindQueueWait, msg.sent, now-msg.sent, int64(msg.batch.Size()))
+					sent := time.Duration(msg.SentNS)
+					tel.Span(w.id, telemetry.KindQueueWait, sent, now-sent, int64(batch.Size()))
 				}
-				out := runIteration(w, msg)
-				coordQ.Push(out)
-				if out.failed {
+				out := runIteration(w, batch, msg.LR)
+				out.Seq = msg.Seq
+				trans.Complete(out)
+				if out.Failed {
 					// The worker is dead; the coordinator drains and
 					// re-dispatches anything left in its inbox.
 					return
@@ -352,12 +337,12 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		rm.checkpoints.Inc()
 	}
 
-	// Cancellation wakes the (possibly blocked) coordinator with a sentinel
-	// message; the loop then stops scheduling, drains in-flight work, and
-	// exits. stopCancelWatch prevents a late sentinel from counting as a
-	// queue drop after shutdown.
+	// Cancellation wakes the (possibly blocked) coordinator with an empty
+	// wakeup message; the loop then stops scheduling, drains in-flight
+	// work, and exits. stopCancelWatch prevents a late wakeup from counting
+	// as a queue drop after shutdown.
 	stopCancelWatch := context.AfterFunc(ctx, func() {
-		coordQ.Push(schedMsg{workerID: -1})
+		trans.Wake()
 	})
 
 	{
@@ -390,7 +375,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		sent := time.Since(start)
 		tel.Span(coordRing, telemetry.KindSchedule, sent, 0, int64(batch.Size()))
 		rm.examples.Add(int64(batch.Size()))
-		workers[id].inbox.Push(workMsg{seq: seq, batch: batch, lr: lr, sent: sent})
+		trans.Send(id, transport.Work{Seq: seq, Lo: batch.Lo, Hi: batch.Hi, LR: lr, SentNS: int64(sent)})
 		busy[id] = true
 		outstanding++
 	}
@@ -501,9 +486,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	}
 	shutdown := func() {
 		stopCancelWatch()
-		for _, w := range workers {
-			w.inbox.Close()
-		}
+		trans.CloseInboxes()
 		if health.report.Survivors() == len(workers) {
 			wg.Wait()
 		} else {
@@ -518,44 +501,40 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			case <-time.After(200 * time.Millisecond):
 			}
 		}
-		coordQ.Close()
+		trans.Close()
 	}
 	// handleFailure processes a recovered worker panic: mark the worker
 	// crashed, then re-route its in-flight batch and everything still
 	// queued for it (inbox and feed) to the survivors.
-	handleFailure := func(msg schedMsg) error {
-		fl := flight[msg.seq]
-		delete(flight, msg.seq)
+	handleFailure := func(msg transport.Done) error {
+		fl := flight[msg.Seq]
+		delete(flight, msg.Seq)
 		if fl != nil && !fl.abandoned {
 			outstanding--
 		}
-		busy[msg.workerID] = false
-		health.markCrashed(msg.workerID, time.Since(start), msg.err.Error())
-		w := workers[msg.workerID]
-		w.inbox.Close()
-		for {
-			m, ok := w.inbox.TryPop()
-			if !ok {
-				break
-			}
-			if q := flight[m.seq]; q != nil {
-				delete(flight, m.seq)
+		busy[msg.Worker] = false
+		health.markCrashed(msg.Worker, time.Since(start), msg.Err)
+		for _, m := range trans.CloseWorker(msg.Worker) {
+			b := ds.View(m.Lo, m.Hi)
+			if q := flight[m.Seq]; q != nil {
+				b = q.batch
+				delete(flight, m.Seq)
 				if !q.abandoned {
 					outstanding--
 				}
 			}
-			redispatch(m.batch, msg.workerID)
+			redispatch(b, msg.Worker)
 		}
 		if fl != nil {
-			redispatch(fl.batch, msg.workerID)
+			redispatch(fl.batch, msg.Worker)
 		}
-		stranded := feed[msg.workerID]
-		feed[msg.workerID] = nil
+		stranded := feed[msg.Worker]
+		feed[msg.Worker] = nil
 		for _, b := range stranded {
-			redispatch(b, msg.workerID)
+			redispatch(b, msg.Worker)
 		}
 		if health.aliveCount() == 0 {
-			return fmt.Errorf("core: all %d workers failed — cannot continue training: %w", len(workers), msg.err)
+			return fmt.Errorf("core: all %d workers failed — cannot continue training: %s", len(workers), msg.Err)
 		}
 		return nil
 	}
@@ -567,50 +546,52 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		dispatch(i)
 	}
 	for outstanding > 0 || (queuedWork() && health.aliveCount() > 0 && !overBudget()) {
-		var msg schedMsg
-		var ok bool
+		wait := time.Duration(-1) // block like Pop
 		if cfg.Watchdog != nil {
-			var timedOut bool
-			msg, ok, timedOut = coordQ.PopTimeout(popWait())
+			wait = popWait()
+		}
+		m, st := trans.Recv(wait)
+		if cfg.Watchdog != nil {
 			// Sweep for overdue dispatches on every wake-up, not just on
 			// timeout: a chatty healthy worker would otherwise keep the
 			// coordinator from ever noticing a hung one.
 			expireOverdue()
-			if timedOut {
-				continue
-			}
-		} else {
-			msg, ok = coordQ.Pop()
 		}
-		if !ok {
+		if st == transport.RecvTimeout {
+			continue
+		}
+		if st == transport.RecvClosed {
 			break
 		}
-		if msg.workerID < 0 {
-			// Cancellation sentinel: stop scheduling and fall through to
-			// drain the remaining in-flight completions.
-			if !interrupted {
+		if m.Done == nil {
+			// Wakeup (cancellation): stop scheduling and fall through to
+			// drain the remaining in-flight completions. Local transports
+			// emit no link events, so any event message is just a wakeup
+			// here too.
+			if ctx.Err() != nil && !interrupted {
 				interrupted = true
 				events.Add(time.Since(start), "", "interrupt", "context cancelled; draining in-flight work")
 			}
 			continue
 		}
+		msg := *m.Done
 		publishSnap(false)
 		writeCkpt(false)
-		if msg.failed {
+		if msg.Failed {
 			if err := handleFailure(msg); err != nil {
 				shutdown()
 				return nil, err
 			}
 			continue
 		}
-		fl := flight[msg.seq]
-		delete(flight, msg.seq)
-		coord.reportUpdates(msg.workerID, msg.updates)
-		if msg.dropped > 0 {
-			health.report.DroppedUpdates += msg.dropped
-			rm.dropped.Add(msg.dropped)
-			events.Add(time.Since(start), workers[msg.workerID].name, "drop",
-				fmt.Sprintf("%d non-finite updates discarded", msg.dropped))
+		fl := flight[msg.Seq]
+		delete(flight, msg.Seq)
+		coord.reportUpdates(msg.Worker, int64(msg.Updates))
+		if msg.Dropped > 0 {
+			health.report.DroppedUpdates += int64(msg.Dropped)
+			rm.dropped.Add(int64(msg.Dropped))
+			events.Add(time.Since(start), workers[msg.Worker].name, "drop",
+				fmt.Sprintf("%d non-finite updates discarded", msg.Dropped))
 		}
 		if fl != nil && fl.abandoned {
 			// The quarantined worker's overdue completion arrived: the
@@ -618,13 +599,13 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			// the shared model and are counted; the batch was also
 			// processed by the re-dispatch target (documented
 			// at-least-once semantics under timeouts).
-			health.readmit(msg.workerID, time.Since(start))
-			dispatch(msg.workerID)
+			health.readmit(msg.Worker, time.Since(start))
+			dispatch(msg.Worker)
 			continue
 		}
-		busy[msg.workerID] = false
+		busy[msg.Worker] = false
 		outstanding--
-		dispatch(msg.workerID)
+		dispatch(msg.Worker)
 		if outstanding == 0 && !overBudget() && coord.poolEmpty() {
 			// Epoch barrier: all workers idle, pool drained — evaluate
 			// loss (quarantined stragglers are fenced by the model lock
@@ -657,20 +638,10 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		interrupted = true
 	}
 	// Aggregate queue counters across the coordinator queue and every worker
-	// inbox (Stats is mutex-protected, so straggler pushes are safe).
+	// inbox (the underlying stats are mutex-protected, so straggler pushes
+	// are safe).
 	qs := &health.report.Queue
-	{
-		p, o, d := coordQ.Stats()
-		qs.Pushed += p
-		qs.Popped += o
-		qs.Dropped += d
-	}
-	for _, w := range workers {
-		p, o, d := w.inbox.Stats()
-		qs.Pushed += p
-		qs.Popped += o
-		qs.Dropped += d
-	}
+	qs.Pushed, qs.Popped, qs.Dropped = trans.QueueStats()
 
 	elapsed := time.Since(start)
 	overshoot := elapsed - budget
@@ -732,8 +703,8 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 // gradient, exercising exactly that path. A panic on any lane is re-raised
 // on the worker goroutine after the remaining lanes finish, so the
 // engine-level recovery sees it.
-func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool, corrupt bool) (int64, int64) {
-	size := msg.batch.Size()
+func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, batch data.Batch, lr float64, cfg *Config, mu *sync.RWMutex, locked bool, corrupt bool) (int64, int64) {
+	size := batch.Size()
 	t := w.wc.Threads
 	if t < 1 {
 		t = 1
@@ -763,7 +734,7 @@ func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 					panicMu.Unlock()
 				}
 			}()
-			sub := msg.batch.Sub(lo, hi)
+			sub := batch.Sub(lo, hi)
 			if locked {
 				mu.RLock()
 			}
@@ -784,7 +755,7 @@ func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 			if locked {
 				mu.Lock()
 			}
-			applyStep(w.optims[lane], w.grads[lane], w.deltas[lane], global, cfg.UpdateMode, msg.lr)
+			applyStep(w.optims[lane], w.grads[lane], w.deltas[lane], global, cfg.UpdateMode, lr)
 			if locked {
 				mu.Unlock()
 			}
@@ -802,7 +773,7 @@ func realCPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 // path: copy the model, compute the batch gradient against the replica with
 // maximal intra-op parallelism, and push the update to the global model.
 // With guards enabled, a non-finite gradient never reaches the model.
-func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg workMsg, cfg *Config, mu *sync.RWMutex, locked bool, gemmWorkers int, corrupt bool) (int64, int64) {
+func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, batch data.Batch, lr float64, cfg *Config, mu *sync.RWMutex, locked bool, gemmWorkers int, corrupt bool) (int64, int64) {
 	if locked {
 		mu.RLock()
 	}
@@ -810,7 +781,7 @@ func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 	if locked {
 		mu.RUnlock()
 	}
-	net.GradientX(w.replica, w.ws[0], msg.batch.Input(), msg.batch.Y, w.grads[0], gemmWorkers)
+	net.GradientX(w.replica, w.ws[0], batch.Input(), batch.Y, w.grads[0], gemmWorkers)
 	if cfg.WeightDecay > 0 {
 		w.grads[0].AddDecay(cfg.WeightDecay, w.replica)
 	}
@@ -823,7 +794,7 @@ func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, msg wor
 	if locked {
 		mu.Lock()
 	}
-	applyStep(w.optims[0], w.grads[0], w.deltas[0], global, cfg.UpdateMode, msg.lr)
+	applyStep(w.optims[0], w.grads[0], w.deltas[0], global, cfg.UpdateMode, lr)
 	if locked {
 		mu.Unlock()
 	}

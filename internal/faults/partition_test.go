@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseLinksRoundTrip(t *testing.T) {
+	spec := "drop:0:0.05,dup:1:0.1,delay:2:3:50ms,sever:1:20:2"
+	p, err := ParseLinks(spec)
+	if err != nil {
+		t.Fatalf("ParseLinks(%q): %v", spec, err)
+	}
+	if err := p.Validate(3); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("round trip = %q, want %q", got, spec)
+	}
+	if p2, err := ParseLinks(""); err != nil || p2 != nil {
+		t.Fatalf("ParseLinks(\"\") = (%v, %v), want (nil, nil)", p2, err)
+	}
+}
+
+func TestParseLinksRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"drop:0",             // missing rate
+		"drop:x:0.5",         // bad worker
+		"drop:0:high",        // bad rate
+		"delay:0:3",          // missing duration
+		"delay:0:x:50ms",     // bad period
+		"delay:0:3:fast",     // bad duration
+		"sever:0:20",         // missing refuse count
+		"sever:0:soon:1",     // bad trigger
+		"sever:0:20:x",       // bad refuse count
+		"teleport:0:1",       // unknown kind
+		"drop:0:0.5,,dup:1x", // malformed tail
+	} {
+		if _, err := ParseLinks(spec); err == nil {
+			t.Errorf("ParseLinks(%q) accepted malformed spec", spec)
+		}
+	}
+}
+
+func TestLinkValidateBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		f    LinkFault
+	}{
+		{"worker out of range", DropFrames(5, 0.5)},
+		{"negative worker", DropFrames(-1, 0.5)},
+		{"zero rate", DropFrames(0, 0)},
+		{"rate above one", DupFrames(0, 1.5)},
+		{"zero delay period", DelayFrames(0, 0, time.Second)},
+		{"non-positive delay", DelayFrames(0, 3, 0)},
+		{"negative sever trigger", SeverLink(0, -1, 0)},
+		{"negative refuse", SeverLink(0, 1, -1)},
+		{"unknown kind", LinkFault{Worker: 0, Kind: LinkKind(42)}},
+	}
+	for _, c := range cases {
+		p := NewLinkPlan(1, c.f)
+		if err := p.Validate(3); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.f)
+		}
+	}
+	var nilPlan *LinkPlan
+	if err := nilPlan.Validate(3); err != nil {
+		t.Errorf("nil plan Validate: %v", err)
+	}
+}
+
+func TestLinkInjectorDeterministic(t *testing.T) {
+	plan := NewLinkPlan(7, DropFrames(0, 0.3), DupFrames(0, 0.2))
+	run := func() []LinkVerdict {
+		in := plan.ForLink(0)
+		out := make([]LinkVerdict, 100)
+		for i := range out {
+			out[i] = in.Done()
+		}
+		return out
+	}
+	a, b := run(), run()
+	var drops int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs across replays: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Drop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("drop rate 0.3 yielded %d/%d drops", drops, len(a))
+	}
+}
+
+func TestSeverFiresOnceAndRefusesDials(t *testing.T) {
+	in := NewLinkPlan(1, SeverLink(0, 3, 2)).ForLink(0)
+	var severAt = -1
+	for i := 0; i < 10; i++ {
+		if in.Work() {
+			if severAt >= 0 {
+				t.Fatalf("sever fired twice (frames %d and %d)", severAt, i)
+			}
+			severAt = i
+		}
+	}
+	if severAt != 3 {
+		t.Fatalf("sever fired at frame %d, want 3", severAt)
+	}
+	if !in.Severed() {
+		t.Fatal("Severed() false after sever fired")
+	}
+	dials := []bool{in.Dial(), in.Dial(), in.Dial(), in.Dial()}
+	want := []bool{false, false, true, true}
+	for i := range dials {
+		if dials[i] != want[i] {
+			t.Fatalf("dial %d = %v, want %v (refuse 2 then heal)", i, dials[i], want[i])
+		}
+	}
+}
+
+func TestDelayEveryNth(t *testing.T) {
+	in := NewLinkPlan(1, DelayFrames(0, 3, 50*time.Millisecond)).ForLink(0)
+	for i := 1; i <= 9; i++ {
+		v := in.Done()
+		wantDelay := i%3 == 0
+		if (v.Delay > 0) != wantDelay {
+			t.Fatalf("frame %d delay = %v, want delayed=%v", i, v.Delay, wantDelay)
+		}
+	}
+}
+
+func TestForLinkFiltersAndNilSafety(t *testing.T) {
+	plan := NewLinkPlan(1, SeverLink(1, 0, 1))
+	if in := plan.ForLink(0); in != nil {
+		t.Fatal("ForLink(0) returned injector for unlisted worker")
+	}
+	var nilPlan *LinkPlan
+	if in := nilPlan.ForLink(0); in != nil {
+		t.Fatal("nil plan returned an injector")
+	}
+	var nilIn *LinkInjector
+	if nilIn.Work() || nilIn.Severed() {
+		t.Fatal("nil injector reported a sever")
+	}
+	if v := nilIn.Done(); v != (LinkVerdict{}) {
+		t.Fatalf("nil injector verdict %+v", v)
+	}
+	if !nilIn.Dial() {
+		t.Fatal("nil injector refused a dial")
+	}
+}

@@ -100,27 +100,65 @@ func (q *Queue[T]) Pop() (T, bool) {
 	}
 }
 
-// PopTimeout dequeues like Pop but gives up after d: timedOut reports that
-// the wait expired with the queue still open and empty (ok is then false).
-// The fault-tolerant coordinator uses it as the watchdog primitive — the
-// deadline is the earliest in-flight dispatch deadline, so a hung worker
-// cannot block the coordinator forever. Non-positive d polls once.
-func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok, timedOut bool) {
+// PopStatus classifies the outcome of a bounded Pop, so callers can tell a
+// shutdown (the queue closed underneath them) from a genuine timeout. The
+// distinction matters to the coordinator's watchdog: a timeout means "sweep
+// for overdue dispatches", while closed means "drain finished — stop" —
+// conflating them would misclassify an orderly shutdown as a straggler.
+type PopStatus int
+
+const (
+	// PopOK: a message was dequeued.
+	PopOK PopStatus = iota
+	// PopTimedOut: the wait expired with the queue still open and empty.
+	PopTimedOut
+	// PopClosed: the queue is closed and fully drained; no message will
+	// ever arrive again.
+	PopClosed
+)
+
+// String returns the status name.
+func (s PopStatus) String() string {
+	switch s {
+	case PopOK:
+		return "ok"
+	case PopTimedOut:
+		return "timed-out"
+	case PopClosed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// PopWait dequeues like Pop but gives up after d, reporting the typed
+// outcome: PopOK with the message, PopTimedOut when the wait expired with
+// the queue still open and empty, or PopClosed when the queue is closed and
+// drained. The fault-tolerant coordinator uses it as the watchdog primitive
+// — the deadline is the earliest in-flight dispatch deadline, so a hung
+// worker cannot block the coordinator forever. Non-positive d polls once;
+// a negative d blocks like Pop.
+func (q *Queue[T]) PopWait(d time.Duration) (T, PopStatus) {
 	deadline := time.Now().Add(d)
+	blocking := d < 0
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
 		if v, ok := q.popLocked(); ok {
-			return v, true, false
+			return v, PopOK
 		}
 		if q.closed {
 			var zero T
-			return zero, false, false
+			return zero, PopClosed
+		}
+		if blocking {
+			q.nonEmp.Wait()
+			continue
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			var zero T
-			return zero, false, true
+			return zero, PopTimedOut
 		}
 		// sync.Cond has no timed wait; a timer broadcast bounds this one.
 		t := time.AfterFunc(remaining, func() {
@@ -131,6 +169,17 @@ func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok, timedOut bool) {
 		q.nonEmp.Wait()
 		t.Stop()
 	}
+}
+
+// PopTimeout dequeues like Pop but gives up after d: timedOut reports that
+// the wait expired with the queue still open and empty (ok is then false).
+//
+// Deprecated: use PopWait, whose typed PopStatus cannot be misread — with
+// two booleans, forgetting to check timedOut silently conflates "closed"
+// with "timed out".
+func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok, timedOut bool) {
+	v, st := q.PopWait(d)
+	return v, st == PopOK, st == PopTimedOut
 }
 
 // TryPop dequeues without blocking; ok is false when the queue is empty.

@@ -1,0 +1,336 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// ClientOptions configures a worker's side of the TCP transport.
+type ClientOptions struct {
+	// DialTimeout bounds each connection attempt. Zero defaults to 2 s.
+	DialTimeout time.Duration
+	// BackoffBase is the first reconnect delay; attempts double it up to
+	// BackoffMax, each jittered to [½d, d). Zero defaults to 50 ms / 2 s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts bounds consecutive failed connection attempts before
+	// Run gives up. Zero defaults to 30.
+	MaxAttempts int
+	// AckTimeout is how long an unacknowledged completion waits before the
+	// heartbeat loop retransmits it. Zero defaults to 3 heartbeat periods.
+	AckTimeout time.Duration
+	// SendTimeout bounds each frame write. Zero defaults to 5 s.
+	SendTimeout time.Duration
+	// Seed drives the backoff jitter (mixed with the worker ID), keeping
+	// multi-process runs reproducible under a fixed seed.
+	Seed uint64
+}
+
+func (o *ClientOptions) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 30
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = 5 * time.Second
+	}
+}
+
+// Client is a worker's connection to the coordinator: it dials (and
+// re-dials, with seeded jittered exponential backoff), handshakes with
+// Hello/Welcome, executes dispatched Work through a handler, and guarantees
+// at-least-once completion delivery by retransmitting every unacknowledged
+// Done after reconnects and ack timeouts. The coordinator deduplicates by
+// dispatch sequence number, so retransmission is always safe.
+type Client struct {
+	addr    string
+	id      int
+	opts    ClientOptions
+	rng     *rand.Rand
+	welcome Welcome
+
+	conn    net.Conn
+	writeMu sync.Mutex // frames from the run loop and the heartbeat loop interleave
+
+	// pending holds sent-but-unacked completions for retransmission,
+	// stamped with their last transmission time.
+	pendingMu sync.Mutex
+	pending   map[uint64]Done
+	sentAt    map[uint64]time.Time
+}
+
+// DialWorker connects worker id to the coordinator at addr and completes
+// the Hello/Welcome handshake, retrying with backoff until ctx is done or
+// the attempt budget is spent.
+func DialWorker(ctx context.Context, addr string, id int, opts ClientOptions) (*Client, error) {
+	opts.defaults()
+	c := &Client{
+		addr:    addr,
+		id:      id,
+		opts:    opts,
+		rng:     rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15^uint64(id))),
+		pending: make(map[uint64]Done),
+		sentAt:  make(map[uint64]time.Time),
+	}
+	if err := c.connect(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Welcome returns the coordinator's handshake reply (run configuration).
+func (c *Client) Welcome() Welcome { return c.welcome }
+
+// backoff returns the jittered delay before attempt (0-based): exponential
+// doubling from BackoffBase capped at BackoffMax, jittered to [½d, d).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(min(attempt, 20))
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	return d/2 + time.Duration(c.rng.Int64N(int64(d/2)+1))
+}
+
+// connect establishes (or re-establishes) the link: dial, Hello, Welcome,
+// then retransmit every pending completion. Failed attempts back off with
+// seeded jitter; a refused dial (a severed partition not yet healed) counts
+// like any other failure.
+func (c *Client) connect(ctx context.Context) error {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.backoff(attempt - 1)):
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := c.attempt(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn = conn
+		if err := c.resendPending(); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("transport: worker %d gave up after %d attempts: %w", c.id, c.opts.MaxAttempts, lastErr)
+}
+
+// attempt is one dial + handshake.
+func (c *Client) attempt(ctx context.Context) (net.Conn, error) {
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(c.opts.SendTimeout))
+	if err := WriteFrame(conn, KindHello, EncodeHello(Hello{Worker: c.id})); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	conn.SetReadDeadline(time.Now().Add(c.opts.DialTimeout))
+	kind, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if kind != KindWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("transport: expected welcome, got %v", kind)
+	}
+	w, err := DecodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.welcome = w
+	return conn, nil
+}
+
+// send writes one frame on the current connection under the write mutex.
+func (c *Client) send(conn net.Conn, kind Kind, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(c.opts.SendTimeout))
+	err := WriteFrame(conn, kind, payload)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// sendDone transmits d and registers it for retransmission until acked.
+func (c *Client) sendDone(conn net.Conn, d Done) error {
+	c.pendingMu.Lock()
+	c.pending[d.Seq] = d
+	c.sentAt[d.Seq] = time.Now()
+	c.pendingMu.Unlock()
+	return c.send(conn, KindDone, EncodeDone(d))
+}
+
+// resendPending retransmits every unacknowledged completion (after a
+// reconnect). Duplicates are harmless: the coordinator dedupes by Seq.
+func (c *Client) resendPending() error {
+	c.pendingMu.Lock()
+	ds := make([]Done, 0, len(c.pending))
+	for _, d := range c.pending {
+		ds = append(ds, d)
+	}
+	now := time.Now()
+	for seq := range c.sentAt {
+		c.sentAt[seq] = now
+	}
+	c.pendingMu.Unlock()
+	for _, d := range ds {
+		if err := c.send(c.conn, KindDone, EncodeDone(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retransmitStale resends pending completions older than AckTimeout — the
+// ack (or the whole link) was lost but the read loop hasn't noticed yet.
+func (c *Client) retransmitStale(conn net.Conn, ackTimeout time.Duration) {
+	c.pendingMu.Lock()
+	var stale []Done
+	now := time.Now()
+	for seq, at := range c.sentAt {
+		if now.Sub(at) >= ackTimeout {
+			stale = append(stale, c.pending[seq])
+			c.sentAt[seq] = now
+		}
+	}
+	c.pendingMu.Unlock()
+	for _, d := range stale {
+		if c.send(conn, KindDone, EncodeDone(d)) != nil {
+			return // the read loop will see the dead link
+		}
+	}
+}
+
+// errGoodbye marks an orderly Goodbye from the coordinator; Run converts
+// it to a nil return instead of reconnecting.
+var errGoodbye = errors.New("transport: goodbye")
+
+// Run executes the worker loop: read Work frames, invoke handler
+// sequentially, reply Done (retransmitted until acked). A heartbeat
+// goroutine per connection keeps the link's deadlines fed — including
+// through long handler computations. On any link failure Run reconnects
+// with backoff and continues; it returns nil after an orderly Goodbye, and
+// an error when the attempt budget is spent or ctx is cancelled.
+func (c *Client) Run(ctx context.Context, handler func(Work) Done) error {
+	for {
+		err := c.session(ctx, handler)
+		if errors.Is(err, errGoodbye) {
+			c.conn.Close()
+			return nil
+		}
+		if ctx.Err() != nil {
+			c.conn.Close()
+			return ctx.Err()
+		}
+		// The link died mid-session: reconnect (with backoff) and resume.
+		c.conn.Close()
+		if err := c.connect(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// session runs one connection until it fails or the coordinator says
+// goodbye.
+func (c *Client) session(ctx context.Context, handler func(Work) Done) error {
+	conn := c.conn
+	hb := time.Duration(c.welcome.HeartbeatNS)
+	if hb <= 0 {
+		hb = time.Second
+	}
+	ackTimeout := c.opts.AckTimeout
+	if ackTimeout <= 0 {
+		ackTimeout = 3 * hb
+	}
+	readDeadline := 3 * hb
+
+	// The heartbeat loop also owns stale-Done retransmission: both are
+	// periodic link maintenance, and folding them keeps the session to two
+	// goroutines.
+	stopHB := make(chan struct{})
+	defer close(stopHB)
+	go func() {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-ctx.Done():
+				conn.Close() // unblock the read loop
+				return
+			case <-tick.C:
+				if c.send(conn, KindHeartbeat, nil) != nil {
+					return
+				}
+				c.retransmitStale(conn, ackTimeout)
+			}
+		}
+	}()
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(readDeadline))
+		kind, payload, err := ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case KindWork:
+			w, err := DecodeWork(payload)
+			if err != nil {
+				return err
+			}
+			done := handler(w)
+			done.Worker = c.id
+			done.Seq = w.Seq
+			if err := c.sendDone(conn, done); err != nil {
+				return err
+			}
+		case KindAck:
+			a, err := DecodeAck(payload)
+			if err != nil {
+				return err
+			}
+			c.pendingMu.Lock()
+			delete(c.pending, a.Seq)
+			delete(c.sentAt, a.Seq)
+			c.pendingMu.Unlock()
+		case KindHeartbeat:
+			// Pong from the coordinator; reading it already fed the
+			// deadline.
+		case KindGoodbye:
+			return errGoodbye
+		default:
+			return fmt.Errorf("transport: unexpected %v frame", kind)
+		}
+	}
+}

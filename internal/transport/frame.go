@@ -1,0 +1,156 @@
+// Package transport abstracts the coordinator↔worker channel of the
+// paper's star topology (§VII-A) behind a Transport interface, so the same
+// coordinator loop drives in-process Hogwild workers (LocalTransport, a thin
+// adapter over internal/msgq) and separate worker processes on a network
+// (TCPTransport, a length-prefixed binary-framed protocol with heartbeats,
+// reconnect backoff, and idempotent re-dispatch keyed by a monotonic
+// dispatch ID).
+//
+// The wire format follows internal/checkpoint's codec conventions: a magic
+// number, an explicit version byte, and a CRC-32 (IEEE) trailer over every
+// frame, so a torn or corrupted stream is detected rather than decoded.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Kind tags a frame's payload type.
+type Kind uint8
+
+const (
+	// KindHello is the worker's handshake: its ID, sent on every (re)connect.
+	KindHello Kind = iota + 1
+	// KindWelcome is the coordinator's handshake reply carrying run config.
+	KindWelcome
+	// KindWork is a dispatched batch (coordinator → worker).
+	KindWork
+	// KindDone is a completed dispatch (worker → coordinator).
+	KindDone
+	// KindAck acknowledges a Done, letting the worker drop its retransmit
+	// copy (coordinator → worker).
+	KindAck
+	// KindHeartbeat is a liveness probe; each side echoes the other's.
+	KindHeartbeat
+	// KindGoodbye is an orderly shutdown notice (coordinator → worker).
+	KindGoodbye
+)
+
+// String returns the frame-kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
+	case KindWork:
+		return "work"
+	case KindDone:
+		return "done"
+	case KindAck:
+		return "ack"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindGoodbye:
+		return "goodbye"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+const (
+	// frameMagic opens every frame ("HGF1", mirroring checkpoint's "HGC1").
+	frameMagic = 0x48474631
+	// frameVersion is the protocol version; a peer speaking another version
+	// is rejected at the first frame.
+	frameVersion = 1
+	// headerLen is magic(4) + version(1) + kind(1) + flags(2) + length(4).
+	headerLen = 12
+	// MaxPayload bounds a frame's payload. Decoders reject larger lengths
+	// before allocating, so a corrupt or hostile length field cannot drive
+	// an over-allocation. Work frames carry serialized model parameters;
+	// the cap matches checkpoint's 64 MiB header bound.
+	MaxPayload = 64 << 20
+)
+
+// Frame-decode errors. ReadFrame never panics: every malformed input maps
+// to one of these (or an underlying I/O error).
+var (
+	ErrBadMagic   = errors.New("transport: bad frame magic")
+	ErrBadVersion = errors.New("transport: unsupported frame version")
+	ErrBadKind    = errors.New("transport: unknown frame kind")
+	ErrTooLarge   = errors.New("transport: frame payload exceeds limit")
+	ErrBadCRC     = errors.New("transport: frame CRC mismatch")
+	// ErrShortPayload reports a payload too small for its declared message.
+	ErrShortPayload = errors.New("transport: payload truncated")
+)
+
+// WriteFrame encodes one frame to w: header, payload, CRC-32 (IEEE) over
+// header+payload. It performs a single Write so a frame is either fully
+// buffered to the connection or not sent at all.
+func WriteFrame(w io.Writer, kind Kind, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), MaxPayload)
+	}
+	buf := make([]byte, headerLen+len(payload)+4)
+	binary.LittleEndian.PutUint32(buf[0:4], frameMagic)
+	buf[4] = frameVersion
+	buf[5] = uint8(kind)
+	binary.LittleEndian.PutUint16(buf[6:8], 0) // flags, reserved
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	copy(buf[headerLen:], payload)
+	sum := crc32.ChecksumIEEE(buf[:headerLen+len(payload)])
+	binary.LittleEndian.PutUint32(buf[headerLen+len(payload):], sum)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame decodes one frame from r. Truncated, corrupt, or oversized
+// input returns an error — never a panic, and never an allocation beyond
+// the declared (bounds-checked) payload length. io.EOF is returned only
+// for a clean EOF before the first header byte; a frame cut short mid-way
+// surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Kind, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err // clean EOF between frames
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[4] != frameVersion {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	kind := Kind(hdr[5])
+	if kind < KindHello || kind > KindGoodbye {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadKind, hdr[5])
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, MaxPayload)
+	}
+	rest := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(rest[:n])
+	if crc.Sum32() != binary.LittleEndian.Uint32(rest[n:]) {
+		return 0, nil, ErrBadCRC
+	}
+	return kind, rest[:n:n], nil
+}

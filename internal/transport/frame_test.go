@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func mustFrame(t *testing.T, kind Kind, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, kind, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xab}, 1<<16)}
+	for _, p := range payloads {
+		raw := mustFrame(t, KindWork, p)
+		kind, got, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("ReadFrame(%d bytes): %v", len(p), err)
+		}
+		if kind != KindWork || !bytes.Equal(got, p) {
+			t.Fatalf("round trip of %d bytes: kind %v, %d bytes back", len(p), kind, len(got))
+		}
+	}
+}
+
+// TestFrameGoldenBytes pins the wire format: any change to the header
+// layout, endianness, or CRC breaks cross-version interop and must show up
+// here, not in a live cluster.
+func TestFrameGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		pay  []byte
+		hex  string
+	}{
+		{
+			"work", KindWork,
+			EncodeWork(Work{Seq: 42, Epoch: 3, Lo: 128, Hi: 192, LR: 0.0625, SentNS: 1_500_000_000, Params: []byte{0xde, 0xad, 0xbe, 0xef}}),
+			"3146474801030000340000002a00000000000000030000008000000000000000c000000000000000000000000000b03f002f68590000000004000000deadbeef21be8114",
+		},
+		{
+			"done", KindDone,
+			EncodeDone(Done{Worker: 1, Seq: 42, Updates: 4, Dropped: 1, Failed: true, Err: "boom", Delta: []byte{1, 2}}),
+			"314647480104000026000000010000002a0000000000000004000000010000000100000004000000626f6f6d0200000001029f78d1a8",
+		},
+		{"heartbeat", KindHeartbeat, nil, "314647480106000000000000cae7f27c"},
+	}
+	for _, c := range cases {
+		got := hex.EncodeToString(mustFrame(t, c.kind, c.pay))
+		if got != c.hex {
+			t.Errorf("%s frame bytes changed:\n got %s\nwant %s", c.name, got, c.hex)
+		}
+	}
+}
+
+func TestReadFrameRejectsMalformed(t *testing.T) {
+	good := mustFrame(t, KindDone, EncodeDone(Done{Worker: 0, Seq: 1}))
+
+	corrupt := func(mutate func([]byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"bad magic", corrupt(func(b []byte) { b[0] ^= 0xff }), ErrBadMagic},
+		{"bad version", corrupt(func(b []byte) { b[4] = 9 }), ErrBadVersion},
+		{"bad kind", corrupt(func(b []byte) { b[5] = 200 }), ErrBadKind},
+		{"flipped payload bit", corrupt(func(b []byte) { b[14] ^= 1 }), ErrBadCRC},
+		{"flipped crc bit", corrupt(func(b []byte) { b[len(b)-1] ^= 1 }), ErrBadCRC},
+		{"oversized length", corrupt(func(b []byte) { b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff }), ErrTooLarge},
+		{"truncated header", good[:6], io.ErrUnexpectedEOF},
+		{"truncated payload", good[:len(good)-6], io.ErrUnexpectedEOF},
+		{"truncated crc", good[:len(good)-2], io.ErrUnexpectedEOF},
+	}
+	for _, c := range cases {
+		_, _, err := ReadFrame(bytes.NewReader(c.raw))
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err %v, want %v", c.name, err, c.want)
+		}
+	}
+	if _, _, err := ReadFrame(strings.NewReader("")); err != io.EOF {
+		t.Errorf("empty stream: err %v, want io.EOF", err)
+	}
+	if err := WriteFrame(io.Discard, KindWork, make([]byte, MaxPayload+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized WriteFrame: err %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadFrameStreamsBackToBack(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&buf, KindAck, EncodeAck(Ack{Seq: uint64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i := 0; i < 3; i++ {
+		kind, payload, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		a, err := DecodeAck(payload)
+		if err != nil || kind != KindAck || a.Seq != uint64(i) {
+			t.Fatalf("frame %d: kind %v seq %d err %v", i, kind, a.Seq, err)
+		}
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// FuzzReadFrame asserts the decoder's safety contract: arbitrary input may
+// only yield a valid frame or an error — never a panic — and decoding a
+// frame then re-encoding it must reproduce the input prefix (no silent
+// payload mangling). Allocation is bounded by the checked length field.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(mustFrameBytes(KindWork, EncodeWork(Work{Seq: 7, Lo: 0, Hi: 8, LR: 0.5})))
+	f.Add(mustFrameBytes(KindDone, EncodeDone(Done{Worker: 2, Seq: 9, Err: "x"})))
+	f.Add(mustFrameBytes(KindHeartbeat, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x46, 0x47, 0x48})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		kind, payload, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, kind, payload); err != nil {
+			t.Fatalf("re-encoding decoded frame: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), raw[:buf.Len()]) {
+			t.Fatalf("re-encoded frame differs from input prefix")
+		}
+		// Message decoders must be equally panic-free on valid frames.
+		switch kind {
+		case KindWork:
+			DecodeWork(payload)
+		case KindDone:
+			DecodeDone(payload)
+		case KindHello:
+			DecodeHello(payload)
+		case KindWelcome:
+			DecodeWelcome(payload)
+		case KindAck:
+			DecodeAck(payload)
+		}
+	})
+}
+
+func mustFrameBytes(kind Kind, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, kind, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeMessages hits the payload decoders directly with raw bytes:
+// truncated and hostile length prefixes must error, never slice out of
+// bounds or over-allocate.
+func FuzzDecodeMessages(f *testing.F) {
+	f.Add(EncodeWork(Work{Seq: 1, Lo: 2, Hi: 3, Params: []byte{9}}))
+	f.Add(EncodeDone(Done{Worker: 1, Seq: 2, Err: "e", Delta: []byte{1}}))
+	f.Add(EncodeWelcome(Welcome{Seed: 3, Threads: 2}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		DecodeWork(raw)
+		DecodeDone(raw)
+		DecodeHello(raw)
+		DecodeWelcome(raw)
+		DecodeAck(raw)
+	})
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	w := Work{Seq: 99, Epoch: 2, Lo: 10, Hi: 74, LR: 0.125, SentNS: 12345, Params: []byte{1, 2, 3}}
+	gotW, err := DecodeWork(EncodeWork(w))
+	if err != nil {
+		t.Fatalf("work: %v", err)
+	}
+	if gotW.Seq != w.Seq || gotW.Epoch != w.Epoch || gotW.Lo != w.Lo || gotW.Hi != w.Hi ||
+		gotW.LR != w.LR || gotW.SentNS != w.SentNS || !bytes.Equal(gotW.Params, w.Params) {
+		t.Fatalf("work round trip: %+v != %+v", gotW, w)
+	}
+	d := Done{Worker: 3, Seq: 99, Updates: 7, Dropped: 2, Failed: true, Err: "kaput", Delta: []byte{4, 5}}
+	gotD, err := DecodeDone(EncodeDone(d))
+	if err != nil {
+		t.Fatalf("done: %v", err)
+	}
+	if gotD.Worker != d.Worker || gotD.Seq != d.Seq || gotD.Updates != d.Updates ||
+		gotD.Dropped != d.Dropped || gotD.Failed != d.Failed || gotD.Err != d.Err || !bytes.Equal(gotD.Delta, d.Delta) {
+		t.Fatalf("done round trip: %+v != %+v", gotD, d)
+	}
+	wl := Welcome{Seed: 11, HeartbeatNS: 5e8, Shuffle: true, Threads: 4, MaxBatch: 256}
+	gotWl, err := DecodeWelcome(EncodeWelcome(wl))
+	if err != nil || gotWl != wl {
+		t.Fatalf("welcome round trip: %+v != %+v (%v)", gotWl, wl, err)
+	}
+	h := Hello{Worker: 5}
+	if gotH, err := DecodeHello(EncodeHello(h)); err != nil || gotH != h {
+		t.Fatalf("hello round trip: %+v (%v)", gotH, err)
+	}
+	if _, err := DecodeWork(EncodeWork(w)[:10]); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("truncated work payload: %v, want ErrShortPayload", err)
+	}
+	if _, err := DecodeWork(append(EncodeWork(w), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeWork(EncodeWork(Work{Lo: 5, Hi: 2})); err == nil {
+		t.Fatal("inverted work range accepted")
+	}
+}

@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Work is one dispatched batch. Seq is the coordinator's monotonic dispatch
+// ID — the idempotency key: a worker that reconnects mid-batch retransmits
+// its completion under the same Seq, and the coordinator applies each Seq at
+// most once. The batch itself travels as an absolute example range [Lo, Hi)
+// into the run's deterministically shuffled dataset (both processes build
+// the identical dataset from the run seed and replay Epoch shuffles), so a
+// dispatch frame stays small regardless of batch size. Params optionally
+// carries the serialized global model for parameter-server training; it is
+// empty for in-process transports, whose workers share the model in memory.
+type Work struct {
+	Seq    uint64
+	Epoch  uint32
+	Lo, Hi int
+	LR     float64
+	// SentNS is the coordinator's dispatch timestamp (engine clock,
+	// nanoseconds) for queue-wait accounting.
+	SentNS int64
+	Params []byte
+}
+
+// Done is one completed dispatch. Delta carries the serialized parameter
+// delta for parameter-server training (empty for in-process transports and
+// failed work). A failed dispatch reports Failed with Err, and the
+// coordinator re-dispatches the range elsewhere.
+type Done struct {
+	Worker  int
+	Seq     uint64
+	Updates int
+	Dropped int
+	Failed  bool
+	Err     string
+	Delta   []byte
+}
+
+// Hello is the worker's handshake, sent on every connect and reconnect.
+type Hello struct {
+	Worker int
+}
+
+// Welcome is the coordinator's handshake reply: the run parameters a worker
+// process needs to mirror the coordinator's dataset and training behavior.
+type Welcome struct {
+	Seed        uint64
+	HeartbeatNS int64
+	Shuffle     bool
+	Threads     int
+	MaxBatch    int
+}
+
+// Ack acknowledges receipt of the Done for Seq, releasing the worker's
+// retransmit copy.
+type Ack struct {
+	Seq uint64
+}
+
+// appendUvarint-free fixed-width encoding: every field is little-endian and
+// fixed-size except the two variable-length tails (Err, Delta/Params),
+// which are length-prefixed and bounds-checked on decode.
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// cursor walks a payload with bounds checks; every take reports
+// ErrShortPayload instead of slicing out of range.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.b) {
+		c.err = ErrShortPayload
+		return nil
+	}
+	p := c.b[:n]
+	c.b = c.b[n:]
+	return p
+}
+
+func (c *cursor) u32() uint32 {
+	p := c.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (c *cursor) u64() uint64 {
+	p := c.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (c *cursor) bytes() []byte {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(c.b)) {
+		c.err = ErrShortPayload
+		return nil
+	}
+	return c.take(int(n))
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("transport: %d trailing payload bytes", len(c.b))
+	}
+	return nil
+}
+
+// EncodeWork serializes w for a Work frame.
+func EncodeWork(w Work) []byte {
+	b := make([]byte, 0, 44+len(w.Params))
+	b = appendU64(b, w.Seq)
+	b = appendU32(b, w.Epoch)
+	b = appendU64(b, uint64(int64(w.Lo)))
+	b = appendU64(b, uint64(int64(w.Hi)))
+	b = appendU64(b, math.Float64bits(w.LR))
+	b = appendU64(b, uint64(w.SentNS))
+	b = appendBytes(b, w.Params)
+	return b
+}
+
+// DecodeWork parses a Work frame payload.
+func DecodeWork(p []byte) (Work, error) {
+	c := &cursor{b: p}
+	w := Work{
+		Seq:   c.u64(),
+		Epoch: c.u32(),
+		Lo:    int(int64(c.u64())),
+		Hi:    int(int64(c.u64())),
+	}
+	w.LR = math.Float64frombits(c.u64())
+	w.SentNS = int64(c.u64())
+	w.Params = c.bytes()
+	if err := c.done(); err != nil {
+		return Work{}, fmt.Errorf("work: %w", err)
+	}
+	if w.Lo < 0 || w.Hi < w.Lo {
+		return Work{}, fmt.Errorf("transport: work range [%d,%d) invalid", w.Lo, w.Hi)
+	}
+	return w, nil
+}
+
+// EncodeDone serializes d for a Done frame.
+func EncodeDone(d Done) []byte {
+	b := make([]byte, 0, 40+len(d.Err)+len(d.Delta))
+	b = appendU32(b, uint32(int32(d.Worker)))
+	b = appendU64(b, d.Seq)
+	b = appendU32(b, uint32(int32(d.Updates)))
+	b = appendU32(b, uint32(int32(d.Dropped)))
+	var failed uint32
+	if d.Failed {
+		failed = 1
+	}
+	b = appendU32(b, failed)
+	b = appendBytes(b, []byte(d.Err))
+	b = appendBytes(b, d.Delta)
+	return b
+}
+
+// DecodeDone parses a Done frame payload.
+func DecodeDone(p []byte) (Done, error) {
+	c := &cursor{b: p}
+	d := Done{
+		Worker:  int(int32(c.u32())),
+		Seq:     c.u64(),
+		Updates: int(int32(c.u32())),
+		Dropped: int(int32(c.u32())),
+	}
+	d.Failed = c.u32() != 0
+	d.Err = string(c.bytes())
+	d.Delta = c.bytes()
+	if err := c.done(); err != nil {
+		return Done{}, fmt.Errorf("done: %w", err)
+	}
+	if d.Worker < 0 {
+		return Done{}, fmt.Errorf("transport: done from negative worker %d", d.Worker)
+	}
+	return d, nil
+}
+
+// EncodeHello serializes h for a Hello frame.
+func EncodeHello(h Hello) []byte {
+	return appendU32(nil, uint32(int32(h.Worker)))
+}
+
+// DecodeHello parses a Hello frame payload.
+func DecodeHello(p []byte) (Hello, error) {
+	c := &cursor{b: p}
+	h := Hello{Worker: int(int32(c.u32()))}
+	if err := c.done(); err != nil {
+		return Hello{}, fmt.Errorf("hello: %w", err)
+	}
+	if h.Worker < 0 {
+		return Hello{}, fmt.Errorf("transport: hello from negative worker %d", h.Worker)
+	}
+	return h, nil
+}
+
+// EncodeWelcome serializes w for a Welcome frame.
+func EncodeWelcome(w Welcome) []byte {
+	b := make([]byte, 0, 32)
+	b = appendU64(b, w.Seed)
+	b = appendU64(b, uint64(w.HeartbeatNS))
+	var shuffle uint32
+	if w.Shuffle {
+		shuffle = 1
+	}
+	b = appendU32(b, shuffle)
+	b = appendU32(b, uint32(int32(w.Threads)))
+	b = appendU32(b, uint32(int32(w.MaxBatch)))
+	return b
+}
+
+// DecodeWelcome parses a Welcome frame payload.
+func DecodeWelcome(p []byte) (Welcome, error) {
+	c := &cursor{b: p}
+	w := Welcome{
+		Seed:        c.u64(),
+		HeartbeatNS: int64(c.u64()),
+	}
+	w.Shuffle = c.u32() != 0
+	w.Threads = int(int32(c.u32()))
+	w.MaxBatch = int(int32(c.u32()))
+	if err := c.done(); err != nil {
+		return Welcome{}, fmt.Errorf("welcome: %w", err)
+	}
+	return w, nil
+}
+
+// EncodeAck serializes a for an Ack frame.
+func EncodeAck(a Ack) []byte {
+	return appendU64(nil, a.Seq)
+}
+
+// DecodeAck parses an Ack frame payload.
+func DecodeAck(p []byte) (Ack, error) {
+	c := &cursor{b: p}
+	a := Ack{Seq: c.u64()}
+	if err := c.done(); err != nil {
+		return Ack{}, fmt.Errorf("ack: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,390 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"heterosgd/internal/msgq"
+	"heterosgd/internal/telemetry"
+)
+
+// TCPOptions configures the coordinator side of the TCP transport.
+type TCPOptions struct {
+	// Heartbeat is the worker heartbeat period advertised in the Welcome;
+	// a link with no frame for Heartbeat × MissLimit is declared down.
+	// Zero defaults to one second.
+	Heartbeat time.Duration
+	// MissLimit is the number of consecutive missed heartbeats tolerated
+	// before the link is declared down. Zero defaults to 3.
+	MissLimit int
+	// SendTimeout bounds each frame write. Zero defaults to 5 s.
+	SendTimeout time.Duration
+	// Welcome is the run configuration handed to each connecting worker
+	// (HeartbeatNS is filled in from Heartbeat).
+	Welcome Welcome
+	// Metrics, when set, surfaces transport_* counters and the
+	// reconnect-latency histogram in the registry.
+	Metrics *telemetry.Registry
+}
+
+func (o *TCPOptions) defaults() {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = time.Second
+	}
+	if o.MissLimit <= 0 {
+		o.MissLimit = 3
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = 5 * time.Second
+	}
+}
+
+// tcpMetrics bundles the coordinator-side transport instruments. All
+// counters are nil-safe (a nil registry leaves them nil).
+type tcpMetrics struct {
+	work       *telemetry.Counter
+	done       *telemetry.Counter
+	acks       *telemetry.Counter
+	heartbeats *telemetry.Counter
+	linkDowns  *telemetry.Counter
+	reconnects *telemetry.Counter
+	frameErrs  *telemetry.Counter
+	reconnectH *telemetry.Histogram
+}
+
+func newTCPMetrics(reg *telemetry.Registry) tcpMetrics {
+	if reg == nil {
+		return tcpMetrics{}
+	}
+	return tcpMetrics{
+		work:       reg.Counter("transport_work_total"),
+		done:       reg.Counter("transport_done_total"),
+		acks:       reg.Counter("transport_acks_total"),
+		heartbeats: reg.Counter("transport_heartbeats_total"),
+		linkDowns:  reg.Counter("transport_link_failures_total"),
+		reconnects: reg.Counter("transport_reconnects_total"),
+		frameErrs:  reg.Counter("transport_frame_errors_total"),
+		reconnectH: reg.Histogram("transport_reconnect_seconds"),
+	}
+}
+
+// link is one worker's connection slot.
+type link struct {
+	conn net.Conn // nil while down
+	// downAt stamps the moment the link went down, for the
+	// reconnect-latency histogram.
+	downAt time.Time
+	// everUp marks that the worker has connected at least once, so a
+	// re-established link counts as a reconnect.
+	everUp bool
+}
+
+// TCP is the networked Transport: the coordinator listens, workers dial in
+// (and back in, after partitions) identifying themselves with a Hello
+// frame. Each worker link runs a reader goroutine feeding a shared receive
+// queue; heartbeat-fed read deadlines detect dead links and surface them as
+// LinkDown events. Delivery of completions is at least once — workers
+// retransmit unacknowledged Dones after reconnecting — and the engine
+// deduplicates by dispatch sequence number.
+type TCP struct {
+	opts TCPOptions
+	ln   net.Listener
+
+	recvQ *msgq.Queue[Msg]
+	m     tcpMetrics
+
+	mu     sync.Mutex
+	links  []link
+	closed bool
+	// attached counts workers that have connected at least once; attachCh
+	// closes when all have (WaitForWorkers).
+	attached int
+	attachCh chan struct{}
+
+	stats   Stats
+	statsMu sync.Mutex
+
+	wg sync.WaitGroup
+}
+
+// ListenTCP starts a coordinator transport for n workers on addr (use
+// "127.0.0.1:0" for tests and loopback clusters).
+func ListenTCP(addr string, n int, opts TCPOptions) (*TCP, error) {
+	opts.defaults()
+	opts.Welcome.HeartbeatNS = int64(opts.Heartbeat)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		opts:     opts,
+		ln:       ln,
+		recvQ:    msgq.New[Msg](),
+		m:        newTCPMetrics(opts.Metrics),
+		links:    make([]link, n),
+		attachCh: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listening address for workers to dial.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// WaitForWorkers blocks until every worker has connected at least once, or
+// the timeout expires.
+func (t *TCP) WaitForWorkers(timeout time.Duration) error {
+	select {
+	case <-t.attachCh:
+		return nil
+	case <-time.After(timeout):
+		t.mu.Lock()
+		n := t.attached
+		t.mu.Unlock()
+		return fmt.Errorf("transport: %d of %d workers attached after %v", n, len(t.links), timeout)
+	}
+}
+
+// Stats returns a copy of the lifetime transport statistics.
+func (t *TCP) Stats() Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handshake(conn)
+	}
+}
+
+// handshake validates a dialing worker's Hello, replies Welcome, installs
+// the connection (displacing a stale one), and runs the read loop.
+func (t *TCP) handshake(conn net.Conn) {
+	defer t.wg.Done()
+	deadline := t.opts.Heartbeat * time.Duration(t.opts.MissLimit)
+	conn.SetReadDeadline(time.Now().Add(deadline))
+	kind, payload, err := ReadFrame(conn)
+	if err != nil || kind != KindHello {
+		t.m.frameErrs.Inc()
+		conn.Close()
+		return
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil || hello.Worker >= len(t.links) {
+		t.m.frameErrs.Inc()
+		conn.Close()
+		return
+	}
+	id := hello.Worker
+	conn.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+	if err := WriteFrame(conn, KindWelcome, EncodeWelcome(t.opts.Welcome)); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetWriteDeadline(time.Time{})
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	l := &t.links[id]
+	if l.conn != nil {
+		// The worker reconnected before the dead link's reader noticed;
+		// displace it. The old reader sees its conn closed and skips its
+		// LinkDown (superseded).
+		l.conn.Close()
+	}
+	reconnect := l.everUp
+	var downFor time.Duration
+	if reconnect && !l.downAt.IsZero() {
+		downFor = time.Since(l.downAt)
+	}
+	l.conn = conn
+	l.downAt = time.Time{}
+	if !l.everUp {
+		l.everUp = true
+		t.attached++
+		if t.attached == len(t.links) {
+			close(t.attachCh)
+		}
+	}
+	t.mu.Unlock()
+
+	if reconnect {
+		t.statsMu.Lock()
+		t.stats.Reconnects++
+		t.statsMu.Unlock()
+		t.m.reconnects.Inc()
+		if downFor > 0 {
+			t.m.reconnectH.Observe(downFor)
+		}
+	}
+	t.recvQ.Push(Msg{Event: &Event{Worker: id, Kind: LinkUp}})
+	t.readLoop(id, conn)
+}
+
+// readLoop consumes one connection's frames until error or displacement.
+func (t *TCP) readLoop(id int, conn net.Conn) {
+	deadline := t.opts.Heartbeat * time.Duration(t.opts.MissLimit)
+	for {
+		conn.SetReadDeadline(time.Now().Add(deadline))
+		kind, payload, err := ReadFrame(conn)
+		if err != nil {
+			t.linkDown(id, conn, err)
+			return
+		}
+		switch kind {
+		case KindDone:
+			d, err := DecodeDone(payload)
+			if err != nil || d.Worker != id {
+				t.m.frameErrs.Inc()
+				t.linkDown(id, conn, fmt.Errorf("transport: bad done frame: %v", err))
+				return
+			}
+			t.m.done.Inc()
+			t.statsMu.Lock()
+			t.stats.Completed++
+			t.statsMu.Unlock()
+			// Ack first (best effort): the worker may drop its retransmit
+			// copy as soon as the completion is on the coordinator's queue.
+			conn.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+			if err := WriteFrame(conn, KindAck, EncodeAck(Ack{Seq: d.Seq})); err != nil {
+				t.linkDown(id, conn, err)
+				return
+			}
+			conn.SetWriteDeadline(time.Time{})
+			t.m.acks.Inc()
+			t.recvQ.Push(Msg{Done: &d})
+		case KindHeartbeat:
+			t.m.heartbeats.Inc()
+			// Pong: the echo feeds the worker's read deadline.
+			conn.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+			if err := WriteFrame(conn, KindHeartbeat, nil); err != nil {
+				t.linkDown(id, conn, err)
+				return
+			}
+			conn.SetWriteDeadline(time.Time{})
+		case KindGoodbye:
+			t.linkDown(id, conn, fmt.Errorf("transport: worker said goodbye"))
+			return
+		default:
+			t.m.frameErrs.Inc()
+			t.linkDown(id, conn, fmt.Errorf("transport: unexpected %v frame", kind))
+			return
+		}
+	}
+}
+
+// linkDown retires a failed connection and surfaces a LinkDown event —
+// unless the connection was already displaced by a reconnect, in which case
+// the failure is stale news.
+func (t *TCP) linkDown(id int, conn net.Conn, cause error) {
+	conn.Close()
+	t.mu.Lock()
+	current := t.links[id].conn == conn
+	if current {
+		t.links[id].conn = nil
+		t.links[id].downAt = time.Now()
+	}
+	closed := t.closed
+	t.mu.Unlock()
+	if !current || closed {
+		return
+	}
+	t.m.linkDowns.Inc()
+	t.statsMu.Lock()
+	t.stats.LinkFailures++
+	if ne, ok := cause.(net.Error); ok && ne.Timeout() {
+		t.stats.HeartbeatMisses++
+	}
+	t.statsMu.Unlock()
+	reason := "read error"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	t.recvQ.Push(Msg{Event: &Event{Worker: id, Kind: LinkDown, Reason: reason}})
+}
+
+// Send dispatches w to worker over its live link. ErrLinkDown when the link
+// is down; any other error also means the dispatch must be re-sent (the
+// failed link is retired).
+func (t *TCP) Send(worker int, w Work) error {
+	t.mu.Lock()
+	conn := t.links[worker].conn
+	t.mu.Unlock()
+	if conn == nil {
+		return ErrLinkDown
+	}
+	conn.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+	err := WriteFrame(conn, KindWork, EncodeWork(w))
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		t.linkDown(worker, conn, err)
+		return fmt.Errorf("transport: send to worker %d: %w", worker, err)
+	}
+	t.m.work.Inc()
+	t.statsMu.Lock()
+	t.stats.Dispatched++
+	t.statsMu.Unlock()
+	return nil
+}
+
+// Recv waits up to d for the next completion, event, or wakeup; negative d
+// blocks.
+func (t *TCP) Recv(d time.Duration) (Msg, RecvStatus) {
+	m, st := t.recvQ.PopWait(d)
+	switch st {
+	case msgq.PopOK:
+		return m, RecvOK
+	case msgq.PopTimedOut:
+		return Msg{}, RecvTimeout
+	default:
+		return Msg{}, RecvClosed
+	}
+}
+
+// Wake unblocks a pending Recv with an empty Msg.
+func (t *TCP) Wake() {
+	t.recvQ.Push(Msg{})
+}
+
+// Close tells connected workers to exit (Goodbye), closes every link and
+// the listener, and closes the receive queue once the reader goroutines
+// drain. Close is idempotent.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.links))
+	for i := range t.links {
+		if c := t.links[i].conn; c != nil {
+			conns = append(conns, c)
+			t.links[i].conn = nil
+		}
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+		WriteFrame(c, KindGoodbye, nil) // best effort
+		c.Close()
+	}
+	t.ln.Close()
+	t.wg.Wait()
+	t.recvQ.Close()
+	return nil
+}

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"heterosgd/internal/faults"
+)
+
+// startWorker runs a client worker against addr with an echo-style handler
+// and returns a cleanup-registered done channel.
+func startWorker(t *testing.T, addr string, id int, handler func(Work) Done) <-chan error {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := DialWorker(ctx, addr, id, ClientOptions{
+			Seed:        1,
+			BackoffBase: 5 * time.Millisecond,
+			BackoffMax:  50 * time.Millisecond,
+		})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- c.Run(ctx, handler)
+	}()
+	return errCh
+}
+
+// recvDone pulls messages until a Done arrives, failing after timeout.
+func recvDone(t *testing.T, tr Transport, timeout time.Duration) Done {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			t.Fatal("no Done before timeout")
+		}
+		m, st := tr.Recv(remaining)
+		if st != RecvOK {
+			t.Fatalf("Recv = %v", st)
+		}
+		if m.Done != nil {
+			return *m.Done
+		}
+	}
+}
+
+func TestTCPDispatchComplete(t *testing.T) {
+	coord, err := ListenTCP("127.0.0.1:0", 1, TCPOptions{
+		Heartbeat: 50 * time.Millisecond,
+		Welcome:   Welcome{Seed: 9, Shuffle: true, Threads: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorker(t, coord.Addr(), 0, func(w Work) Done {
+		return Done{Updates: w.Hi - w.Lo}
+	})
+	if err := coord.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The attach raced ahead through the receive queue; drain the LinkUp.
+	m, st := coord.Recv(time.Second)
+	if st != RecvOK || m.Event == nil || m.Event.Kind != LinkUp {
+		t.Fatalf("first message = %+v (%v), want LinkUp", m, st)
+	}
+	if err := coord.Send(0, Work{Seq: 1, Lo: 10, Hi: 42, LR: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	d := recvDone(t, coord, 5*time.Second)
+	if d.Worker != 0 || d.Seq != 1 || d.Updates != 32 {
+		t.Fatalf("done = %+v, want worker 0 seq 1 updates 32", d)
+	}
+	st8 := coord.Stats()
+	if st8.Dispatched != 1 || st8.Completed != 1 {
+		t.Fatalf("stats = %+v", st8)
+	}
+}
+
+func TestTCPSendToDetachedWorkerErrLinkDown(t *testing.T) {
+	coord, err := ListenTCP("127.0.0.1:0", 2, TCPOptions{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Send(1, Work{Seq: 1}); err != ErrLinkDown {
+		t.Fatalf("Send to never-attached worker = %v, want ErrLinkDown", err)
+	}
+}
+
+// TestTCPSeveredLinkRedeliversExactlyOnePayload drives the full partition
+// story through the fault proxy: the link severs right after a dispatch, the
+// coordinator sees LinkDown, the worker reconnects through backoff (one
+// refused redial), retransmits the stranded completion, and the coordinator
+// receives it exactly once per transmission — with Seq intact so the engine
+// can deduplicate.
+func TestTCPSeveredLinkRedelivers(t *testing.T) {
+	coord, err := ListenTCP("127.0.0.1:0", 1, TCPOptions{Heartbeat: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	proxy, err := NewProxy("127.0.0.1:0", coord.Addr(), faults.NewLinkPlan(3, faults.SeverLink(0, 1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	startWorker(t, proxy.Addr(), 0, func(w Work) Done {
+		return Done{Updates: 1}
+	})
+	if err := coord.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var ups, downs, dones int
+	var lastSeq uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for seq := uint64(1); dones < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: ups=%d downs=%d dones=%d", ups, downs, dones)
+		}
+		m, st := coord.Recv(time.Second)
+		if st == RecvTimeout {
+			continue
+		}
+		if st != RecvOK {
+			t.Fatalf("Recv = %v", st)
+		}
+		switch {
+		case m.Event != nil && m.Event.Kind == LinkUp:
+			ups++
+			// Dispatch on every link-up: the second dispatch (after the
+			// first completion) crosses the sever trigger.
+			if err := coord.Send(0, Work{Seq: seq, Lo: 0, Hi: 1}); err == nil {
+				seq++
+			}
+		case m.Event != nil && m.Event.Kind == LinkDown:
+			downs++
+		case m.Done != nil:
+			dones++
+			lastSeq = m.Done.Seq
+			if dones == 1 {
+				if err := coord.Send(0, Work{Seq: seq, Lo: 0, Hi: 1}); err == nil {
+					seq++
+				}
+			}
+		}
+	}
+	if ups < 2 || downs < 1 {
+		t.Fatalf("expected a reconnection: ups=%d downs=%d", ups, downs)
+	}
+	if lastSeq != 2 {
+		t.Fatalf("last completed seq = %d, want 2", lastSeq)
+	}
+	if s := coord.Stats(); s.Reconnects < 1 || s.LinkFailures < 1 {
+		t.Fatalf("stats = %+v, want ≥1 reconnect and link failure", s)
+	}
+}
+
+// TestTCPDuplicatedDoneKeepsSeq: a dup-injecting proxy delivers each
+// completion twice; both copies carry the same Seq (the dedupe key).
+func TestTCPDuplicatedDone(t *testing.T) {
+	coord, err := ListenTCP("127.0.0.1:0", 1, TCPOptions{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	proxy, err := NewProxy("127.0.0.1:0", coord.Addr(), faults.NewLinkPlan(5, faults.DupFrames(0, 1.0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	startWorker(t, proxy.Addr(), 0, func(w Work) Done {
+		return Done{Updates: 1}
+	})
+	if err := coord.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Send(0, Work{Seq: 77, Lo: 0, Hi: 1}); err != nil {
+		t.Fatal(err)
+	}
+	first := recvDone(t, coord, 5*time.Second)
+	second := recvDone(t, coord, 5*time.Second)
+	if first.Seq != 77 || second.Seq != 77 {
+		t.Fatalf("duplicate seqs = %d, %d, want 77 twice", first.Seq, second.Seq)
+	}
+}
+
+func TestLocalTransportRoundTrip(t *testing.T) {
+	lt := NewLocal(2)
+	go func() {
+		for {
+			w, ok := lt.NextWork(1)
+			if !ok {
+				return
+			}
+			lt.Complete(Done{Worker: 1, Seq: w.Seq, Updates: w.Hi - w.Lo})
+		}
+	}()
+	if err := lt.Send(1, Work{Seq: 5, Lo: 0, Hi: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m, st := lt.Recv(time.Second)
+	if st != RecvOK || m.Done == nil || m.Done.Seq != 5 || m.Done.Updates != 7 {
+		t.Fatalf("local recv = %+v (%v)", m, st)
+	}
+	lt.Wake()
+	if m, st := lt.Recv(time.Second); st != RecvOK || m.Done != nil || m.Event != nil {
+		t.Fatalf("wakeup = %+v (%v), want empty Msg", m, st)
+	}
+	if _, st := lt.Recv(5 * time.Millisecond); st != RecvTimeout {
+		t.Fatalf("empty recv = %v, want timeout", st)
+	}
+	stranded := lt.CloseWorker(0)
+	if len(stranded) != 0 {
+		t.Fatalf("stranded = %d, want 0", len(stranded))
+	}
+	if err := lt.Send(0, Work{Seq: 9}); err != ErrLinkDown {
+		t.Fatalf("send to closed inbox = %v, want ErrLinkDown", err)
+	}
+	lt.Close()
+	if _, st := lt.Recv(time.Second); st != RecvClosed {
+		t.Fatalf("recv after close = %v, want closed", st)
+	}
+	pushed, popped, dropped := lt.QueueStats()
+	if pushed == 0 || popped == 0 {
+		t.Fatalf("queue stats = %d/%d/%d", pushed, popped, dropped)
+	}
+}

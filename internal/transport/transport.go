@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// RecvStatus classifies the outcome of a bounded Recv, mirroring
+// msgq.PopStatus: the coordinator's watchdog must distinguish "nothing
+// arrived yet" (sweep for overdue dispatches) from "transport closed"
+// (drain finished — stop).
+type RecvStatus int
+
+const (
+	// RecvOK: a message was received.
+	RecvOK RecvStatus = iota
+	// RecvTimeout: the wait expired with the transport still open.
+	RecvTimeout
+	// RecvClosed: the transport is closed and drained.
+	RecvClosed
+)
+
+// String returns the status name.
+func (s RecvStatus) String() string {
+	switch s {
+	case RecvOK:
+		return "ok"
+	case RecvTimeout:
+		return "timed-out"
+	case RecvClosed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// EventKind classifies link-state transitions surfaced to the coordinator.
+type EventKind int
+
+const (
+	// LinkUp: a worker's link came up (first connect or reconnect).
+	LinkUp EventKind = iota
+	// LinkDown: a worker's link failed (heartbeat miss, read error, or
+	// severed connection). In-flight dispatches to that worker should be
+	// treated exactly like a watchdog timeout: abandon and re-dispatch.
+	LinkDown
+)
+
+// String returns the event-kind name.
+func (k EventKind) String() string {
+	switch k {
+	case LinkUp:
+		return "link-up"
+	case LinkDown:
+		return "link-down"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a link-state transition on one worker's channel.
+type Event struct {
+	Worker int
+	Kind   EventKind
+	// Reason describes a LinkDown cause (read error, heartbeat miss).
+	Reason string
+}
+
+// Msg is one unit received by the coordinator: exactly one of Done or Event
+// is set. Both nil marks a wakeup (see Transport.Wake) — the receiver should
+// re-check its control state (cancellation, deadlines) and continue.
+type Msg struct {
+	Done  *Done
+	Event *Event
+}
+
+// ErrLinkDown reports a Send to a worker whose link is currently down. The
+// coordinator treats it like a dispatch timeout: quarantine the worker and
+// re-dispatch the batch elsewhere. The transport re-emits LinkUp when the
+// worker reconnects.
+var ErrLinkDown = errors.New("transport: worker link down")
+
+// Transport is the coordinator's view of the worker channel. One goroutine
+// (the coordinator loop) calls Recv; Send and Wake are safe from any
+// goroutine. Implementations deliver Done messages at least once —
+// duplicates are possible after reconnect retransmission — and the
+// coordinator deduplicates by Work.Seq, its monotonic dispatch ID.
+type Transport interface {
+	// Send dispatches w to worker. It returns ErrLinkDown when the
+	// worker's link is down, and a non-nil error on any failed or refused
+	// delivery; the work is then NOT delivered and must be re-dispatched.
+	Send(worker int, w Work) error
+	// Recv waits up to d for the next message. A negative d blocks
+	// indefinitely. Wakeups (Msg{}) and events count as messages.
+	Recv(d time.Duration) (Msg, RecvStatus)
+	// Wake unblocks a pending Recv with an empty Msg, for cancellation and
+	// deadline re-evaluation.
+	Wake()
+	// Close shuts the transport down: workers are told to exit (closed
+	// inboxes, Goodbye frames), and once queued traffic drains Recv
+	// reports RecvClosed.
+	Close() error
+}
+
+// Stats counts transport-level traffic for Result health accounting. All
+// fields are lifetime totals.
+type Stats struct {
+	// Dispatched counts Work sends accepted by the transport.
+	Dispatched uint64 `json:"dispatched"`
+	// Completed counts Done messages delivered to the coordinator,
+	// including duplicates.
+	Completed uint64 `json:"completed"`
+	// Duplicates counts Done messages whose Seq had already been applied
+	// or abandoned (at-least-once delivery collapsing to exactly-once).
+	Duplicates uint64 `json:"duplicates"`
+	// Reconnects counts worker link re-establishments after a drop.
+	Reconnects uint64 `json:"reconnects"`
+	// LinkFailures counts LinkDown events.
+	LinkFailures uint64 `json:"link_failures"`
+	// HeartbeatMisses counts read-deadline expirations attributed to lost
+	// heartbeats.
+	HeartbeatMisses uint64 `json:"heartbeat_misses"`
+}

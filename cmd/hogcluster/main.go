@@ -56,13 +56,14 @@ func main() {
 		role    = flag.String("role", "coordinator", "process role: coordinator or worker")
 		dsName  = flag.String("dataset", "covtype", "synthetic dataset: covtype, w8a, delicious, real-sim")
 		scale   = flag.String("scale", "small", "synthetic scale: small, medium, full")
-		algName = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, minibatch-cpu")
+		algName = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, minibatch-cpu, ssp")
 		seed    = flag.Uint64("seed", 1, "random seed (must match across all processes of a run)")
 		hidden  = flag.Int("hidden", 0, "override hidden-layer width (must match across processes)")
 		lr      = flag.Float64("lr", 0.1, "base learning rate")
 		shuffle = flag.Bool("shuffle", true, "reshuffle between epochs (workers replay the shuffles)")
 		guards  = flag.Bool("guards", true, "enable divergence guards on both sides")
 		decay   = flag.Float64("weight-decay", 0, "L2 weight decay (must match across processes)")
+		stale   = flag.Int("staleness", 4, "SSP staleness bound s (-alg ssp): max dispatch-time steps ahead of the slowest worker")
 
 		// Coordinator flags.
 		listen    = flag.String("listen", "127.0.0.1:0", "coordinator listen address")
@@ -145,6 +146,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Shuffle = *shuffle
 	cfg.WeightDecay = *decay
+	cfg.StalenessBound = *stale
 	cfg.SampleEvery = *budget / 25
 	if *guards {
 		cfg.Guards = core.DefaultGuards()
@@ -247,6 +249,9 @@ func main() {
 	if tr := res.Health.Transport; tr != nil {
 		fmt.Printf("transport: %d examples applied of %d scheduled; duplicates discarded %d, abandoned discarded %d, partitions %d, reconnects %d\n",
 			tr.AppliedExamples, res.ExamplesProcessed, tr.Duplicates, tr.Abandoned, tr.Partitions, tr.Reconnects)
+	}
+	if res.Staleness != nil && res.Staleness.Count > 0 {
+		fmt.Println(res.Staleness)
 	}
 	fmt.Printf("final batch sizes: %v (resizes %v)\n", res.FinalBatch, res.Resizes)
 	snap := res.Updates.Snapshot()

@@ -46,7 +46,7 @@ import (
 
 func main() {
 	var (
-		algName   = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, adaptive-lr, minibatch-cpu, tf, omnivore, svrg")
+		algName   = flag.String("alg", "adaptive", "algorithm: cpu, gpu, cpu+gpu, adaptive, adaptive-lr, minibatch-cpu, ssp, localsgd, dcasgd, tf, omnivore, svrg")
 		dsName    = flag.String("dataset", "covtype", "synthetic dataset: covtype, w8a, delicious, real-sim")
 		libsvm    = flag.String("libsvm", "", "train on a LIBSVM file instead of synthetic data")
 		multi     = flag.Bool("multilabel", false, "parse the LIBSVM file as multi-label")
@@ -75,6 +75,9 @@ func main() {
 		wdSlack   = flag.Float64("watchdog-slack", 0, "quarantine a worker past slack × modeled iteration time (0 = off unless -faults)")
 		wdFloor   = flag.Duration("watchdog-floor", 100*time.Millisecond, "minimum watchdog deadline")
 		guards    = flag.Bool("guards", false, "enable divergence guards (drop non-finite updates, rollback on NaN loss)")
+		staleness = flag.Int("staleness", 4, "SSP staleness bound s (-alg ssp): max dispatch-time steps ahead of the slowest worker")
+		locSteps  = flag.Int("local-steps", 4, "LocalSGD local steps K per round (-alg localsgd)")
+		dcLambda  = flag.Float64("dc-lambda", 0.04, "DC-ASGD compensation strength λ (-alg dcasgd; 0 = plain async)")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -199,6 +202,9 @@ func main() {
 		cfg.Shuffle = *shuffled
 		cfg.Optimizer = optKind
 		cfg.Schedule = sched
+		cfg.StalenessBound = *staleness
+		cfg.LocalSteps = *locSteps
+		cfg.DCLambda = *dcLambda
 		cfg.InitialParams = warmStart
 		cfg.SampleEvery = *budget / 25
 		cfg.Faults = plan
@@ -287,6 +293,9 @@ func main() {
 	if res.Health.Faulty() {
 		fmt.Printf("fault report: %s\n", res.Health)
 		fmt.Print(res.Events)
+	}
+	if res.Staleness != nil && res.Staleness.Count > 0 {
+		fmt.Println(res.Staleness)
 	}
 	fmt.Printf("final batch sizes: %v (resizes %v)\n", res.FinalBatch, res.Resizes)
 	snap := res.Updates.Snapshot()

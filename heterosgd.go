@@ -61,6 +61,9 @@ const (
 	AlgAdaptiveLR       = core.AlgAdaptiveLR
 	AlgOmnivore         = core.AlgOmnivore
 	AlgSVRG             = core.AlgSVRG
+	AlgSSP              = core.AlgSSP
+	AlgLocalSGD         = core.AlgLocalSGD
+	AlgDCASGD           = core.AlgDCASGD
 )
 
 // Training configuration and results.
@@ -73,6 +76,8 @@ type (
 	Preset = core.Preset
 	// Result captures a finished run's measurements.
 	Result = core.Result
+	// StalenessReport summarizes applied-update staleness (Result.Staleness).
+	StalenessReport = core.StalenessReport
 )
 
 // Network types.

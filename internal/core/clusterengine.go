@@ -91,6 +91,12 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	if cfg.Algorithm == AlgSVRG {
 		return nil, fmt.Errorf("core: AlgSVRG is implemented on the simulated engine only (use RunSim)")
 	}
+	if cfg.Algorithm == AlgLocalSGD {
+		return nil, fmt.Errorf("core: AlgLocalSGD is not implemented on the cluster engine (its round barrier needs replica transfer, not deltas; use RunSim or RunReal)")
+	}
+	if cfg.Algorithm == AlgDCASGD {
+		return nil, fmt.Errorf("core: AlgDCASGD is not implemented on the cluster engine (delay compensation needs the dispatch-time params retained worker-side; use RunSim or RunReal)")
+	}
 	if cfg.Optimizer != opt.KindSGD {
 		return nil, fmt.Errorf("core: RunCluster supports plain SGD only (optimizer state is not replicated to workers)")
 	}
@@ -122,6 +128,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	events := metrics.NewEventLog()
 	health := newHealthTracker(&cfg, events)
 	coord.tracker = health
+	stale := newStaleTracker(&cfg, health, &rm)
 	guard := newGuardState(cfg.Guards, global)
 	tr := &TransportReport{}
 	health.report.Transport = tr
@@ -265,7 +272,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			panic(fmt.Sprintf("core: serializing global params: %v", err))
 		}
 		seq++
-		fl := &inflightDispatch{worker: id, batch: batch}
+		fl := &inflightDispatch{worker: id, batch: batch, staleness: -1}
 		if opts.DispatchTimeout > 0 {
 			fl.deadline = time.Now().Add(opts.DispatchTimeout)
 		}
@@ -321,6 +328,14 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		if overBudget() {
 			return false
 		}
+		if !stale.allow(id) {
+			// SSP gate: fresh work only — recovery batches above bypass it,
+			// or their examples could strand with every laggard partitioned
+			// and the exactly-once accounting would never balance.
+			stale.block(id)
+			return false
+		}
+		stale.pass(id)
 		batch, ok := coord.scheduleWork(id)
 		if !ok {
 			return false
@@ -329,7 +344,11 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			lastBatch[id] = coord.batch[id]
 			batchTrace = append(batchTrace, BatchEvent{At: time.Since(start), Worker: workerName(id), Size: coord.batch[id]})
 		}
+		sAt := stale.staleness(id)
 		send(id, batch)
+		if fl := flight[seq]; fl != nil {
+			fl.staleness = sAt
+		}
 		return true
 	}
 	redispatch = func(batch data.Batch, from int) {
@@ -344,6 +363,14 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			fmt.Sprintf("%d examples from %s", batch.Size(), workerName(from)))
 		feed[target] = append(feed[target], splitBatch(batch, cfg.Workers[target].MaxBatch)...)
 		dispatch(target)
+	}
+	// wakeGated re-dispatches workers the SSP gate would now admit; called
+	// whenever the minimum healthy clock may have moved (any applied
+	// completion, partition, quarantine, or readmission).
+	wakeGated := func() {
+		for _, id := range stale.wake() {
+			dispatch(id)
+		}
 	}
 	queuedWork := func() bool {
 		if len(pending) > 0 {
@@ -369,6 +396,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			outstanding--
 			redispatch(fl.batch, fl.worker)
 		}
+		wakeGated()
 	}
 	popWait := func() time.Duration {
 		var wait time.Duration = -1
@@ -474,10 +502,13 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			case transport.LinkDown:
 				tr.Partitions++
 				benchWorker(id, "partition", m.Event.Reason)
+				wakeGated()
 			case transport.LinkUp:
 				tr.Reconnects++
 				if health.readmitWith(id, time.Since(start), "link healed") {
+					stale.catchUp(id)
 					dispatch(id)
+					wakeGated()
 				}
 			}
 			continue
@@ -493,6 +524,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 				trans.Close()
 				return nil, err
 			}
+			wakeGated()
 			continue
 		}
 		fl := flight[msg.Seq]
@@ -514,15 +546,21 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			tr.Abandoned++
 			events.Add(time.Since(start), workerName(msg.Worker), "abandoned",
 				fmt.Sprintf("stale completion for seq %d discarded", msg.Seq))
+			stale.advance(msg.Worker)
 			if health.readmit(msg.Worker, time.Since(start)) {
+				stale.catchUp(msg.Worker)
 				dispatch(msg.Worker)
 			}
+			wakeGated()
 			continue
 		}
 		applyDelta(msg, fl.batch)
+		stale.observe(fl.staleness)
+		stale.advance(msg.Worker)
 		busy[msg.Worker] = false
 		outstanding--
 		dispatch(msg.Worker)
+		wakeGated()
 		if outstanding == 0 && !overBudget() && coord.poolEmpty() {
 			evalT0 := time.Since(start)
 			loss := evalLoss()
@@ -599,5 +637,6 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		Events:            events,
 		Checkpoint:        guard.snapshot(),
 		Interrupted:       interrupted,
+		Staleness:         stale.rep,
 	}, nil
 }

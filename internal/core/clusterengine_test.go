@@ -16,17 +16,20 @@ import (
 // loopback TCP, every worker dialing through a partition-injection proxy
 // driven by plan. Each participant builds its own copy of the dataset (as
 // separate processes would), exercising the shuffle-replay contract.
-func clusterHarness(t *testing.T, plan *faults.LinkPlan, budget time.Duration) *Result {
+func clusterHarness(t *testing.T, alg Algorithm, plan *faults.LinkPlan, budget time.Duration) *Result {
 	t.Helper()
 	spec := tinySpec()
 	ds := data.Generate(spec, 42)
 	net := nn.MustNetwork(spec.Arch())
-	cfg := NewConfig(AlgCPUGPUHogbatch, net, ds, tinyPreset())
+	cfg := NewConfig(alg, net, ds, tinyPreset())
 	cfg.BaseLR = 0.1
 	cfg.RefBatch = 4
 	cfg.EvalSubset = 256
 	cfg.Shuffle = true
 	cfg.Guards = DefaultGuards()
+	if alg == AlgSSP {
+		cfg.StalenessBound = 2
+	}
 
 	trans, err := transport.ListenTCP("127.0.0.1:0", len(cfg.Workers), ClusterTCPOptions(&cfg, 100*time.Millisecond))
 	if err != nil {
@@ -84,7 +87,7 @@ func TestClusterExactlyOnceInvariant(t *testing.T) {
 		faults.DupFrames(0, 1.0),
 		faults.SeverLink(1, 2, 1),
 	)
-	res := clusterHarness(t, plan, 1200*time.Millisecond)
+	res := clusterHarness(t, AlgCPUGPUHogbatch, plan, 1200*time.Millisecond)
 
 	tr := res.Health.Transport
 	if tr == nil {
@@ -137,33 +140,78 @@ func faultEvents(res *Result) []string {
 	return out
 }
 
+// TestClusterSSPExactlyOnceInvariant runs the same adversarial link plan
+// with the SSP gate armed: exactly-once must still hold, and on top of it
+// no applied update's dispatch-time staleness may exceed the bound — not
+// even across duplicated frames, a severed link, quarantine, and
+// readmission, where the set of healthy clocks shifts under the gate.
+func TestClusterSSPExactlyOnceInvariant(t *testing.T) {
+	plan := faults.NewLinkPlan(7,
+		faults.DupFrames(0, 1.0),
+		faults.SeverLink(1, 2, 1),
+	)
+	res := clusterHarness(t, AlgSSP, plan, 1200*time.Millisecond)
+
+	tr := res.Health.Transport
+	if tr == nil {
+		t.Fatal("no transport report")
+	}
+	if tr.AppliedExamples != res.ExamplesProcessed {
+		t.Fatalf("exactly-once violated under SSP: applied %d examples, scheduled %d (duplicates %d, abandoned %d)",
+			tr.AppliedExamples, res.ExamplesProcessed, tr.Duplicates, tr.Abandoned)
+	}
+	if tr.Duplicates == 0 {
+		t.Fatal("dup-injecting proxy produced no duplicate completions")
+	}
+	if tr.Partitions == 0 {
+		t.Fatal("sever plan produced no partition")
+	}
+	if res.Staleness == nil || res.Staleness.Count == 0 {
+		t.Fatal("no staleness observations recorded")
+	}
+	if res.Staleness.Max > 2 {
+		t.Fatalf("SSP over TCP applied an update with staleness %d > bound 2\n%s",
+			res.Staleness.Max, res.Staleness)
+	}
+	first := res.Trace.Points[0].Loss
+	if res.FinalLoss >= first {
+		t.Fatalf("SSP cluster run did not learn: loss %v → %v", first, res.FinalLoss)
+	}
+}
+
 // TestClusterSeededPartitionDeterminism replays the same seeded link plan
 // twice and requires the identical fault-event sequence both times: the
 // partition machinery is frame-count-triggered and PCG-seeded, never
 // wall-clock-triggered, so a failure scenario found once can be replayed.
+// The SSP variant confirms the gate does not add wall-clock-dependent
+// fault events of its own.
 func TestClusterSeededPartitionDeterminism(t *testing.T) {
-	plan := func() *faults.LinkPlan {
-		return faults.NewLinkPlan(7, faults.SeverLink(1, 2, 1))
-	}
-	a := clusterHarness(t, plan(), 900*time.Millisecond)
-	b := clusterHarness(t, plan(), 900*time.Millisecond)
+	for _, alg := range []Algorithm{AlgCPUGPUHogbatch, AlgSSP} {
+		t.Run(alg.String(), func(t *testing.T) {
+			plan := func() *faults.LinkPlan {
+				return faults.NewLinkPlan(7, faults.SeverLink(1, 2, 1))
+			}
+			a := clusterHarness(t, alg, plan(), 900*time.Millisecond)
+			b := clusterHarness(t, alg, plan(), 900*time.Millisecond)
 
-	ea, eb := faultEvents(a), faultEvents(b)
-	if len(ea) == 0 {
-		t.Fatal("no fault events recorded")
-	}
-	if len(ea) != len(eb) {
-		t.Fatalf("fault sequences differ in length:\nrun A: %v\nrun B: %v", ea, eb)
-	}
-	for i := range ea {
-		if ea[i] != eb[i] {
-			t.Fatalf("fault sequences diverge at %d:\nrun A: %v\nrun B: %v", i, ea, eb)
-		}
-	}
-	for name, res := range map[string]*Result{"A": a, "B": b} {
-		if tr := res.Health.Transport; tr.AppliedExamples != res.ExamplesProcessed {
-			t.Fatalf("run %s: applied %d != scheduled %d", name, tr.AppliedExamples, res.ExamplesProcessed)
-		}
+			ea, eb := faultEvents(a), faultEvents(b)
+			if len(ea) == 0 {
+				t.Fatal("no fault events recorded")
+			}
+			if len(ea) != len(eb) {
+				t.Fatalf("fault sequences differ in length:\nrun A: %v\nrun B: %v", ea, eb)
+			}
+			for i := range ea {
+				if ea[i] != eb[i] {
+					t.Fatalf("fault sequences diverge at %d:\nrun A: %v\nrun B: %v", i, ea, eb)
+				}
+			}
+			for name, res := range map[string]*Result{"A": a, "B": b} {
+				if tr := res.Health.Transport; tr.AppliedExamples != res.ExamplesProcessed {
+					t.Fatalf("run %s: applied %d != scheduled %d", name, tr.AppliedExamples, res.ExamplesProcessed)
+				}
+			}
+		})
 	}
 }
 

@@ -65,6 +65,22 @@ const (
 	// "learning rate maintenance is more complex than modifying the
 	// batch size"; this algorithm lets the claim be tested.
 	AlgAdaptiveLR
+	// AlgSSP is stale-synchronous parallel: asynchronous dispatch like
+	// CPU+GPU Hogbatch, but the coordinator refuses fresh work to a worker
+	// whose clock (completed dispatches) is more than StalenessBound steps
+	// ahead of the slowest healthy worker. Both devices use equal batch
+	// sizes so clocks compare step for step; heterogeneity appears as the
+	// fast worker being parked at the bound.
+	AlgSSP
+	// AlgLocalSGD runs synchronous rounds: each worker takes LocalSteps
+	// local SGD steps on a private replica, then the coordinator averages
+	// the participants' replicas into the global model at a round barrier.
+	AlgLocalSGD
+	// AlgDCASGD is CPU+GPU Hogbatch with DC-ASGD delay compensation on the
+	// GPU's stale deep-replica applies: the gradient becomes
+	// g + λ·g⊙g⊙(w_now − w_then), approximating the gradient at the model
+	// it is applied to rather than the model it was computed against.
+	AlgDCASGD
 )
 
 // String returns the algorithm's display name as used in the figures.
@@ -88,6 +104,12 @@ func (a Algorithm) String() string {
 		return "Omnivore"
 	case AlgSVRG:
 		return "SVRG CPU+GPU"
+	case AlgSSP:
+		return "SSP"
+	case AlgLocalSGD:
+		return "LocalSGD"
+	case AlgDCASGD:
+		return "DC-ASGD"
 	default:
 		return "unknown"
 	}
@@ -114,6 +136,12 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 		return AlgOmnivore, nil
 	case "svrg":
 		return AlgSVRG, nil
+	case "ssp":
+		return AlgSSP, nil
+	case "localsgd", "local-sgd":
+		return AlgLocalSGD, nil
+	case "dcasgd", "dc-asgd":
+		return AlgDCASGD, nil
 	default:
 		return 0, fmt.Errorf("core: unknown algorithm %q", name)
 	}
@@ -167,6 +195,18 @@ type Config struct {
 	// StaleDamping scales a stale gradient's learning rate by
 	// 1/(1+StaleDamping·staleUpdates), the §VI-B mitigation. 0 disables.
 	StaleDamping float64
+	// StalenessBound is AlgSSP's bound s: the coordinator blocks fresh
+	// dispatch to a worker whose clock (completed dispatches) is more than
+	// s steps ahead of the slowest healthy worker. 0 is valid (near-BSP
+	// lockstep). Other algorithms record staleness but never gate on it.
+	StalenessBound int
+	// LocalSteps is AlgLocalSGD's K: local SGD steps each worker takes on
+	// its private replica per round before the coordinator averages the
+	// replicas at the round barrier.
+	LocalSteps int
+	// DCLambda is AlgDCASGD's delay-compensation strength λ in
+	// g + λ·g⊙g⊙(w_now − w_then); 0 degenerates to plain async apply.
+	DCLambda float64
 	// Optimizer selects the per-worker update rule (plain SGD by default;
 	// momentum/AdaGrad/Adam via internal/opt). Optimizer state is private
 	// to each worker thread.
@@ -315,6 +355,23 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(len(c.Workers)); err != nil {
 		return err
 	}
+	if c.Algorithm == AlgSSP && c.StalenessBound < 0 {
+		return fmt.Errorf("core: SSP staleness bound %d must be non-negative", c.StalenessBound)
+	}
+	if c.DCLambda < 0 {
+		return fmt.Errorf("core: DC-ASGD lambda %v must be non-negative", c.DCLambda)
+	}
+	if c.Algorithm == AlgLocalSGD {
+		if c.LocalSteps < 1 {
+			return fmt.Errorf("core: LocalSGD needs LocalSteps ≥ 1, got %d", c.LocalSteps)
+		}
+		if c.Optimizer != opt.KindSGD {
+			return fmt.Errorf("core: LocalSGD supports plain SGD only (replica averaging has no optimizer-state semantics)")
+		}
+		if c.Faults != nil || c.Watchdog != nil {
+			return fmt.Errorf("core: LocalSGD does not support fault injection or the watchdog (synchronous rounds have no re-dispatch path)")
+		}
+	}
 	if c.SnapshotEvery < 0 {
 		return fmt.Errorf("core: snapshot period %v must be non-negative", c.SnapshotEvery)
 	}
@@ -420,6 +477,10 @@ func NewConfig(alg Algorithm, net *nn.Network, ds *data.Dataset, p Preset) Confi
 		Seed:         1,
 		EvalSubset:   4096,
 		EvalDevice:   gpu,
+		// Consistency-mode defaults; only the matching algorithm reads them.
+		StalenessBound: 4,
+		LocalSteps:     4,
+		DCLambda:       0.04,
 	}
 	switch alg {
 	case AlgHogbatchCPU:
@@ -443,6 +504,25 @@ func NewConfig(alg Algorithm, net *nn.Network, ds *data.Dataset, p Preset) Confi
 	case AlgSVRG:
 		// CPU at Hogwild granularity; GPU at the upper threshold so each
 		// anchor gradient is as accurate as possible.
+		cfg.Workers = []WorkerConfig{cpuWorker(p.CPUMinPerThread, false), gpuWorker(p.GPUMax, false)}
+	case AlgSSP:
+		// SSP compares worker clocks step for step, so both devices use the
+		// same batch size (the GPU floor); heterogeneity shows up as
+		// different step durations, and the fast worker is parked once it
+		// runs StalenessBound steps past the slowest.
+		cfg.Workers = []WorkerConfig{
+			{Device: cpu, Threads: p.CPUThreads, InitialBatch: p.GPUMin, MinBatch: p.GPUMin, MaxBatch: p.GPUMin},
+			gpuWorker(p.GPUMin, false),
+		}
+	case AlgLocalSGD:
+		// Private-replica rounds take one full-batch gradient per local
+		// step, so the CPU worker runs a single lane.
+		w := cpuWorker(8, false)
+		w.Threads = 1
+		cfg.Workers = []WorkerConfig{w, gpuWorker(p.GPUMax, false)}
+	case AlgDCASGD:
+		// Same device mix and static batches as CPU+GPU Hogbatch; the only
+		// difference is the delay-compensated GPU apply.
 		cfg.Workers = []WorkerConfig{cpuWorker(p.CPUMinPerThread, false), gpuWorker(p.GPUMax, false)}
 	}
 	return cfg

@@ -50,6 +50,8 @@ func TestAlgorithmNamesAndParsing(t *testing.T) {
 		"gpu": AlgHogbatchGPU, "cpu+gpu": AlgCPUGPUHogbatch,
 		"hybrid": AlgCPUGPUHogbatch, "adaptive": AlgAdaptiveHogbatch,
 		"minibatch-cpu": AlgMinibatchCPU,
+		"ssp":           AlgSSP, "localsgd": AlgLocalSGD, "local-sgd": AlgLocalSGD,
+		"dcasgd": AlgDCASGD, "dc-asgd": AlgDCASGD,
 	} {
 		got, err := ParseAlgorithm(name)
 		if err != nil || got != want {

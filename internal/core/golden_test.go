@@ -27,8 +27,14 @@ type goldenPoint struct {
 	Loss   float64 `json:"loss"`
 }
 
-// goldenAlgorithms are the paper's four headline algorithms (Figure 4).
-var goldenAlgorithms = []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch}
+// goldenAlgorithms are the paper's four headline algorithms (Figure 4) plus
+// the three consistency modes; the consistency-mode entries pin the SSP
+// gate, the LocalSGD round barrier, and DC-ASGD's compensation byte for
+// byte, so an accidental semantic change to any of them fails here.
+var goldenAlgorithms = []Algorithm{
+	AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch,
+	AlgSSP, AlgLocalSGD, AlgDCASGD,
+}
 
 func runGolden(t *testing.T, alg Algorithm) goldenTrace {
 	t.Helper()

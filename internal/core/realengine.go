@@ -38,6 +38,9 @@ type inflightDispatch struct {
 	batch     data.Batch
 	deadline  time.Time
 	abandoned bool
+	// staleness is the dispatch-time staleness the histogram records when
+	// the completion applies; -1 marks gate-exempt recovery work.
+	staleness int64
 }
 
 // realWorker bundles a worker goroutine's private state.
@@ -119,6 +122,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	events := metrics.NewEventLog()
 	health := newHealthTracker(&cfg, events)
 	coord.tracker = health
+	stale := newStaleTracker(&cfg, health, &rm)
 	guard := newGuardState(cfg.Guards, global)
 	if err := restoreRun(&cfg, coord, global, guard); err != nil {
 		return nil, err
@@ -135,6 +139,11 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		if wc.Device.Kind() == device.KindCPU && wc.Threads > 1 {
 			lanes = wc.Threads
 		}
+		if cfg.Algorithm == AlgLocalSGD {
+			// Local steps run sequentially on the private replica, so every
+			// worker uses a single lane sized for one step's sub-batch.
+			lanes = 1
+		}
 		maxPerLane := (wc.MaxBatch + lanes - 1) / lanes
 		for l := 0; l < lanes; l++ {
 			w.ws = append(w.ws, net.NewWorkspace(min(maxPerLane, ds.N())))
@@ -147,10 +156,14 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 				w.deltas = append(w.deltas, nil)
 			}
 		}
-		if wc.DeepReplica {
+		if wc.DeepReplica || cfg.Algorithm == AlgLocalSGD {
 			w.replica = global.Clone()
 		}
 		workers[i] = w
+	}
+	var lsgd *localRoundState
+	if cfg.Algorithm == AlgLocalSGD {
+		lsgd = &localRoundState{sum: net.NewParams(nn.InitZero, rng)}
 	}
 
 	trans := transport.NewLocal(len(cfg.Workers))
@@ -191,7 +204,9 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		}
 		t0 := time.Since(start)
 		var n, dropped int64
-		if w.wc.Device.Kind() == device.KindCPU {
+		if cfg.Algorithm == AlgLocalSGD {
+			n, dropped = realLocalRound(net, global, w, batch, lr, &cfg, &modelMu, locked)
+		} else if w.wc.Device.Kind() == device.KindCPU {
 			n, dropped = realCPUIteration(net, global, w, batch, lr, &cfg, &modelMu, locked, step.Corrupt)
 		} else {
 			n, dropped = realGPUIteration(net, global, w, batch, lr, &cfg, &modelMu, locked, gemmWorkers, step.Corrupt)
@@ -366,12 +381,18 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 
 	send := func(id int, batch data.Batch) {
 		seq++
-		fl := &inflightDispatch{worker: id, batch: batch}
+		fl := &inflightDispatch{worker: id, batch: batch, staleness: -1}
 		if cfg.Watchdog != nil {
 			fl.deadline = time.Now().Add(watchdogDeadline(cfg.Watchdog, &cfg.Workers[id], net.Arch, batch.Size(), modelBytes))
 		}
 		flight[seq] = fl
-		lr := cfg.ScheduledLR(batch.Size(), coord.epochFrac()) * coord.lrScale(id) * guard.scale()
+		lrB := batch.Size()
+		if cfg.Algorithm == AlgLocalSGD && cfg.LocalSteps > 1 {
+			// The wire batch is a merged round share; the LR schedule sees
+			// one local step's sub-batch, as the sim engine does.
+			lrB = (lrB + cfg.LocalSteps - 1) / cfg.LocalSteps
+		}
+		lr := cfg.ScheduledLR(lrB, coord.epochFrac()) * coord.lrScale(id) * guard.scale()
 		sent := time.Since(start)
 		tel.Span(coordRing, telemetry.KindSchedule, sent, 0, int64(batch.Size()))
 		rm.examples.Add(int64(batch.Size()))
@@ -406,6 +427,13 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		if overBudget() {
 			return false
 		}
+		if !stale.allow(id) {
+			// SSP gate: fresh work only — recovery batches above bypass it,
+			// or their examples could strand with every laggard quarantined.
+			stale.block(id)
+			return false
+		}
+		stale.pass(id)
 		batch, ok := coord.scheduleWork(id)
 		if !ok {
 			return false
@@ -414,7 +442,21 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			lastBatch[id] = coord.batch[id]
 			batchTrace = append(batchTrace, BatchEvent{At: time.Since(start), Worker: workers[id].name, Size: coord.batch[id]})
 		}
+		if cfg.Algorithm == AlgLocalSGD {
+			// One dispatch per round share: merge up to LocalSteps contiguous
+			// pool batches; the worker re-splits them into local steps.
+			for k := 1; k < cfg.LocalSteps; k++ {
+				nb, more := coord.scheduleWork(id)
+				if !more {
+					break
+				}
+				batch = ds.View(batch.Lo, nb.Hi)
+			}
+		}
 		send(id, batch)
+		if fl := flight[seq]; fl != nil {
+			fl.staleness = stale.staleness(id)
+		}
 		return true
 	}
 	// redispatch re-routes a batch whose worker crashed or timed out to
@@ -433,6 +475,14 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			fmt.Sprintf("%d examples from %s", batch.Size(), workers[from].name))
 		feed[target] = append(feed[target], splitBatch(batch, cfg.Workers[target].MaxBatch)...)
 		dispatch(target)
+	}
+	// wakeGated re-dispatches workers the SSP gate would now admit; called
+	// whenever the minimum healthy clock may have moved (any completion,
+	// crash, quarantine, or readmission).
+	wakeGated := func() {
+		for _, id := range stale.wake() {
+			dispatch(id)
+		}
 	}
 	// queuedWork reports whether any re-dispatched batch still awaits a
 	// worker (the loop must not exit while one could be served).
@@ -462,6 +512,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			outstanding--
 			redispatch(fl.batch, fl.worker)
 		}
+		wakeGated()
 	}
 	// popWait bounds the coordinator's blocking wait by the earliest
 	// in-flight deadline (or the remaining budget while batches wait in
@@ -539,6 +590,32 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		return nil
 	}
 
+	// lsgdApply is the LocalSGD round barrier: the global model becomes the
+	// average of the returned replicas. The replica reads are ordered after
+	// the workers' writes by the completion messages just received.
+	lsgdApply := func() {
+		if len(lsgd.done) == 0 {
+			return
+		}
+		if locked {
+			modelMu.Lock()
+		}
+		if len(lsgd.done) == 1 {
+			global.CopyFrom(workers[lsgd.done[0]].replica)
+		} else {
+			lsgd.sum.Zero()
+			inv := 1.0 / float64(len(lsgd.done))
+			for _, id := range lsgd.done {
+				lsgd.sum.AddScaled(inv, workers[id].replica)
+			}
+			global.CopyFrom(lsgd.sum)
+		}
+		if locked {
+			modelMu.Unlock()
+		}
+		lsgd.done = lsgd.done[:0]
+	}
+
 	if ctx.Err() != nil {
 		interrupted = true
 	}
@@ -582,6 +659,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 				shutdown()
 				return nil, err
 			}
+			wakeGated()
 			continue
 		}
 		fl := flight[msg.Seq]
@@ -599,13 +677,34 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			// the shared model and are counted; the batch was also
 			// processed by the re-dispatch target (documented
 			// at-least-once semantics under timeouts).
+			stale.advance(msg.Worker)
 			health.readmit(msg.Worker, time.Since(start))
+			stale.catchUp(msg.Worker)
+			wakeGated()
 			dispatch(msg.Worker)
 			continue
 		}
 		busy[msg.Worker] = false
 		outstanding--
-		dispatch(msg.Worker)
+		if fl != nil {
+			stale.observe(fl.staleness)
+		}
+		stale.advance(msg.Worker)
+		if lsgd != nil {
+			lsgd.done = append(lsgd.done, msg.Worker)
+			if outstanding > 0 {
+				continue
+			}
+			// LocalSGD round barrier: every participant is back; average
+			// their replicas into the global model and start the next round.
+			lsgdApply()
+			for i := range workers {
+				dispatch(i)
+			}
+		} else {
+			dispatch(msg.Worker)
+			wakeGated()
+		}
 		if outstanding == 0 && !overBudget() && coord.poolEmpty() {
 			// Epoch barrier: all workers idle, pool drained — evaluate
 			// loss (quarantined stragglers are fenced by the model lock
@@ -692,7 +791,52 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		Events:            events,
 		Checkpoint:        guard.snapshot(),
 		Interrupted:       interrupted,
+		Staleness:         stale.rep,
 	}, nil
+}
+
+// realLocalRound performs one LocalSGD round share on w's private replica:
+// copy the global model, then re-split the merged wire batch into LocalSteps
+// sub-batches and take one plain-SGD step per sub-batch. Only the round
+// barrier on the coordinator writes the global model, so the replica copy
+// races with nothing in atomic/racy modes; locked mode still takes the read
+// lock for the race detector's benefit.
+func realLocalRound(net *nn.Network, global *nn.Params, w *realWorker, batch data.Batch, lr float64, cfg *Config, mu *sync.RWMutex, locked bool) (int64, int64) {
+	if locked {
+		mu.RLock()
+	}
+	w.replica.CopyFrom(global)
+	if locked {
+		mu.RUnlock()
+	}
+	size := batch.Size()
+	steps := cfg.LocalSteps
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > size {
+		steps = size
+	}
+	var updates, dropped int64
+	for k := 0; k < steps; k++ {
+		lo := k * size / steps
+		hi := (k + 1) * size / steps
+		if hi <= lo {
+			continue
+		}
+		sub := batch.Sub(lo, hi)
+		net.GradientX(w.replica, w.ws[0], sub.Input(), sub.Y, w.grads[0], 1)
+		if cfg.WeightDecay > 0 {
+			w.grads[0].AddDecay(cfg.WeightDecay, w.replica)
+		}
+		if cfg.Guards != nil && !w.grads[0].AllFinite() {
+			dropped++
+			continue
+		}
+		w.replica.ApplyUpdate(cfg.UpdateMode, -lr, w.grads[0])
+		updates++
+	}
+	return updates, dropped
 }
 
 // realCPUIteration runs one CPU Hogbatch iteration with live parallelism:
@@ -787,6 +931,19 @@ func realGPUIteration(net *nn.Network, global *nn.Params, w *realWorker, batch d
 	}
 	if corrupt {
 		faults.Poison(w.grads[0])
+	}
+	if cfg.Algorithm == AlgDCASGD && cfg.DCLambda != 0 {
+		// DC-ASGD: steer the stale gradient toward its value at the current
+		// model; the replica still holds w_then, the model it was computed
+		// against. The read of the live model follows the same discipline
+		// as the gradient reads (locked mode takes the read lock).
+		if locked {
+			mu.RLock()
+		}
+		w.grads[0].DelayCompensate(cfg.DCLambda, global, w.replica)
+		if locked {
+			mu.RUnlock()
+		}
 	}
 	if cfg.Guards != nil && !w.grads[0].AllFinite() {
 		return 0, 1

@@ -12,7 +12,7 @@ import (
 const realBudget = 300 * time.Millisecond
 
 func TestRealAllAlgorithmsReduceLoss(t *testing.T) {
-	for _, alg := range []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch, AlgMinibatchCPU} {
+	for _, alg := range []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch, AlgMinibatchCPU, AlgSSP, AlgLocalSGD, AlgDCASGD} {
 		cfg := tinyConfig(t, alg)
 		cfg.UpdateMode = tensor.UpdateLocked // race-detector-clean
 		res, err := RunReal(context.Background(), cfg, realBudget)

@@ -66,6 +66,10 @@ type Result struct {
 	// reflects the partial run (a final checkpoint was emitted if a
 	// CheckpointSink is configured).
 	Interrupted bool
+	// Staleness is the per-update dispatch-staleness histogram every engine
+	// records for every algorithm; under AlgSSP its Max is gate-bounded and
+	// Blocked counts deferred dispatches (the tested invariants).
+	Staleness *StalenessReport
 }
 
 // CPUShare returns the fraction of raw updates performed by CPU workers

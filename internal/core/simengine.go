@@ -91,6 +91,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	events := metrics.NewEventLog()
 	health := newHealthTracker(&cfg, events)
 	coord.tracker = health
+	stale := newStaleTracker(&cfg, health, &rm)
 	guard := newGuardState(cfg.Guards, global)
 	if err := restoreRun(&cfg, coord, global, guard); err != nil {
 		return nil, err
@@ -109,6 +110,12 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		if wc.DeepReplica && wc.Device.Kind() == device.KindCPU {
 			w.replica = global.Clone()
 		}
+		if cfg.Algorithm == AlgLocalSGD || (cfg.Algorithm == AlgDCASGD && cfg.DCLambda != 0 && wc.DeepReplica) {
+			// LocalSGD: the private replica the K local steps run on.
+			// DC-ASGD: retains the dispatch-time model (w_then) so the
+			// stale gradient can be delay-compensated at apply time.
+			w.replica = global.Clone()
+		}
 		if cfg.Optimizer != opt.KindSGD {
 			w.optim = opt.New(cfg.Optimizer, global, cfg.OptimizerHP)
 			w.delta = net.NewParams(nn.InitZero, rng)
@@ -121,6 +128,10 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	var svrg *svrgState
 	if cfg.Algorithm == AlgSVRG {
 		svrg = newSVRGState(net)
+	}
+	var lsgd *localRoundState
+	if cfg.Algorithm == AlgLocalSGD {
+		lsgd = &localRoundState{sum: net.NewParams(nn.InitZero, rng)}
 	}
 
 	evalN := ds.N()
@@ -142,6 +153,28 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	var evalDebt time.Duration
 	var globalUpdates int64
 	elapsed := func() time.Duration { return clk.Now() - evalDebt }
+
+	// lsgdApply is the LocalSGD round barrier: once every participant is
+	// back, the global model becomes the average of their replicas.
+	lsgdApply := func() {
+		if len(lsgd.done) == 0 {
+			return
+		}
+		if len(lsgd.done) == 1 {
+			// Single participant: adopt its replica directly (bitwise the
+			// averaging path's result, and exactly the synchronous baseline).
+			global.CopyFrom(workers[lsgd.done[0]].replica)
+		} else {
+			lsgd.sum.Zero()
+			inv := 1.0 / float64(len(lsgd.done))
+			for _, id := range lsgd.done {
+				lsgd.sum.AddScaled(inv, workers[id].replica)
+			}
+			global.CopyFrom(lsgd.sum)
+		}
+		globalUpdates++
+		lsgd.done = lsgd.done[:0]
+	}
 
 	// addPoint stamps a trace sample with the eval-corrected clock,
 	// clamped monotonically: a sample landing inside an excluded eval
@@ -217,6 +250,18 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	var dispatch func(w *simWorker)
 	var redispatch func(batch data.Batch, from int)
 	var fatalErr error
+	// wakeGated re-dispatches workers the SSP gate would now admit; called
+	// whenever the minimum healthy clock may have moved (any completion,
+	// crash, quarantine, or readmission).
+	wakeGated := func() {
+		for _, id := range stale.wake() {
+			gw := workers[id]
+			if gw.idle && health.ok(id) {
+				gw.idle = false
+				dispatch(gw)
+			}
+		}
+	}
 	// pending holds re-dispatched batches with no healthy worker to run
 	// them; a readmitted worker picks them up.
 	var pending []data.Batch
@@ -305,11 +350,83 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 			w.idle = true
 			return
 		}
+		if lsgd != nil {
+			// LocalSGD: one dispatch is one round share for this worker —
+			// up to LocalSteps pool batches, each one local SGD step on the
+			// private replica. The round barrier (all participants back)
+			// averages the replicas into the global model.
+			first, ok := coord.scheduleWork(w.id)
+			if !ok {
+				w.idle = true
+				maybeEpochEnd()
+				return
+			}
+			lr := cfg.ScheduledLR(first.Size(), coord.epochFrac()) * coord.lrScale(w.id) * guard.scale()
+			steps := []data.Batch{first}
+			for len(steps) < cfg.LocalSteps {
+				nb, ok := coord.scheduleWork(w.id)
+				if !ok {
+					break
+				}
+				steps = append(steps, nb)
+			}
+			stAt := stale.staleness(w.id)
+			var dur time.Duration
+			var total int64
+			for _, sb := range steps {
+				dur += w.wc.Device.IterTime(net.Arch, sb.Size(), modelBytes)
+				total += int64(sb.Size())
+			}
+			tel.Span(coordRing, telemetry.KindSchedule, clk.Now(), 0, total)
+			rm.examples.Add(total)
+			tel.Span(w.id, telemetry.KindGradient, clk.Now(), dur, total)
+			util.AddBusy(w.name, clk.Now(), clk.Now()+dur, w.wc.Device.Utilization(net.Arch, steps[0].Size()))
+			updates, dropped := localRoundSteps(net, global, w, steps, lr, &cfg)
+			if dropped > 0 {
+				health.report.DroppedUpdates += dropped
+				rm.dropped.Add(dropped)
+				events.Add(elapsed(), w.name, "drop", fmt.Sprintf("%d non-finite local steps discarded", dropped))
+			}
+			lsgd.outstanding++
+			clk.Schedule(dur, func() {
+				tel.Span(w.id, telemetry.KindApply, clk.Now(), 0, updates)
+				raw.Add(w.name, updates)
+				coord.reportUpdates(w.id, updates)
+				stale.observe(stAt)
+				stale.advance(w.id)
+				lsgd.done = append(lsgd.done, w.id)
+				lsgd.outstanding--
+				if lsgd.outstanding > 0 {
+					return
+				}
+				lsgdApply()
+				for _, pw := range workers {
+					pw.idle = false
+					dispatch(pw)
+				}
+			})
+			return
+		}
+
 		var batch data.Batch
+		// stAt is the dispatch-time staleness the histogram records at
+		// completion; -1 marks gate-exempt recovery work (excluded).
+		stAt := int64(-1)
 		if len(w.backlog) > 0 {
 			batch = w.backlog[0]
 			w.backlog = w.backlog[1:]
 		} else {
+			if !stale.allow(w.id) {
+				// SSP gate: this worker's clock is more than the bound
+				// ahead of the slowest healthy worker; park it until a
+				// laggard's completion wakes it. A parked worker counts as
+				// idle so it cannot wedge the epoch barrier.
+				w.idle = true
+				stale.block(w.id)
+				maybeEpochEnd()
+				return
+			}
+			stale.pass(w.id)
 			var ok bool
 			batch, ok = coord.scheduleWork(w.id)
 			if !ok {
@@ -317,6 +434,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 				maybeEpochEnd()
 				return
 			}
+			stAt = stale.staleness(w.id)
 			if coord.batch[w.id] != lastBatch[w.id] {
 				lastBatch[w.id] = coord.batch[w.id]
 				batchTrace = append(batchTrace, BatchEvent{At: elapsed(), Worker: w.name, Size: coord.batch[w.id]})
@@ -338,6 +456,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 				fatalErr = fmt.Errorf("core: all %d workers failed — cannot continue training: %w", len(workers), cerr)
 				horizon = lastStamp
 			}
+			wakeGated()
 			maybeEpochEnd()
 			return
 		}
@@ -359,6 +478,7 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 						abandoned = true
 						w.idle = true
 						redispatch(batch, w.id)
+						wakeGated()
 						maybeEpochEnd()
 					}
 				})
@@ -370,15 +490,20 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		finish := func(report func()) func() {
 			return func() {
 				report()
+				stale.advance(w.id)
 				if abandoned {
 					health.readmit(w.id, elapsed())
+					stale.catchUp(w.id)
 					w.idle = false
 					for len(pending) > 0 {
 						pb := pending[0]
 						pending = pending[1:]
 						w.backlog = append(w.backlog, splitBatch(pb, w.wc.MaxBatch)...)
 					}
+				} else {
+					stale.observe(stAt)
 				}
+				wakeGated()
 				dispatch(w)
 			}
 		}
@@ -429,8 +554,16 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		if step.Corrupt {
 			faults.Poison(w.grad)
 		}
+		if cfg.Algorithm == AlgDCASGD && w.replica != nil {
+			// Retain w_then — the model this gradient was computed against —
+			// for delay compensation at apply time.
+			w.replica.CopyFrom(global)
+		}
 		snapshot := globalUpdates
 		clk.Schedule(dur, finish(func() {
+			if cfg.Algorithm == AlgDCASGD && cfg.DCLambda != 0 && w.replica != nil {
+				w.grad.DelayCompensate(cfg.DCLambda, global, w.replica)
+			}
 			if cfg.Guards != nil && !w.grad.AllFinite() {
 				health.report.DroppedUpdates++
 				rm.dropped.Inc()
@@ -519,7 +652,36 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		Events:            events,
 		Checkpoint:        guard.snapshot(),
 		Interrupted:       interrupted,
+		Staleness:         stale.rep,
 	}, nil
+}
+
+// localRoundState tracks one LocalSGD round: how many participants are
+// still computing, which replicas await the barrier average, and the
+// scratch buffer the average accumulates into.
+type localRoundState struct {
+	outstanding int
+	done        []int
+	sum         *nn.Params
+}
+
+// localRoundSteps performs one LocalSGD round share on w's private replica:
+// copy the global model, then take one plain-SGD step per pool batch.
+func localRoundSteps(net *nn.Network, global *nn.Params, w *simWorker, steps []data.Batch, lr float64, cfg *Config) (updates, dropped int64) {
+	w.replica.CopyFrom(global)
+	for _, sb := range steps {
+		net.GradientX(w.replica, w.ws, sb.Input(), sb.Y, w.grad, 1)
+		if cfg.WeightDecay > 0 {
+			w.grad.AddDecay(cfg.WeightDecay, w.replica)
+		}
+		if cfg.Guards != nil && !w.grad.AllFinite() {
+			dropped++
+			continue
+		}
+		w.replica.ApplyUpdate(cfg.UpdateMode, -lr, w.grad)
+		updates++
+	}
+	return updates, dropped
 }
 
 // cpuIteration performs one CPU Hogbatch iteration: split the batch into

@@ -13,7 +13,7 @@ import (
 const simHorizon = 20 * time.Millisecond
 
 func TestSimAllAlgorithmsReduceLoss(t *testing.T) {
-	for _, alg := range []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch, AlgMinibatchCPU} {
+	for _, alg := range []Algorithm{AlgHogbatchCPU, AlgHogbatchGPU, AlgCPUGPUHogbatch, AlgAdaptiveHogbatch, AlgMinibatchCPU, AlgSSP, AlgLocalSGD, AlgDCASGD} {
 		cfg := tinyConfig(t, alg)
 		res, err := RunSim(context.Background(), cfg, simHorizon)
 		if err != nil {

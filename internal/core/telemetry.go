@@ -32,8 +32,10 @@ type runMetrics struct {
 	dropped     *telemetry.Counter // non-finite updates discarded by guards
 	checkpoints *telemetry.Counter // run-state captures handed to the sink
 	snapshots   *telemetry.Counter // model snapshots published for serving
+	blocked     *telemetry.Counter // dispatches deferred by the SSP staleness gate
 	loss        *telemetry.Gauge   // latest evaluated loss
 	epochs      *telemetry.Gauge   // fractional epochs completed
+	staleMax    *telemetry.Gauge   // maximum per-update dispatch staleness so far
 }
 
 func newRunMetrics(reg *telemetry.Registry) runMetrics {
@@ -44,7 +46,9 @@ func newRunMetrics(reg *telemetry.Registry) runMetrics {
 		dropped:     reg.Counter("train_dropped_updates_total"),
 		checkpoints: reg.Counter("train_checkpoints_total"),
 		snapshots:   reg.Counter("train_snapshots_total"),
+		blocked:     reg.Counter("train_blocked_dispatches_total"),
 		loss:        reg.Gauge("train_loss"),
 		epochs:      reg.Gauge("train_epochs"),
+		staleMax:    reg.Gauge("train_staleness_max"),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"heterosgd/internal/atomicio"
+	"heterosgd/internal/core"
 )
 
 // Options parameterizes an experiment invocation.
@@ -58,14 +59,19 @@ func datasets(opts Options) []string {
 }
 
 // runSets builds one RunSet per selected dataset (shared by fig5/6/8).
-func runSets(opts Options) ([]*RunSet, error) {
+// With no explicit algorithms it runs the five figure algorithms; passing a
+// set restricts every dataset's RunSet to exactly those algorithms.
+func runSets(opts Options, algs ...core.Algorithm) ([]*RunSet, error) {
+	if len(algs) == 0 {
+		algs = figureAlgorithms
+	}
 	var out []*RunSet
 	for _, name := range datasets(opts) {
 		p, err := NewProblem(name, opts.Scale, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
-		rs, err := RunAll(opts.ctx(), p, opts.Seed)
+		rs, err := RunAlgorithms(opts.ctx(), p, opts.Seed, algs)
 		if err != nil {
 			return nil, err
 		}
@@ -144,6 +150,25 @@ func All() []Experiment {
 				var b strings.Builder
 				for _, rs := range sets {
 					b.WriteString(Fig8(rs))
+					b.WriteString("\n")
+				}
+				return b.String(), nil
+			},
+		},
+		{
+			ID: "figstale", Title: "Convergence vs SSP staleness bound, with LocalSGD and DC-ASGD references",
+			Run: func(opts Options) (string, error) {
+				var b strings.Builder
+				for _, name := range datasets(opts) {
+					p, err := NewProblem(name, opts.Scale, opts.Seed)
+					if err != nil {
+						return "", err
+					}
+					out, err := FigStale(opts.ctx(), p, opts.Seed)
+					if err != nil {
+						return "", err
+					}
+					b.WriteString(out)
 					b.WriteString("\n")
 				}
 				return b.String(), nil

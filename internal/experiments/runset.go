@@ -92,19 +92,27 @@ func baseConfig(alg core.Algorithm, p *Problem, seed uint64) core.Config {
 
 // RunAll executes the five figure algorithms on the problem for the same
 // virtual-time budget (the paper's methodology: "we execute each algorithm
-// for the same fixed amount of time"). A cancelled ctx aborts with its
-// error — partial RunSets would render misleading figures.
+// for the same fixed amount of time").
 func RunAll(ctx context.Context, p *Problem, seed uint64) (*RunSet, error) {
+	return RunAlgorithms(ctx, p, seed, figureAlgorithms)
+}
+
+// RunAlgorithms executes an arbitrary algorithm set on the problem under the
+// shared budget, preserving the given order in the RunSet legend — the
+// injectable core of RunAll, so experiments can compare any subset (or the
+// consistency modes) without re-tuning. A cancelled ctx aborts with its
+// error — partial RunSets would render misleading figures.
+func RunAlgorithms(ctx context.Context, p *Problem, seed uint64, algs []core.Algorithm) (*RunSet, error) {
 	horizon := p.Horizon()
 	lr := TuneLR(ctx, p, seed)
 	rs := &RunSet{
 		Problem: p,
 		Horizon: horizon,
 		BaseLR:  lr,
-		Results: make(map[string]*core.Result, len(figureAlgorithms)),
+		Results: make(map[string]*core.Result, len(algs)),
 	}
 	sampleEvery := horizon / 25
-	for _, alg := range figureAlgorithms {
+	for _, alg := range algs {
 		var res *core.Result
 		var err error
 		if alg == core.AlgTensorFlow {

@@ -161,6 +161,30 @@ func (p *Params) ApplyUpdate(mode tensor.UpdateMode, a float64, src *Params) {
 	}
 }
 
+// DelayCompensate applies the DC-ASGD first-order correction to the
+// gradient p in place: p += λ·p⊙p⊙(now − then), where then is the model p
+// was computed against and now is the model it is about to be applied to.
+// The Hessian is approximated by its cheap diagonal surrogate g⊙g, so a
+// stale gradient is steered toward the value it would have at the current
+// parameters. Sparse first-layer gradients stay sparse for free: entries
+// outside ActiveCols are zero, and a zero gradient gets a zero correction
+// regardless of how far the weights drifted.
+func (p *Params) DelayCompensate(lambda float64, now, then *Params) {
+	if lambda == 0 {
+		return
+	}
+	for i := range p.Weights {
+		g, nw, tw := p.Weights[i].Data, now.Weights[i].Data, then.Weights[i].Data
+		for j, gv := range g {
+			g[j] = gv + lambda*gv*gv*(nw[j]-tw[j])
+		}
+		gb, nb, tb := p.Biases[i].Data, now.Biases[i].Data, then.Biases[i].Data
+		for j, gv := range gb {
+			gb[j] = gv + lambda*gv*gv*(nb[j]-tb[j])
+		}
+	}
+}
+
 // MaxAbsDiff returns the maximum absolute element-wise difference between
 // p and other (diagnostic; used to measure replica staleness).
 func (p *Params) MaxAbsDiff(other *Params) float64 {

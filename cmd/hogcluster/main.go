@@ -27,6 +27,19 @@
 // in-process partition proxy that severs worker 2's link after its 10th
 // dispatch and refuses 2 redials before healing (quarantined, then
 // readmitted). Both runs exit 0 with the full fault report.
+//
+// Elastic membership: start the coordinator with slot headroom, then
+// live-attach fresh workers mid-training and retire others gracefully —
+//
+//	hogcluster -role coordinator -listen :7117 -workers 2 -max-workers 4 -time 10s
+//	hogcluster -role worker -id 0 -connect host:7117
+//	hogcluster -role worker -id 1 -connect host:7117 -leave-after 50
+//	hogcluster -role worker -join -connect host:7117
+//
+// The joiner asks the coordinator for a slot (no -id), inherits the shuffle
+// seed from the handshake, and receives the current model with its first
+// dispatch; the -leave-after worker announces departure after 50 dispatches
+// and drains cleanly, so applied==scheduled holds through the churn.
 package main
 
 import (
@@ -77,11 +90,14 @@ func main() {
 		killID    = flag.Int("kill-worker", -1, "with -spawn: kill this worker's process mid-run")
 		killAfter = flag.Duration("kill-after", 500*time.Millisecond, "with -kill-worker: how far into the run to kill it")
 		telAddr   = flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		maxWork   = flag.Int("max-workers", 0, "worker slots beyond -workers reserved for live-attaching elastic joiners (0 = membership fixed)")
 
 		// Worker flags.
-		id      = flag.Int("id", 0, "worker id (0-based, unique per run)")
-		connect = flag.String("connect", "", "coordinator (or fault proxy) address to dial")
-		threads = flag.Int("threads", 0, "sequential gradient lanes per dispatch (0 = from handshake)")
+		id       = flag.Int("id", 0, "worker id (0-based, unique per run)")
+		connect  = flag.String("connect", "", "coordinator (or fault proxy) address to dial")
+		threads  = flag.Int("threads", 0, "sequential gradient lanes per dispatch (0 = from handshake)")
+		join     = flag.Bool("join", false, "attach to a running coordinator as a fresh elastic worker (ignores -id; needs coordinator -max-workers headroom)")
+		leaveAft = flag.Int("leave-after", 0, "announce a graceful departure after this many handled dispatches (0 = serve until goodbye)")
 
 		showVer = flag.Bool("version", false, "print version and exit")
 	)
@@ -110,16 +126,30 @@ func main() {
 		if *connect == "" {
 			fatal(fmt.Errorf("-role worker requires -connect"))
 		}
-		err := core.RunClusterWorker(ctx, *connect, *id, prob.Net, prob.Dataset, core.ClusterWorkerOptions{
+		wid := *id
+		if *join {
+			// Negative id asks the coordinator for a slot; the assigned id
+			// arrives in the Welcome.
+			wid = -1
+		}
+		err := core.RunClusterWorker(ctx, *connect, wid, prob.Net, prob.Dataset, core.ClusterWorkerOptions{
 			Client:      transport.ClientOptions{Seed: *seed},
 			Threads:     *threads,
 			WeightDecay: *decay,
 			Guards:      *guards,
+			LeaveAfter:  *leaveAft,
 		})
 		if err != nil && ctx.Err() == nil {
+			if *join {
+				fatal(fmt.Errorf("elastic joiner: %w", err))
+			}
 			fatal(fmt.Errorf("worker %d: %w", *id, err))
 		}
-		fmt.Printf("worker %d: done\n", *id)
+		if *join {
+			fmt.Println("worker (elastic join): done")
+		} else {
+			fmt.Printf("worker %d: done\n", *id)
+		}
 		return
 	}
 	if *role != "coordinator" {
@@ -159,6 +189,14 @@ func main() {
 		cfg.Workers = append(cfg.Workers, cfg.Workers[len(cfg.Workers)%orig])
 	}
 	cfg.Workers = cfg.Workers[:*workers]
+	if *maxWork > 0 {
+		if *maxWork < *workers {
+			fatal(fmt.Errorf("-max-workers %d is below -workers %d", *maxWork, *workers))
+		}
+		// Headroom above the initial set sizes the link table and scheduler
+		// arrays so `hogcluster -role worker -join` processes can live-attach.
+		cfg.MaxWorkers = *maxWork
+	}
 
 	if *telAddr != "" {
 		reg := telemetry.NewRegistry()
@@ -245,10 +283,15 @@ func main() {
 	if res.Health.Faulty() {
 		fmt.Printf("fault report: %s\n", res.Health)
 		fmt.Print(res.Events)
+	} else if res.Elastic.Churned() {
+		// Membership transitions are worth a look even when nothing faulted.
+		fmt.Print(res.Events)
 	}
 	if tr := res.Health.Transport; tr != nil {
-		fmt.Printf("transport: %d examples applied of %d scheduled; duplicates discarded %d, abandoned discarded %d, partitions %d, reconnects %d\n",
-			tr.AppliedExamples, res.ExamplesProcessed, tr.Duplicates, tr.Abandoned, tr.Partitions, tr.Reconnects)
+		fmt.Println(tr)
+		if tr.AppliedExamples != res.ExamplesProcessed {
+			fmt.Printf("transport: WARNING applied %d != scheduled %d examples\n", tr.AppliedExamples, res.ExamplesProcessed)
+		}
 	}
 	if res.Staleness != nil && res.Staleness.Count > 0 {
 		fmt.Println(res.Staleness)

@@ -34,6 +34,7 @@ import (
 	"heterosgd/internal/checkpoint"
 	"heterosgd/internal/core"
 	"heterosgd/internal/data"
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/experiments"
 	"heterosgd/internal/faults"
 	"heterosgd/internal/metrics"
@@ -76,6 +77,9 @@ func main() {
 		wdFloor   = flag.Duration("watchdog-floor", 100*time.Millisecond, "minimum watchdog deadline")
 		guards    = flag.Bool("guards", false, "enable divergence guards (drop non-finite updates, rollback on NaN loss)")
 		staleness = flag.Int("staleness", 4, "SSP staleness bound s (-alg ssp): max dispatch-time steps ahead of the slowest worker")
+		elasticSp = flag.String("elastic", "", "scripted membership plan: join:N,leave:W:N,evict:W:N (N = completed dispatches); 'policy' runs the load-driven autoscaler instead")
+		minWork   = flag.Int("min-workers", 0, "autoscale lower bound on active workers (0 = 1)")
+		maxWork   = flag.Int("max-workers", 0, "autoscale/membership upper bound on worker slots (0 = initial + scripted joins)")
 		locSteps  = flag.Int("local-steps", 4, "LocalSGD local steps K per round (-alg localsgd)")
 		dcLambda  = flag.Float64("dc-lambda", 0.04, "DC-ASGD compensation strength λ (-alg dcasgd; 0 = plain async)")
 		showVer   = flag.Bool("version", false, "print version and exit")
@@ -203,6 +207,24 @@ func main() {
 		cfg.Optimizer = optKind
 		cfg.Schedule = sched
 		cfg.StalenessBound = *staleness
+		if *elasticSp == "policy" {
+			cfg.ElasticPolicy = elastic.NewLoadPolicy()
+			fmt.Printf("elastic: autoscale %s\n", cfg.ElasticPolicy)
+		} else if *elasticSp != "" {
+			ep, perr := elastic.Parse(*elasticSp)
+			if perr != nil {
+				fatal(perr)
+			}
+			if ep != nil {
+				ep.Seed = *seed
+				if verr := ep.Validate(len(cfg.Workers)); verr != nil {
+					fatal(verr)
+				}
+			}
+			cfg.Elastic = ep
+		}
+		cfg.MinWorkers = *minWork
+		cfg.MaxWorkers = *maxWork
 		cfg.LocalSteps = *locSteps
 		cfg.DCLambda = *dcLambda
 		cfg.InitialParams = warmStart
@@ -292,6 +314,9 @@ func main() {
 	fmt.Println(res)
 	if res.Health.Faulty() {
 		fmt.Printf("fault report: %s\n", res.Health)
+		fmt.Print(res.Events)
+	} else if res.Elastic.Churned() {
+		// Membership transitions are worth a look even when nothing faulted.
 		fmt.Print(res.Events)
 	}
 	if res.Staleness != nil && res.Staleness.Count > 0 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"heterosgd/internal/data"
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/opt"
@@ -52,6 +53,13 @@ func (o *ClusterOptions) defaults() {
 // (transport.TCP); the engine folds them into the TransportReport events.
 type linkStatser interface {
 	Stats() transport.Stats
+}
+
+// linkRetirer is implemented by transports that can gracefully close a
+// departed worker's link (transport.TCP): Goodbye frame, no LinkDown, no
+// reconnect. The engine calls it once a graceful leave has drained.
+type linkRetirer interface {
+	Retire(worker int)
 }
 
 // encodeParams serializes p with the checksummed nn wire format.
@@ -103,6 +111,9 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	if cfg.Resume != nil {
 		return nil, fmt.Errorf("core: RunCluster does not support resume (workers replay shuffles from epoch zero)")
 	}
+	if cfg.Elastic != nil || cfg.ElasticPolicy != nil {
+		return nil, fmt.Errorf("core: RunCluster membership is transport-driven (workers join and leave on the wire); scripted plans and autoscale policies apply to RunSim and RunReal — set MaxWorkers above the initial count to admit live joiners")
+	}
 	if trans == nil {
 		return nil, fmt.Errorf("core: RunCluster needs a transport")
 	}
@@ -132,6 +143,22 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	guard := newGuardState(cfg.Guards, global)
 	tr := &TransportReport{}
 	health.report.Transport = tr
+
+	// Elastic membership: the cluster engine grows its per-worker state when
+	// a fresh worker completes the Join handshake (LinkJoin event) and drains
+	// a leaver when it announces departure (LinkLeave). MaxWorkers above the
+	// initial count is the opt-in; the transport's link table enforces the
+	// same cap, so event IDs always land in [0, Capacity).
+	initialWorkers := len(cfg.Workers)
+	var mem *elastic.Membership
+	if cfg.elasticEnabled() {
+		var err error
+		mem, err = elastic.New(len(cfg.Workers), cfg.MinWorkers, cfg.Capacity())
+		if err != nil {
+			return nil, err
+		}
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+	}
 
 	start := time.Now()
 	gemmWorkers := runtime.GOMAXPROCS(0)
@@ -203,6 +230,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	// ---- Attach phase: every worker must link up before training starts,
 	// so epoch-zero dispatches are never silently dropped on dead links.
 	connected := make([]bool, len(cfg.Workers))
+	var pendingJoins []int
 	attached := 0
 	attachDeadline := time.Now().Add(opts.AttachTimeout)
 	for attached < len(cfg.Workers) {
@@ -217,12 +245,20 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		if st == transport.RecvClosed {
 			return nil, fmt.Errorf("core: transport closed during attach")
 		}
-		if st == transport.RecvOK && m.Event != nil && m.Event.Kind == transport.LinkUp {
+		if st != transport.RecvOK || m.Event == nil {
+			continue
+		}
+		switch m.Event.Kind {
+		case transport.LinkUp:
 			if !connected[m.Event.Worker] {
 				connected[m.Event.Worker] = true
 				attached++
 				events.Add(time.Since(start), health.report.Workers[m.Event.Worker].Worker, "attach", "worker linked up")
 			}
+		case transport.LinkJoin:
+			// An elastic joiner beat an initial worker to the door; admit it
+			// once the per-worker state exists, in arrival order.
+			pendingJoins = append(pendingJoins, m.Event.Worker)
 		}
 	}
 
@@ -307,6 +343,12 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		if !health.ok(id) || busy[id] {
 			return false
 		}
+		if mem != nil && !mem.Active(id) {
+			// Draining and departed workers get no work at all — not even
+			// recovery batches; anything parked in their feed is re-routed
+			// at retirement.
+			return false
+		}
 		if interrupted {
 			return false
 		}
@@ -382,6 +424,79 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			}
 		}
 		return false
+	}
+	// --- Elastic membership (networked engine) ---
+	// maybeRetire completes a graceful leave once the drain is settled: the
+	// worker is draining and holds nothing in flight (its last completion
+	// already applied, so AppliedExamples == ExamplesProcessed survives the
+	// departure). The link gets a Goodbye and accepts no reconnect.
+	retirer, _ := trans.(linkRetirer)
+	maybeRetire := func(id int) {
+		if mem == nil || !mem.Draining(id) || busy[id] || !mem.Retire(id) {
+			return
+		}
+		health.markDeparted(id, time.Since(start), "graceful leave drained")
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+		if retirer != nil {
+			retirer.Retire(id)
+		}
+		stranded := feed[id]
+		feed[id] = nil
+		for _, b := range stranded {
+			redispatch(b, id)
+		}
+		wakeGated()
+	}
+	// handleJoin admits the fresh worker behind a LinkJoin event: grow every
+	// per-worker table in lockstep (config, health, scheduler, SSP clock,
+	// busy/feed), rebalance the adaptive comparators, and dispatch — the
+	// current model rides the joiner's first Work frame, and its SSP clock
+	// enters at the healthy minimum. The transport assigns IDs sequentially
+	// under the same cap, so the event ID always equals the next slot.
+	handleJoin := func(id int) {
+		if mem == nil || id != mem.Len() {
+			events.Add(time.Since(start), "", "join-refused",
+				fmt.Sprintf("unexpected join for slot %d (have %d, elastic %v)", id, len(busy), mem != nil))
+			return
+		}
+		if _, err := mem.Join(); err != nil {
+			events.Add(time.Since(start), "", "join-refused", err.Error())
+			return
+		}
+		wc := cfg.Workers[id%initialWorkers]
+		cfg.Workers = append(cfg.Workers, wc)
+		name := fmt.Sprintf("%s+%d", wc.Device.Name(), id)
+		health.addWorker(name, time.Since(start))
+		coord.addWorker()
+		stale.addWorker()
+		busy = append(busy, false)
+		feed = append(feed, nil)
+		lastBatch = append(lastBatch, 0)
+		coord.rebalance()
+		mem.RecordRebalance()
+		rm.elasticJoins.Inc()
+		rm.elasticRebalances.Inc()
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+		dispatch(id)
+	}
+	// handleLeave starts a graceful departure announced on the wire: no new
+	// dispatches, the in-flight completion drains through the flight map,
+	// then maybeRetire closes the link.
+	handleLeave := func(id int) {
+		if mem == nil {
+			return
+		}
+		if err := mem.Leave(id); err != nil {
+			events.Add(time.Since(start), "", "leave-refused", err.Error())
+			return
+		}
+		events.Add(time.Since(start), workerName(id), "leave", "graceful departure announced")
+		rm.elasticLeaves.Inc()
+		coord.rebalance()
+		mem.RecordRebalance()
+		rm.elasticRebalances.Inc()
+		maybeRetire(id)
+		wakeGated()
 	}
 	expireOverdue := func() {
 		now := time.Now()
@@ -478,10 +593,19 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	if ctx.Err() != nil {
 		interrupted = true
 	}
+	for _, id := range pendingJoins {
+		handleJoin(id)
+	}
 	for i := range cfg.Workers {
 		dispatch(i)
 	}
-	for outstanding > 0 || (queuedWork() && health.aliveCount() > 0 && !overBudget()) {
+	// An elastic run stays receptive while the budget lasts even when churn
+	// momentarily leaves no dispatchable worker and nothing in flight: a
+	// live joiner or a healed link can pick the remaining pool back up.
+	elasticAlive := func() bool {
+		return mem != nil && !overBudget() && (queuedWork() || !coord.poolEmpty())
+	}
+	for outstanding > 0 || (queuedWork() && health.aliveCount() > 0 && !overBudget()) || elasticAlive() {
 		m, st := trans.Recv(popWait())
 		if opts.DispatchTimeout > 0 {
 			expireOverdue()
@@ -510,6 +634,10 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 					dispatch(id)
 					wakeGated()
 				}
+			case transport.LinkJoin:
+				handleJoin(id)
+			case transport.LinkLeave:
+				handleLeave(id)
 			}
 			continue
 		}
@@ -551,6 +679,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 				stale.catchUp(msg.Worker)
 				dispatch(msg.Worker)
 			}
+			maybeRetire(msg.Worker)
 			wakeGated()
 			continue
 		}
@@ -559,6 +688,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		stale.advance(msg.Worker)
 		busy[msg.Worker] = false
 		outstanding--
+		maybeRetire(msg.Worker)
 		dispatch(msg.Worker)
 		wakeGated()
 		if outstanding == 0 && !overBudget() && coord.poolEmpty() {
@@ -638,5 +768,6 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		Checkpoint:        guard.snapshot(),
 		Interrupted:       interrupted,
 		Staleness:         stale.rep,
+		Elastic:           elasticReport(mem),
 	}, nil
 }

@@ -29,12 +29,20 @@ type ClusterWorkerOptions struct {
 	// Guards drops non-finite lane gradients before they reach the local
 	// replica, mirroring Config.Guards on the coordinator.
 	Guards bool
+	// LeaveAfter, when positive, announces a graceful departure after that
+	// many handled dispatches: the coordinator stops dispatching, drains
+	// this worker's last completion, and says Goodbye (RunClusterWorker
+	// then returns nil).
+	LeaveAfter int
 }
 
 // RunClusterWorker joins the coordinator at addr as worker id and serves
 // dispatches until the coordinator says goodbye (returns nil), ctx is
 // cancelled, or the link stays down past the reconnect budget (returns an
-// error).
+// error). A negative id attaches as a fresh elastic worker instead: the
+// Join handshake asks the coordinator for a slot, the assigned ID arrives
+// in the Welcome, and the current model rides the first dispatch — the
+// coordinator must be running with MaxWorkers headroom to admit the join.
 //
 // The worker must construct the exact dataset and network the coordinator
 // trains on (same spec, scale, and generation seed); it replays the
@@ -52,10 +60,17 @@ func RunClusterWorker(ctx context.Context, addr string, id int, net *nn.Network,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c, err := transport.DialWorker(ctx, addr, id, opts.Client)
+	var c *transport.Client
+	var err error
+	if id < 0 {
+		c, err = transport.DialJoin(ctx, addr, opts.Client)
+	} else {
+		c, err = transport.DialWorker(ctx, addr, id, opts.Client)
+	}
 	if err != nil {
 		return err
 	}
+	id = c.ID()
 	welcome := c.Welcome()
 	threads := opts.Threads
 	if threads <= 0 {
@@ -143,13 +158,22 @@ func RunClusterWorker(ctx context.Context, addr string, id int, net *nn.Network,
 		return out
 	}
 
+	handled := 0
 	handler := func(wk transport.Work) (out transport.Done) {
 		defer func() {
 			if r := recover(); r != nil {
 				out = transport.Done{Failed: true, Err: fmt.Sprintf("core: cluster worker %d panicked: %v", id, r)}
 			}
 		}()
-		return compute(wk)
+		out = compute(wk)
+		handled++
+		if opts.LeaveAfter > 0 && handled == opts.LeaveAfter {
+			// The Leave frame precedes this dispatch's Done on the wire, so
+			// the coordinator sees the announcement, drains the completion,
+			// and retires the link with a Goodbye.
+			c.Leave()
+		}
+		return out
 	}
 	return c.Run(ctx, handler)
 }
@@ -169,6 +193,9 @@ func ClusterTCPOptions(cfg *Config, heartbeat time.Duration) transport.TCPOption
 	}
 	return transport.TCPOptions{
 		Heartbeat: heartbeat,
+		// The link table gets the same headroom as the engine's worker
+		// tables, so elastic joins are admitted up to cfg.Capacity().
+		MaxWorkers: cfg.Capacity(),
 		Welcome: transport.Welcome{
 			Seed:     cfg.Seed,
 			Shuffle:  cfg.Shuffle,

@@ -18,10 +18,12 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"time"
 
 	"heterosgd/internal/data"
 	"heterosgd/internal/device"
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/faults"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/opt"
@@ -143,7 +145,16 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	case "dcasgd", "dc-asgd":
 		return AlgDCASGD, nil
 	default:
-		return 0, fmt.Errorf("core: unknown algorithm %q", name)
+		return 0, fmt.Errorf("core: unknown algorithm %q (valid: %s)", name, strings.Join(AlgorithmNames(), ", "))
+	}
+}
+
+// AlgorithmNames lists the canonical CLI names ParseAlgorithm accepts, in
+// the order the -alg help text presents them.
+func AlgorithmNames() []string {
+	return []string{
+		"cpu", "gpu", "cpu+gpu", "adaptive", "adaptive-lr", "minibatch-cpu",
+		"ssp", "localsgd", "dcasgd", "tf", "omnivore", "svrg",
 	}
 }
 
@@ -251,6 +262,21 @@ type Config struct {
 	// hangs, gradient corruption — into the run (nil = no faults). Used
 	// by the fault-injection harness to exercise every recovery path.
 	Faults *faults.Plan
+	// Elastic is a scripted membership schedule: workers join, gracefully
+	// leave, or are evicted at completed-dispatch triggers (nil = fixed
+	// membership). Joiners get fresh ids — slots are never reused — and the
+	// scheduler rebalances Algorithm 2's counters on every change.
+	Elastic *elastic.Plan
+	// ElasticPolicy, when set, autoscales membership from load telemetry
+	// (queue-wait vs compute span plus the device cost model) at epoch
+	// barriers, bounded by MinWorkers/MaxWorkers. It composes with Elastic:
+	// scripted events fire regardless of what the policy decides.
+	ElasticPolicy elastic.Policy
+	// MinWorkers and MaxWorkers bound the active-worker count for elastic
+	// runs. MinWorkers ≤ 0 defaults to 1; MaxWorkers ≤ 0 defaults to the
+	// initial count plus scripted joins (policy-driven growth disabled).
+	MinWorkers int
+	MaxWorkers int
 	// Watchdog enables per-dispatch deadlines: a worker exceeding its
 	// modeled iteration time × Slack is quarantined and its batch
 	// re-dispatched to a healthy worker. nil disables the watchdog.
@@ -355,6 +381,20 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(len(c.Workers)); err != nil {
 		return err
 	}
+	if err := c.Elastic.Validate(len(c.Workers)); err != nil {
+		return err
+	}
+	if c.elasticEnabled() {
+		if c.Algorithm == AlgLocalSGD || c.Algorithm == AlgSVRG {
+			return fmt.Errorf("core: elastic membership is not supported for %s (fixed-participant structure)", c.Algorithm)
+		}
+		if c.MinWorkers > len(c.Workers) {
+			return fmt.Errorf("core: min workers %d exceeds initial %d", c.MinWorkers, len(c.Workers))
+		}
+		if c.MaxWorkers > 0 && c.MaxWorkers < len(c.Workers) {
+			return fmt.Errorf("core: max workers %d below initial %d", c.MaxWorkers, len(c.Workers))
+		}
+	}
 	if c.Algorithm == AlgSSP && c.StalenessBound < 0 {
 		return fmt.Errorf("core: SSP staleness bound %d must be non-negative", c.StalenessBound)
 	}
@@ -419,6 +459,29 @@ func (c *Config) LRFor(b int) float64 {
 
 // adaptive reports whether the batch-size policy is active.
 func (c *Config) adaptive() bool { return c.Algorithm == AlgAdaptiveHogbatch }
+
+// elasticEnabled reports whether membership can change during the run: a
+// scripted plan, an autoscale policy, or (for the cluster engine, where
+// joins arrive on the wire rather than from a script) headroom between the
+// initial worker set and MaxWorkers.
+func (c *Config) elasticEnabled() bool {
+	return c.Elastic != nil || c.ElasticPolicy != nil || c.MaxWorkers > len(c.Workers)
+}
+
+// Capacity returns the maximum number of worker slots the run may ever
+// hold: the initial workers plus every scripted join, or MaxWorkers when an
+// autoscale policy may admit more. Per-worker state that cannot grow safely
+// mid-run (tracer rings, transport link tables) is sized to Capacity up
+// front so a joiner's fresh id indexes directly. Fixed-membership configs
+// have Capacity() == len(Workers). Call it before the run mutates Workers —
+// the engines capture it once at start.
+func (c *Config) Capacity() int {
+	n := len(c.Workers) + c.Elastic.Joins()
+	if c.MaxWorkers > n {
+		n = c.MaxWorkers
+	}
+	return n
+}
 
 // Preset bundles the paper's per-device batch thresholds (§VII-A: CPU 1–64
 // examples per thread, GPU 64–8192).

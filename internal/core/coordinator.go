@@ -72,6 +72,36 @@ func newCoordinator(cfg *Config) *coordinator {
 // n returns the dataset size.
 func (c *coordinator) n() int { return c.cfg.Dataset.N() }
 
+// addWorker grows the scheduling state for an elastic joiner. The caller
+// has already appended the joiner's WorkerConfig to cfg.Workers; the fresh
+// id is the new last slot.
+func (c *coordinator) addWorker() int {
+	id := len(c.batch)
+	w := c.cfg.Workers[id]
+	c.batch = append(c.batch, w.InitialBatch)
+	c.updates = append(c.updates, 0)
+	c.lrMult = append(c.lrMult, 1)
+	c.resizes = append(c.resizes, 0)
+	return id
+}
+
+// rebalance restarts the adaptive comparators after a membership change:
+// update counts reset to zero so Algorithm 2 compares workers over the new
+// active set instead of punishing a joiner for history it was not part of,
+// and the AdaptiveLR multipliers reset to 1 for the same reason. Batch
+// sizes are kept — they are the policy's learned allocation and remain the
+// best estimate for the workers that stayed.
+func (c *coordinator) rebalance() {
+	for i := range c.updates {
+		c.updates[i] = 0
+	}
+	if c.cfg.Algorithm == AlgAdaptiveLR {
+		for i := range c.lrMult {
+			c.lrMult[i] = 1
+		}
+	}
+}
+
 // peerOK reports whether worker i's update count should participate in
 // adaptive comparisons (always true without a fault-tolerant engine).
 func (c *coordinator) peerOK(i int) bool {

@@ -33,6 +33,10 @@ const (
 	WorkerQuarantined
 	// WorkerCrashed workers panicked or died; they never return.
 	WorkerCrashed
+	// WorkerDeparted workers left the run through elastic membership (a
+	// drained graceful leave or a forced eviction). Unlike a crash this is
+	// not a fault: a departed worker never counts toward Faulty().
+	WorkerDeparted
 )
 
 // String returns the state name.
@@ -44,6 +48,8 @@ func (s WorkerState) String() string {
 		return "quarantined"
 	case WorkerCrashed:
 		return "crashed"
+	case WorkerDeparted:
+		return "departed"
 	default:
 		return "unknown"
 	}
@@ -114,6 +120,16 @@ type TransportReport struct {
 	AppliedExamples int64
 }
 
+// String renders the link-layer counters as one summary line, the way the
+// staleness report prints — suitable for a CLI's final output.
+func (t *TransportReport) String() string {
+	if t == nil {
+		return "transport: no link-layer activity"
+	}
+	return fmt.Sprintf("transport: %d examples applied exactly once; %d duplicates discarded, %d abandoned discarded, %d partitions, %d reconnects",
+		t.AppliedExamples, t.Duplicates, t.Abandoned, t.Partitions, t.Reconnects)
+}
+
 // QueueStats aggregates msgq counters: messages pushed, popped, and dropped
 // (drops come from expired pops whose straggler completion was discarded).
 type QueueStats struct {
@@ -129,7 +145,7 @@ func (r *FaultReport) Faulty() bool {
 		return true
 	}
 	for _, w := range r.Workers {
-		if w.State != WorkerHealthy || w.Crashes > 0 || w.Timeouts > 0 {
+		if (w.State != WorkerHealthy && w.State != WorkerDeparted) || w.Crashes > 0 || w.Timeouts > 0 {
 			return true
 		}
 	}
@@ -154,7 +170,7 @@ func (r *FaultReport) String() string {
 	}
 	var parts []string
 	for _, w := range r.Workers {
-		if w.State != WorkerHealthy || w.Crashes > 0 || w.Timeouts > 0 {
+		if (w.State != WorkerHealthy && w.State != WorkerDeparted) || w.Crashes > 0 || w.Timeouts > 0 {
 			parts = append(parts, fmt.Sprintf("%s %s (crashes %d, timeouts %d, readmits %d)",
 				w.Worker, w.State, w.Crashes, w.Timeouts, w.Readmissions))
 		}
@@ -242,15 +258,31 @@ func (h *healthTracker) healthyCount() int {
 }
 
 // aliveCount returns workers that may still produce results (healthy or
-// quarantined-but-possibly-returning).
+// quarantined-but-possibly-returning; crashed and departed never return).
 func (h *healthTracker) aliveCount() int {
 	n := 0
 	for i := range h.report.Workers {
-		if h.report.Workers[i].State != WorkerCrashed {
+		if s := h.report.Workers[i].State; s != WorkerCrashed && s != WorkerDeparted {
 			n++
 		}
 	}
 	return n
+}
+
+// addWorker grows the tracker for an elastic joiner and returns its id.
+func (h *healthTracker) addWorker(name string, at time.Duration) int {
+	id := len(h.report.Workers)
+	h.report.Workers = append(h.report.Workers, WorkerHealth{Worker: name})
+	h.log.Add(at, name, "join", fmt.Sprintf("elastic worker %d admitted", id))
+	return id
+}
+
+// markDeparted records an elastic departure (drained leave or eviction).
+// Unlike markCrashed it is not a fault — just a membership change.
+func (h *healthTracker) markDeparted(id int, at time.Duration, detail string) {
+	w := &h.report.Workers[id]
+	w.State = WorkerDeparted
+	h.log.Add(at, w.Worker, "depart", detail)
 }
 
 // markCrashed records a worker death.

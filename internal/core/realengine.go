@@ -10,6 +10,7 @@ import (
 
 	"heterosgd/internal/data"
 	"heterosgd/internal/device"
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/faults"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/msgq"
@@ -41,6 +42,10 @@ type inflightDispatch struct {
 	// staleness is the dispatch-time staleness the histogram records when
 	// the completion applies; -1 marks gate-exempt recovery work.
 	staleness int64
+	// sent and modeled feed the autoscale policy's load sample: measured
+	// span minus the modeled iteration time approximates queueing delay.
+	sent    time.Duration
+	modeled time.Duration
 }
 
 // realWorker bundles a worker goroutine's private state.
@@ -132,9 +137,12 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	var modelMu sync.RWMutex
 	locked := cfg.UpdateMode == tensor.UpdateLocked
 
-	workers := make([]*realWorker, len(cfg.Workers))
-	for i, wc := range cfg.Workers {
-		w := &realWorker{id: i, name: wc.Device.Name(), wc: wc, inj: cfg.Faults.ForWorker(i)}
+	// buildRealWorker constructs one worker's goroutine state; elastic
+	// joiners take the same path as the initial set. Nothing here draws from
+	// rng (zero-inits and clones only), so a join never perturbs the
+	// deterministic init or shuffle streams.
+	buildRealWorker := func(id int, wc WorkerConfig, name string) *realWorker {
+		w := &realWorker{id: id, name: name, wc: wc, inj: cfg.Faults.ForWorker(id)}
 		lanes := 1
 		if wc.Device.Kind() == device.KindCPU && wc.Threads > 1 {
 			lanes = wc.Threads
@@ -159,14 +167,32 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		if wc.DeepReplica || cfg.Algorithm == AlgLocalSGD {
 			w.replica = global.Clone()
 		}
-		workers[i] = w
+		return w
+	}
+	initialWorkers := len(cfg.Workers)
+	workers := make([]*realWorker, len(cfg.Workers))
+	for i, wc := range cfg.Workers {
+		workers[i] = buildRealWorker(i, wc, wc.Device.Name())
 	}
 	var lsgd *localRoundState
 	if cfg.Algorithm == AlgLocalSGD {
 		lsgd = &localRoundState{sum: net.NewParams(nn.InitZero, rng)}
 	}
+	// Elastic membership: the inbox table is sized to Capacity up front so a
+	// joiner's fresh id maps straight to an unused inbox.
+	var mem *elastic.Membership
+	var planCur *elastic.Cursor
+	if cfg.elasticEnabled() {
+		var err error
+		mem, err = elastic.New(len(cfg.Workers), cfg.MinWorkers, cfg.Capacity())
+		if err != nil {
+			return nil, err
+		}
+		planCur = cfg.Elastic.Begin()
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+	}
 
-	trans := transport.NewLocal(len(cfg.Workers))
+	trans := transport.NewLocal(cfg.Capacity())
 	if cfg.Metrics != nil {
 		// One shared instrument set aggregates traffic across the
 		// coordinator queue and every worker inbox; the wait histogram
@@ -221,9 +247,13 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		return out
 	}
 
-	for _, w := range workers {
+	// startWorker launches one worker's goroutine; elastic joiners come
+	// through the same path mid-run, consuming the pre-sized inbox their
+	// fresh id maps to. The goroutine exits when its inbox closes (retire,
+	// evict, or shutdown) or on a recovered panic.
+	startWorker := func(w *realWorker) {
 		wg.Add(1)
-		go func(w *realWorker) {
+		go func() {
 			defer wg.Done()
 			for {
 				msg, ok := trans.NextWork(w.id)
@@ -248,7 +278,10 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 					return
 				}
 			}
-		}(w)
+		}()
+	}
+	for _, w := range workers {
+		startWorker(w)
 	}
 
 	evalN := ds.N()
@@ -394,6 +427,10 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		}
 		lr := cfg.ScheduledLR(lrB, coord.epochFrac()) * coord.lrScale(id) * guard.scale()
 		sent := time.Since(start)
+		fl.sent = sent
+		if cfg.ElasticPolicy != nil {
+			fl.modeled = cfg.Workers[id].Device.IterTime(net.Arch, batch.Size(), modelBytes)
+		}
 		tel.Span(coordRing, telemetry.KindSchedule, sent, 0, int64(batch.Size()))
 		rm.examples.Add(int64(batch.Size()))
 		trans.Send(id, transport.Work{Seq: seq, Lo: batch.Lo, Hi: batch.Hi, LR: lr, SentNS: int64(sent)})
@@ -402,6 +439,12 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 	}
 	dispatch := func(id int) bool {
 		if !health.ok(id) || busy[id] {
+			return false
+		}
+		if mem != nil && !mem.Active(id) {
+			// Draining and departed workers get no work at all — not even
+			// recovery batches; anything parked in their feed is re-routed
+			// at retirement.
 			return false
 		}
 		if interrupted {
@@ -497,6 +540,175 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		}
 		return false
 	}
+	// --- Elastic membership (live-goroutine engine) ---
+	// Triggers are completed-dispatch counts — protocol events, never wall
+	// time — so a scripted plan replays identically across runs; the
+	// autoscale policy is consulted only at epoch barriers. A graceful leave
+	// stops fresh dispatches and retires the worker once its in-flight
+	// completion lands; an evict abandons the in-flight batch and re-routes
+	// it immediately, like a crash but without the fault accounting.
+	var completedDispatches int64
+	var elWait, elCompute time.Duration
+	var elCount int64
+	var applyEvent func(e elastic.Event)
+	var decideScale func()
+	// drainInbox closes a departing worker's inbox (ending its goroutine)
+	// and re-routes everything stranded there to the survivors.
+	drainInbox := func(id int) {
+		for _, m := range trans.CloseWorker(id) {
+			b := ds.View(m.Lo, m.Hi)
+			if q := flight[m.Seq]; q != nil {
+				b = q.batch
+				delete(flight, m.Seq)
+				if !q.abandoned {
+					outstanding--
+				}
+			}
+			redispatch(b, id)
+		}
+		stranded := feed[id]
+		feed[id] = nil
+		for _, b := range stranded {
+			redispatch(b, id)
+		}
+	}
+	// maybeRetire completes a graceful leave once the drain is done: the
+	// worker is draining and holds nothing in flight.
+	maybeRetire := func(id int) {
+		if mem == nil || !mem.Draining(id) || busy[id] || !mem.Retire(id) {
+			return
+		}
+		health.markDeparted(id, time.Since(start), "graceful leave drained")
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+		drainInbox(id)
+		wakeGated()
+	}
+	// joinWorker admits a fresh elastic worker: grow every per-worker table
+	// in lockstep (config, health, scheduler, clock, busy/feed), rebalance
+	// the adaptive comparators over the new set, then spawn its goroutine
+	// live and dispatch it. The joiner's device clones the initial mix
+	// round-robin, and its SSP clock enters at the healthy minimum.
+	joinWorker := func(reason string) {
+		id, err := mem.Join()
+		if err != nil {
+			events.Add(time.Since(start), "", "join-refused", fmt.Sprintf("%s: %v", reason, err))
+			return
+		}
+		wc := cfg.Workers[id%initialWorkers]
+		cfg.Workers = append(cfg.Workers, wc)
+		name := fmt.Sprintf("%s+%d", wc.Device.Name(), id)
+		health.addWorker(name, time.Since(start))
+		coord.addWorker()
+		stale.addWorker()
+		w := buildRealWorker(id, wc, name)
+		workers = append(workers, w)
+		busy = append(busy, false)
+		feed = append(feed, nil)
+		lastBatch = append(lastBatch, 0)
+		coord.rebalance()
+		mem.RecordRebalance()
+		rm.elasticJoins.Inc()
+		rm.elasticRebalances.Inc()
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+		startWorker(w)
+		dispatch(id)
+	}
+	applyEvent = func(e elastic.Event) {
+		switch e.Kind {
+		case elastic.EventJoin:
+			joinWorker("scripted join")
+		case elastic.EventLeave:
+			if err := mem.Leave(e.Worker); err != nil {
+				events.Add(time.Since(start), "", "leave-refused", err.Error())
+				return
+			}
+			events.Add(time.Since(start), workers[e.Worker].name, "leave", "graceful departure started")
+			rm.elasticLeaves.Inc()
+			coord.rebalance()
+			mem.RecordRebalance()
+			rm.elasticRebalances.Inc()
+			// An idle leaver retires on the spot; a busy one departs when its
+			// in-flight completion arrives.
+			maybeRetire(e.Worker)
+			wakeGated()
+		case elastic.EventEvict:
+			if err := mem.Evict(e.Worker); err != nil {
+				events.Add(time.Since(start), "", "evict-refused", err.Error())
+				return
+			}
+			id := e.Worker
+			rm.elasticEvictions.Inc()
+			health.markDeparted(id, time.Since(start), "evicted")
+			drainInbox(id)
+			// Abandon the in-flight dispatch (if any) and re-route its batch;
+			// the evicted goroutine's eventual completion is processed like a
+			// quarantined straggler's — its updates already landed in the
+			// shared model (documented at-least-once under forced removal).
+			for _, fl := range flight {
+				if fl.worker == id && !fl.abandoned {
+					fl.abandoned = true
+					outstanding--
+					redispatch(fl.batch, id)
+				}
+			}
+			busy[id] = false
+			coord.rebalance()
+			mem.RecordRebalance()
+			rm.elasticRebalances.Inc()
+			rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+			wakeGated()
+		}
+	}
+	fireMembership := func() {
+		if mem == nil {
+			return
+		}
+		for _, e := range planCur.Fire(completedDispatches) {
+			applyEvent(e)
+		}
+	}
+	if mem != nil && cfg.ElasticPolicy != nil {
+		decideScale = func() {
+			s := elastic.Sample{Active: mem.ActiveCount(), Min: mem.Min(), Max: mem.Max(), Dispatches: completedDispatches}
+			if elCount > 0 {
+				// Measured load since the last barrier: queue wait is the
+				// span beyond each dispatch's modeled iteration time — the
+				// portion attributable to contention rather than compute.
+				s.QueueWait = elWait / time.Duration(elCount)
+				s.Compute = elCompute / time.Duration(elCount)
+			}
+			var worst time.Duration
+			for _, w := range workers {
+				if !mem.Active(w.id) || !health.ok(w.id) {
+					continue
+				}
+				if it := w.wc.Device.IterTime(net.Arch, coord.batch[w.id], modelBytes); it > worst {
+					worst = it
+				}
+			}
+			s.MarginalCost = worst
+			elWait, elCompute, elCount = 0, 0, 0
+			switch cfg.ElasticPolicy.Decide(s) {
+			case elastic.Grow:
+				joinWorker("policy grow")
+			case elastic.Shrink:
+				// Retire the costliest active worker (ties to highest id).
+				victim, vc := -1, time.Duration(0)
+				for _, w := range workers {
+					if !mem.Active(w.id) || !health.ok(w.id) {
+						continue
+					}
+					if it := w.wc.Device.IterTime(net.Arch, coord.batch[w.id], modelBytes); victim < 0 || it >= vc {
+						victim, vc = w.id, it
+					}
+				}
+				if victim >= 0 {
+					applyEvent(elastic.LeaveAt(victim, completedDispatches))
+				}
+			}
+		}
+	}
+
 	// expireOverdue quarantines every worker holding a dispatch past its
 	// deadline and re-dispatches the overdue batches.
 	expireOverdue := func() {
@@ -682,14 +894,27 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			stale.catchUp(msg.Worker)
 			wakeGated()
 			dispatch(msg.Worker)
+			completedDispatches++
+			maybeRetire(msg.Worker)
+			fireMembership()
 			continue
 		}
 		busy[msg.Worker] = false
 		outstanding--
 		if fl != nil {
 			stale.observe(fl.staleness)
+			if cfg.ElasticPolicy != nil {
+				if span := time.Since(start) - fl.sent; span > fl.modeled {
+					elWait += span - fl.modeled
+				}
+				elCompute += fl.modeled
+				elCount++
+			}
 		}
 		stale.advance(msg.Worker)
+		completedDispatches++
+		maybeRetire(msg.Worker)
+		fireMembership()
 		if lsgd != nil {
 			lsgd.done = append(lsgd.done, msg.Worker)
 			if outstanding > 0 {
@@ -726,6 +951,9 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 			// Checkpoint after the guard verdict so a rollback's restored
 			// model and backed-off LR scale are what a resume would load.
 			writeCkpt(true)
+			if decideScale != nil {
+				decideScale()
+			}
 			coord.refill()
 			for i := range workers {
 				dispatch(i)
@@ -792,6 +1020,7 @@ func RunReal(ctx context.Context, cfg Config, budget time.Duration) (*Result, er
 		Checkpoint:        guard.snapshot(),
 		Interrupted:       interrupted,
 		Staleness:         stale.rep,
+		Elastic:           elasticReport(mem),
 	}, nil
 }
 

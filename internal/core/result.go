@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/nn"
 )
@@ -70,6 +71,10 @@ type Result struct {
 	// records for every algorithm; under AlgSSP its Max is gate-bounded and
 	// Blocked counts deferred dispatches (the tested invariants).
 	Staleness *StalenessReport
+	// Elastic is the membership-churn report for elastic runs: joins,
+	// graceful leaves, forced evictions, rebalance passes, and the peak and
+	// final active-worker counts. Nil for fixed-membership runs.
+	Elastic *elastic.Report
 }
 
 // CPUShare returns the fraction of raw updates performed by CPU workers
@@ -96,6 +101,9 @@ func (r *Result) String() string {
 		r.Updates.Total(), 100*r.CPUShare())
 	if r.Health.Faulty() {
 		s += " [faults: " + r.Health.String() + "]"
+	}
+	if r.Elastic.Churned() {
+		s += " [" + r.Elastic.String() + "]"
 	}
 	return s
 }

@@ -7,6 +7,7 @@ import (
 
 	"heterosgd/internal/data"
 	"heterosgd/internal/device"
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/faults"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/nn"
@@ -97,15 +98,18 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		return nil, err
 	}
 
-	workers := make([]*simWorker, len(cfg.Workers))
-	for i, wc := range cfg.Workers {
+	// buildWorker constructs one worker's engine state; elastic joiners are
+	// built with the same path as the initial set. Nothing here draws from
+	// rng (every init is zero or a clone), so a mid-run join does not
+	// perturb the shuffle or init streams — a determinism requirement.
+	buildWorker := func(id int, wc WorkerConfig, name string) *simWorker {
 		w := &simWorker{
-			id:   i,
-			name: wc.Device.Name(),
+			id:   id,
+			name: name,
 			wc:   wc,
 			ws:   net.NewWorkspace(min(wc.MaxBatch, ds.N())),
 			grad: net.NewParams(nn.InitZero, rng),
-			inj:  cfg.Faults.ForWorker(i),
+			inj:  cfg.Faults.ForWorker(id),
 		}
 		if wc.DeepReplica && wc.Device.Kind() == device.KindCPU {
 			w.replica = global.Clone()
@@ -123,7 +127,26 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		if cfg.Algorithm == AlgSVRG && wc.Device.Kind() == device.KindCPU {
 			w.scratch = net.NewParams(nn.InitZero, rng)
 		}
-		workers[i] = w
+		return w
+	}
+	initialWorkers := len(cfg.Workers)
+	workers := make([]*simWorker, len(cfg.Workers))
+	for i, wc := range cfg.Workers {
+		workers[i] = buildWorker(i, wc, wc.Device.Name())
+	}
+	// Elastic membership: the manager owns the active set; scripted plan
+	// events fire on completed-dispatch triggers and the autoscale policy is
+	// consulted at epoch barriers.
+	var mem *elastic.Membership
+	var planCur *elastic.Cursor
+	if cfg.elasticEnabled() {
+		var err error
+		mem, err = elastic.New(len(cfg.Workers), cfg.MinWorkers, cfg.Capacity())
+		if err != nil {
+			return nil, err
+		}
+		planCur = cfg.Elastic.Begin()
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
 	}
 	var svrg *svrgState
 	if cfg.Algorithm == AlgSVRG {
@@ -250,6 +273,21 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	var dispatch func(w *simWorker)
 	var redispatch func(batch data.Batch, from int)
 	var fatalErr error
+	// Membership plumbing: scripted events fire on the run-wide count of
+	// completed dispatches (a protocol event, never wall time — that is what
+	// makes a churn schedule replay byte-identically); the autoscale policy,
+	// when configured, is consulted at epoch barriers via decideScale.
+	var completedDispatches int64
+	var applyEvent func(e elastic.Event)
+	var decideScale func()
+	fireMembership := func() {
+		if mem == nil {
+			return
+		}
+		for _, e := range planCur.Fire(completedDispatches) {
+			applyEvent(e)
+		}
+	}
 	// wakeGated re-dispatches workers the SSP gate would now admit; called
 	// whenever the minimum healthy clock may have moved (any completion,
 	// crash, quarantine, or readmission).
@@ -311,6 +349,9 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 			if checkCancel() || elapsed() >= horizon {
 				return
 			}
+			if decideScale != nil {
+				decideScale()
+			}
 			coord.refill()
 			for _, w := range workers {
 				if w.idle {
@@ -348,6 +389,20 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	dispatch = func(w *simWorker) {
 		if !health.ok(w.id) || checkCancel() || elapsed() >= horizon {
 			w.idle = true
+			return
+		}
+		if mem != nil && !mem.Active(w.id) {
+			// A draining worker reaching its next scheduling point has no
+			// in-flight work left: complete the graceful departure. (Evicted
+			// workers were marked departed immediately and never get here —
+			// the health check above catches them.)
+			w.idle = true
+			if mem.Draining(w.id) && mem.Retire(w.id) {
+				health.markDeparted(w.id, elapsed(), "graceful leave drained")
+				rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+				wakeGated()
+			}
+			maybeEpochEnd()
 			return
 		}
 		if lsgd != nil {
@@ -504,6 +559,8 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 					stale.observe(stAt)
 				}
 				wakeGated()
+				completedDispatches++
+				fireMembership()
 				dispatch(w)
 			}
 		}
@@ -584,6 +641,131 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		}))
 	}
 
+	// joinWorker admits a fresh elastic worker: grow every per-worker table
+	// in lockstep (config, health, scheduler, clock), rebalance the adaptive
+	// comparators over the new set, and dispatch it. The joiner's device
+	// clones the initial mix round-robin, and its SSP clock enters at the
+	// healthy minimum (stale.addWorker) so it is neither gate-parked nor a
+	// drag on the bound.
+	joinWorker := func(reason string) {
+		id, err := mem.Join()
+		if err != nil {
+			events.Add(elapsed(), "", "join-refused", fmt.Sprintf("%s: %v", reason, err))
+			return
+		}
+		wc := cfg.Workers[id%initialWorkers]
+		cfg.Workers = append(cfg.Workers, wc)
+		name := fmt.Sprintf("%s+%d", wc.Device.Name(), id)
+		health.addWorker(name, elapsed())
+		coord.addWorker()
+		stale.addWorker()
+		w := buildWorker(id, wc, name)
+		workers = append(workers, w)
+		lastBatch = append(lastBatch, 0)
+		coord.rebalance()
+		mem.RecordRebalance()
+		rm.elasticJoins.Inc()
+		rm.elasticRebalances.Inc()
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+		dispatch(w)
+	}
+	applyEvent = func(e elastic.Event) {
+		switch e.Kind {
+		case elastic.EventJoin:
+			joinWorker("scripted join")
+		case elastic.EventLeave:
+			if err := mem.Leave(e.Worker); err != nil {
+				events.Add(elapsed(), "", "leave-refused", err.Error())
+				return
+			}
+			w := workers[e.Worker]
+			events.Add(elapsed(), w.name, "leave", "graceful departure started")
+			rm.elasticLeaves.Inc()
+			// Hand parked recovery work to the survivors before draining.
+			bl := w.backlog
+			w.backlog = nil
+			for _, b := range bl {
+				redispatch(b, w.id)
+			}
+			coord.rebalance()
+			mem.RecordRebalance()
+			rm.elasticRebalances.Inc()
+			// An idle leaver has nothing in flight: retire it on the spot.
+			// Otherwise its next scheduling point completes the departure.
+			if w.idle && mem.Retire(e.Worker) {
+				health.markDeparted(e.Worker, elapsed(), "graceful leave drained")
+				rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+				wakeGated()
+				maybeEpochEnd()
+			}
+		case elastic.EventEvict:
+			if err := mem.Evict(e.Worker); err != nil {
+				events.Add(elapsed(), "", "evict-refused", err.Error())
+				return
+			}
+			w := workers[e.Worker]
+			rm.elasticEvictions.Inc()
+			health.markDeparted(e.Worker, elapsed(), "evicted")
+			// Re-route parked work like a crash would; an in-flight virtual
+			// iteration still completes (the sim cannot abort mid-event) and
+			// its updates land like any straggler completion.
+			bl := w.backlog
+			w.backlog = nil
+			for _, b := range bl {
+				redispatch(b, w.id)
+			}
+			coord.rebalance()
+			mem.RecordRebalance()
+			rm.elasticRebalances.Inc()
+			rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+			wakeGated()
+			maybeEpochEnd()
+		}
+	}
+	if mem != nil && cfg.ElasticPolicy != nil {
+		decideScale = func() {
+			s := elastic.Sample{Active: mem.ActiveCount(), Min: mem.Min(), Max: mem.Max(), Dispatches: completedDispatches}
+			var sum, worst time.Duration
+			n := 0
+			for _, w := range workers {
+				if !mem.Active(w.id) || !health.ok(w.id) {
+					continue
+				}
+				it := w.wc.Device.IterTime(net.Arch, coord.batch[w.id], modelBytes)
+				sum += it
+				n++
+				if it > worst {
+					worst = it
+				}
+			}
+			if n > 0 {
+				s.Compute = sum / time.Duration(n)
+			}
+			// The event-driven engine has no queueing, so QueueWait stays
+			// zero: the policy grows only to honor Min and shrinks only when
+			// the marginal worker's modeled cost dominates.
+			s.MarginalCost = worst
+			switch cfg.ElasticPolicy.Decide(s) {
+			case elastic.Grow:
+				joinWorker("policy grow")
+			case elastic.Shrink:
+				// Retire the costliest active worker (ties to highest id).
+				victim, vc := -1, time.Duration(0)
+				for _, w := range workers {
+					if !mem.Active(w.id) || !health.ok(w.id) {
+						continue
+					}
+					if it := w.wc.Device.IterTime(net.Arch, coord.batch[w.id], modelBytes); victim < 0 || it >= vc {
+						victim, vc = w.id, it
+					}
+				}
+				if victim >= 0 {
+					applyEvent(elastic.LeaveAt(victim, completedDispatches))
+				}
+			}
+		}
+	}
+
 	if cfg.SampleEvery > 0 {
 		var sample func()
 		sample = func() {
@@ -653,7 +835,17 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		Checkpoint:        guard.snapshot(),
 		Interrupted:       interrupted,
 		Staleness:         stale.rep,
+		Elastic:           elasticReport(mem),
 	}, nil
+}
+
+// elasticReport extracts the churn report from a membership manager, nil
+// when the run had fixed membership.
+func elasticReport(mem *elastic.Membership) *elastic.Report {
+	if mem == nil {
+		return nil
+	}
+	return mem.Report()
 }
 
 // localRoundState tracks one LocalSGD round: how many participants are

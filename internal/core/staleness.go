@@ -198,12 +198,33 @@ func (t *staleTracker) observe(s int64) {
 // recovery work — a finished step is a finished step).
 func (t *staleTracker) advance(id int) { t.clock[id]++ }
 
+// addWorker grows the clock table for an elastic joiner, entering it at the
+// healthy minimum clock — the same rule catchUp applies to readmitted
+// workers — so a joiner neither drags the SSP gate's minimum backwards nor
+// parks the fleet while it grinds up from a stale zero. Call it after the
+// health tracker has grown, so minClock sees a consistent worker set.
+func (t *staleTracker) addWorker() {
+	t.clock = append(t.clock, t.minClock())
+	t.gated = append(t.gated, false)
+}
+
 // catchUp jumps a readmitted worker's clock to the healthy minimum so a
 // long-quarantined laggard rejoins at the back of the pack instead of
 // dragging the minimum down and stalling everyone else at the gate until
-// it grinds through the whole gap alone.
+// it grinds through the whole gap alone. The minimum excludes id itself:
+// engines readmit before catching up, and a just-readmitted laggard would
+// otherwise be its own minimum and never catch up.
 func (t *staleTracker) catchUp(id int) {
-	if m := t.minClock(); t.clock[id] < m {
-		t.clock[id] = m
+	min, any := int64(0), false
+	for w, c := range t.clock {
+		if w == id || !t.health.ok(w) {
+			continue
+		}
+		if !any || c < min {
+			min, any = c, true
+		}
+	}
+	if any && t.clock[id] < min {
+		t.clock[id] = min
 	}
 }

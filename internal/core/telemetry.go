@@ -1,25 +1,34 @@
 package core
 
 import (
+	"fmt"
+
 	"heterosgd/internal/telemetry"
 )
 
-// NewRunTracer returns a tracer shaped for cfg's run: one ring per worker,
-// labeled with the device name, plus a final coordinator ring. Assign the
-// result to cfg.Tracer before calling RunSim or RunReal. perRingCap ≤ 0
-// selects telemetry.DefaultRingCap.
+// NewRunTracer returns a tracer shaped for cfg's run: one ring per worker
+// slot the run may ever hold (Capacity), labeled with the device name —
+// elastic joiner slots are labeled "elastic<i>" until a worker claims them —
+// plus a final coordinator ring. Assign the result to cfg.Tracer before
+// calling RunSim or RunReal. perRingCap ≤ 0 selects telemetry.DefaultRingCap.
 func NewRunTracer(cfg *Config, perRingCap int) *telemetry.Tracer {
-	names := make([]string, 0, len(cfg.Workers)+1)
+	capSlots := cfg.Capacity()
+	names := make([]string, 0, capSlots+1)
 	for _, w := range cfg.Workers {
 		names = append(names, w.Device.Name())
+	}
+	for i := len(cfg.Workers); i < capSlots; i++ {
+		names = append(names, fmt.Sprintf("elastic%d", i))
 	}
 	names = append(names, "coordinator")
 	return telemetry.NewTracer(names, perRingCap)
 }
 
 // coordRing returns the tracer ring index reserved for coordinator-side
-// events (eval, checkpoint, snapshot, schedule decisions).
-func (c *Config) coordRing() int { return len(c.Workers) }
+// events (eval, checkpoint, snapshot, schedule decisions). It sits past the
+// last worker slot, so for elastic runs it is Capacity, not len(Workers) —
+// the engines capture it once at start, before any join grows Workers.
+func (c *Config) coordRing() int { return c.Capacity() }
 
 // runMetrics bundles the training instruments both engines feed, resolved
 // once at engine start so the hot path never touches the registry's lock.
@@ -36,6 +45,12 @@ type runMetrics struct {
 	loss        *telemetry.Gauge   // latest evaluated loss
 	epochs      *telemetry.Gauge   // fractional epochs completed
 	staleMax    *telemetry.Gauge   // maximum per-update dispatch staleness so far
+
+	elasticWorkers    *telemetry.Gauge   // current active-worker count (elastic runs)
+	elasticJoins      *telemetry.Counter // elastic workers admitted mid-run
+	elasticLeaves     *telemetry.Counter // graceful departures started
+	elasticEvictions  *telemetry.Counter // forced membership removals
+	elasticRebalances *telemetry.Counter // scheduler rebalance passes after churn
 }
 
 func newRunMetrics(reg *telemetry.Registry) runMetrics {
@@ -50,5 +65,11 @@ func newRunMetrics(reg *telemetry.Registry) runMetrics {
 		loss:        reg.Gauge("train_loss"),
 		epochs:      reg.Gauge("train_epochs"),
 		staleMax:    reg.Gauge("train_staleness_max"),
+
+		elasticWorkers:    reg.Gauge("elastic_workers"),
+		elasticJoins:      reg.Counter("elastic_joins_total"),
+		elasticLeaves:     reg.Counter("elastic_leaves_total"),
+		elasticEvictions:  reg.Counter("elastic_evictions_total"),
+		elasticRebalances: reg.Counter("elastic_rebalances_total"),
 	}
 }

@@ -1,0 +1,178 @@
+package elastic
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMembershipLifecycle(t *testing.T) {
+	m, err := New(2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ActiveCount(); got != 2 {
+		t.Fatalf("initial active %d, want 2", got)
+	}
+	id, err := m.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("joiner got id %d, want fresh id 2", id)
+	}
+	if err := m.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Active(0) || !m.Draining(0) {
+		t.Fatal("left worker should be draining, not active")
+	}
+	if got := m.ActiveCount(); got != 2 {
+		t.Fatalf("active after leave %d, want 2", got)
+	}
+	if !m.Retire(0) {
+		t.Fatal("retire of draining worker refused")
+	}
+	if m.Retire(0) {
+		t.Fatal("double retire accepted")
+	}
+	if err := m.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	if rep.Joins != 1 || rep.Leaves != 1 || rep.Evictions != 1 {
+		t.Fatalf("report %+v, want 1 join / 1 leave / 1 eviction", rep)
+	}
+	if rep.Peak != 3 || rep.Final != 1 {
+		t.Fatalf("report peak %d final %d, want 3 and 1", rep.Peak, rep.Final)
+	}
+	if !rep.Churned() {
+		t.Fatal("churned report claims no churn")
+	}
+}
+
+func TestMembershipBounds(t *testing.T) {
+	m, err := New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Join(); err == nil {
+		t.Fatal("join above max accepted")
+	}
+	if err := m.Leave(0); err == nil {
+		t.Fatal("leave below min accepted")
+	}
+	// Forced eviction ignores the min bound.
+	if err := m.Evict(0); err != nil {
+		t.Fatalf("evict refused: %v", err)
+	}
+	if got := m.ActiveCount(); got != 1 {
+		t.Fatalf("active after evict %d, want 1", got)
+	}
+	if _, err := New(2, 3, 4); err == nil {
+		t.Fatal("min > initial accepted")
+	}
+	if _, err := New(3, 1, 2); err == nil {
+		t.Fatal("max < initial accepted")
+	}
+}
+
+func TestPlanParseRoundTrip(t *testing.T) {
+	spec := "join:25,leave:1:60,evict:0:90"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("round trip %q, want %q", got, spec)
+	}
+	if p.Joins() != 1 {
+		t.Fatalf("joins %d, want 1", p.Joins())
+	}
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 2 only exists after the join at 25 — valid at trigger 60,
+	// invalid at trigger 10.
+	if err := NewPlan(1, JoinAt(25), LeaveAt(2, 60)).Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewPlan(1, JoinAt(25), LeaveAt(2, 10)).Validate(2); err == nil {
+		t.Fatal("leave of not-yet-joined worker accepted")
+	}
+	if _, err := Parse("join:25,flee:1:2"); err == nil {
+		t.Fatal("unknown event kind accepted")
+	}
+	if p, err := Parse("  "); err != nil || p != nil {
+		t.Fatalf("empty spec: got %v, %v", p, err)
+	}
+}
+
+func TestPlanCursorFiresInOrderOnce(t *testing.T) {
+	p := NewPlan(1, LeaveAt(1, 60), JoinAt(25), JoinAt(25))
+	c := p.Begin()
+	if evs := c.Fire(10); len(evs) != 0 {
+		t.Fatalf("fired early: %v", evs)
+	}
+	evs := c.Fire(30)
+	if len(evs) != 2 || evs[0].Kind != EventJoin || evs[1].Kind != EventJoin {
+		t.Fatalf("at 30 got %v, want the two joins", evs)
+	}
+	if evs := c.Fire(30); len(evs) != 0 {
+		t.Fatalf("re-fired: %v", evs)
+	}
+	evs = c.Fire(100)
+	if len(evs) != 1 || evs[0].Kind != EventLeave {
+		t.Fatalf("at 100 got %v, want the leave", evs)
+	}
+	var nilCursor *Cursor
+	if evs := nilCursor.Fire(1000); evs != nil {
+		t.Fatal("nil cursor fired")
+	}
+}
+
+func TestLoadPolicyHysteresisAndBounds(t *testing.T) {
+	p := NewLoadPolicy()
+	hot := Sample{Active: 2, Min: 1, Max: 4, QueueWait: 10 * time.Millisecond,
+		Compute: 10 * time.Millisecond, Dispatches: 8}
+	if d := p.Decide(hot); d != Hold {
+		t.Fatalf("first hot sample decided %v before hysteresis", d)
+	}
+	if d := p.Decide(hot); d != Grow {
+		t.Fatalf("second hot sample decided %v, want grow", d)
+	}
+	// A calm sample resets the streak.
+	calm := Sample{Active: 2, Min: 1, Max: 4, QueueWait: 0,
+		Compute: 10 * time.Millisecond, MarginalCost: time.Millisecond, Dispatches: 8}
+	if d := p.Decide(calm); d != Hold {
+		t.Fatalf("calm sample decided %v", d)
+	}
+	if d := p.Decide(hot); d != Hold {
+		t.Fatalf("hot-after-calm decided %v, streak should have reset", d)
+	}
+
+	// Shrink requires idle queue AND a cost-model straggler.
+	idle := Sample{Active: 3, Min: 1, Max: 4, QueueWait: 0,
+		Compute: 10 * time.Millisecond, MarginalCost: 50 * time.Millisecond, Dispatches: 8}
+	p = NewLoadPolicy()
+	if d := p.Decide(idle); d != Hold {
+		t.Fatalf("first idle sample decided %v before hysteresis", d)
+	}
+	if d := p.Decide(idle); d != Shrink {
+		t.Fatalf("second idle sample decided %v, want shrink", d)
+	}
+
+	// At max, queue pressure cannot grow further.
+	p = NewLoadPolicy()
+	capped := hot
+	capped.Active = 4
+	p.Decide(capped)
+	if d := p.Decide(capped); d != Hold {
+		t.Fatalf("at-max sample decided %v, want hold", d)
+	}
+
+	// Below min refills immediately, no hysteresis.
+	p = NewLoadPolicy()
+	if d := p.Decide(Sample{Active: 0, Min: 1, Max: 4}); d != Grow {
+		t.Fatal("below-min sample did not grow immediately")
+	}
+}

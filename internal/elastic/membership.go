@@ -1,0 +1,216 @@
+// Package elastic implements runtime worker membership for the training
+// engines: a membership manager that owns the healthy-worker set as a
+// mutable object (join, graceful leave, forced evict), scripted membership
+// plans in the style of internal/faults for deterministic churn tests, and
+// a pluggable autoscale policy that decides grow/shrink from load telemetry.
+//
+// The paper's Algorithm 2 adapts batch sizes to a fixed heterogeneous
+// worker set; the authors' follow-up (arXiv:2110.07029) adapts the worker
+// set itself. This package is the membership half of that extension — the
+// engines own the per-worker state and consult the manager for who is in
+// the set, while the manager owns the state machine, the bounds, and the
+// churn accounting.
+package elastic
+
+import "fmt"
+
+// State is a membership slot's lifecycle position. Worker ids are never
+// reused: a departed slot stays departed and a joiner always gets a fresh
+// id, because ids are baked into flight-map entries, telemetry rings, and
+// wire frames that may still be in flight when the slot empties.
+type State int
+
+const (
+	// Active workers receive dispatches.
+	Active State = iota
+	// Draining workers are gracefully leaving: no new dispatches, but
+	// their in-flight work still completes and is applied.
+	Draining
+	// Departed workers have left the run (drained or evicted).
+	Departed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	case Departed:
+		return "departed"
+	default:
+		return "unknown"
+	}
+}
+
+// Report is the churn accounting for one run.
+type Report struct {
+	// Joins, Leaves, and Evictions count membership transitions: a join
+	// admits a fresh worker, a leave starts a graceful drain, an eviction
+	// forces a worker out without draining.
+	Joins, Leaves, Evictions int
+	// Rebalances counts scheduler rebalance passes triggered by
+	// membership changes (Algorithm-2 counters and LR scaling recomputed
+	// over the new active set).
+	Rebalances int
+	// Peak and Final are the largest and ending active-worker counts.
+	Peak, Final int
+}
+
+// Churned reports whether membership changed at all during the run.
+func (r *Report) Churned() bool {
+	if r == nil {
+		return false
+	}
+	return r.Joins > 0 || r.Leaves > 0 || r.Evictions > 0
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	if r == nil {
+		return "elastic: disabled"
+	}
+	return fmt.Sprintf("elastic: %d workers at end (peak %d); %d joins, %d leaves, %d evictions, %d rebalances",
+		r.Final, r.Peak, r.Joins, r.Leaves, r.Evictions, r.Rebalances)
+}
+
+// Membership tracks which worker ids are in the run. It is confined to the
+// engine's coordinator loop (like core's health tracker) and needs no
+// locking; all decisions are therefore deterministic given a deterministic
+// driver.
+type Membership struct {
+	states   []State
+	min, max int
+	rep      Report
+}
+
+// New returns a membership of initial active workers, bounded to
+// [min, max] active workers. min ≤ 0 defaults to 1; max ≤ 0 defaults to
+// initial (joins disabled).
+func New(initial, min, max int) (*Membership, error) {
+	if initial < 1 {
+		return nil, fmt.Errorf("elastic: need at least 1 initial worker, got %d", initial)
+	}
+	if min <= 0 {
+		min = 1
+	}
+	if max <= 0 {
+		max = initial
+	}
+	if min > initial {
+		return nil, fmt.Errorf("elastic: min workers %d exceeds initial %d", min, initial)
+	}
+	if max < initial {
+		return nil, fmt.Errorf("elastic: max workers %d below initial %d", max, initial)
+	}
+	m := &Membership{states: make([]State, initial), min: min, max: max}
+	m.rep.Peak = initial
+	return m, nil
+}
+
+// Len returns the total number of slots ever allocated (departed included):
+// the upper bound on worker ids seen by the run.
+func (m *Membership) Len() int { return len(m.states) }
+
+// Min and Max return the active-worker bounds.
+func (m *Membership) Min() int { return m.min }
+func (m *Membership) Max() int { return m.max }
+
+// State returns slot id's state.
+func (m *Membership) State(id int) State { return m.states[id] }
+
+// Active reports whether id receives new dispatches.
+func (m *Membership) Active(id int) bool {
+	return id < len(m.states) && m.states[id] == Active
+}
+
+// Draining reports whether id is gracefully leaving.
+func (m *Membership) Draining(id int) bool {
+	return id < len(m.states) && m.states[id] == Draining
+}
+
+// ActiveCount returns the number of active workers.
+func (m *Membership) ActiveCount() int {
+	n := 0
+	for _, s := range m.states {
+		if s == Active {
+			n++
+		}
+	}
+	return n
+}
+
+// CanGrow reports whether a join would stay within the max bound.
+func (m *Membership) CanGrow() bool { return m.ActiveCount() < m.max }
+
+// CanShrink reports whether a voluntary leave would stay within the min
+// bound. Forced evictions ignore the bound — a departure cannot be refused.
+func (m *Membership) CanShrink() bool { return m.ActiveCount() > m.min }
+
+// Join admits a fresh worker and returns its id (always a new slot).
+func (m *Membership) Join() (int, error) {
+	if !m.CanGrow() {
+		return -1, fmt.Errorf("elastic: join refused: already at max %d active workers", m.max)
+	}
+	id := len(m.states)
+	m.states = append(m.states, Active)
+	m.rep.Joins++
+	if n := m.ActiveCount(); n > m.rep.Peak {
+		m.rep.Peak = n
+	}
+	return id, nil
+}
+
+// Leave starts a graceful departure: id stops receiving new work but its
+// in-flight dispatches drain normally. Refused below the min bound.
+func (m *Membership) Leave(id int) error {
+	if id < 0 || id >= len(m.states) {
+		return fmt.Errorf("elastic: leave of unknown worker %d", id)
+	}
+	if m.states[id] != Active {
+		return fmt.Errorf("elastic: leave of %s worker %d", m.states[id], id)
+	}
+	if !m.CanShrink() {
+		return fmt.Errorf("elastic: leave refused: already at min %d active workers", m.min)
+	}
+	m.states[id] = Draining
+	m.rep.Leaves++
+	return nil
+}
+
+// Retire completes a graceful departure once id's in-flight work has
+// drained; it reports false if id was not draining.
+func (m *Membership) Retire(id int) bool {
+	if id < 0 || id >= len(m.states) || m.states[id] != Draining {
+		return false
+	}
+	m.states[id] = Departed
+	return true
+}
+
+// Evict forces id out of the run immediately (no drain; the engine
+// re-dispatches its in-flight work like a crash). Eviction ignores the min
+// bound: a forced departure cannot be refused.
+func (m *Membership) Evict(id int) error {
+	if id < 0 || id >= len(m.states) {
+		return fmt.Errorf("elastic: evict of unknown worker %d", id)
+	}
+	if m.states[id] == Departed {
+		return fmt.Errorf("elastic: evict of departed worker %d", id)
+	}
+	m.states[id] = Departed
+	m.rep.Evictions++
+	return nil
+}
+
+// RecordRebalance counts one scheduler rebalance pass.
+func (m *Membership) RecordRebalance() { m.rep.Rebalances++ }
+
+// Report returns the churn accounting with Final set to the current
+// active count.
+func (m *Membership) Report() *Report {
+	r := m.rep
+	r.Final = m.ActiveCount()
+	return &r
+}

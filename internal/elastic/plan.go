@@ -1,0 +1,224 @@
+package elastic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventKind identifies a scripted membership change.
+type EventKind int
+
+const (
+	// EventJoin admits a fresh worker (its id is assigned at join time).
+	EventJoin EventKind = iota
+	// EventLeave starts a graceful drain of a named worker.
+	EventLeave
+	// EventEvict forces a named worker out without draining.
+	EventEvict
+)
+
+// String returns the event-kind name used by Parse.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventEvict:
+		return "evict"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scripted membership change. After counts completed
+// dispatches across the whole run — a protocol event, never wall time — so
+// a plan replays identically on the deterministic sim engine and
+// reproducibly on the wall-clock engines.
+type Event struct {
+	// Kind selects the membership change.
+	Kind EventKind
+	// Worker is the target id for EventLeave/EventEvict (ignored for
+	// EventJoin: joiners are assigned the next fresh id).
+	Worker int
+	// After is the completed-dispatch count that triggers the event.
+	After int64
+}
+
+// String renders the event in Parse syntax.
+func (e Event) String() string {
+	if e.Kind == EventJoin {
+		return fmt.Sprintf("join:%d", e.After)
+	}
+	return fmt.Sprintf("%s:%d:%d", e.Kind, e.Worker, e.After)
+}
+
+// JoinAt schedules a fresh worker join after n completed dispatches.
+func JoinAt(n int64) Event { return Event{Kind: EventJoin, After: n} }
+
+// LeaveAt schedules a graceful leave of worker after n completed dispatches.
+func LeaveAt(worker int, n int64) Event {
+	return Event{Kind: EventLeave, Worker: worker, After: n}
+}
+
+// EvictAt schedules a forced eviction of worker after n completed
+// dispatches.
+func EvictAt(worker int, n int64) Event {
+	return Event{Kind: EventEvict, Worker: worker, After: n}
+}
+
+// Plan is a scripted, deterministic membership schedule for one run. The
+// zero Plan (and a nil *Plan) changes nothing.
+type Plan struct {
+	// Seed keeps plan identity stable across runs for reporting parity
+	// with faults.Plan; the schedule itself is fully scripted.
+	Seed uint64
+	// Events lists the membership changes.
+	Events []Event
+}
+
+// NewPlan assembles a plan from events.
+func NewPlan(seed uint64, evs ...Event) *Plan {
+	return &Plan{Seed: seed, Events: evs}
+}
+
+// Joins returns the number of scripted join events — the extra capacity the
+// run must provision beyond its initial workers.
+func (p *Plan) Joins() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range p.Events {
+		if e.Kind == EventJoin {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the plan against the run's initial worker count: every
+// leave/evict must target an id that exists by the time it fires (initial
+// workers plus joiners scheduled no later). Nil-safe.
+func (p *Plan) Validate(initialWorkers int) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if e.After < 0 {
+			return fmt.Errorf("elastic: event %d has negative trigger %d", i, e.After)
+		}
+		switch e.Kind {
+		case EventJoin:
+		case EventLeave, EventEvict:
+			avail := initialWorkers
+			for _, o := range p.Events {
+				if o.Kind == EventJoin && o.After <= e.After {
+					avail++
+				}
+			}
+			if e.Worker < 0 || e.Worker >= avail {
+				return fmt.Errorf("elastic: event %d (%s) targets worker %d, but only %d ids can exist by dispatch %d",
+					i, e, e.Worker, avail, e.After)
+			}
+		default:
+			return fmt.Errorf("elastic: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// String renders the plan in Parse syntax.
+func (p *Plan) String() string {
+	if p == nil || len(p.Events) == 0 {
+		return ""
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse reads a comma-separated membership schedule:
+//
+//	join:AFTER           fresh worker joins after AFTER completed dispatches
+//	leave:WORKER:AFTER   WORKER drains gracefully after AFTER completed dispatches
+//	evict:WORKER:AFTER   WORKER is forced out after AFTER completed dispatches
+//
+// e.g. "join:25,leave:1:60". An empty spec returns a nil plan.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1}
+	for _, entry := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ":")
+		switch fields[0] {
+		case "join":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("elastic: join wants join:AFTER, got %q", entry)
+			}
+			after, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("elastic: bad trigger in %q: %w", entry, err)
+			}
+			p.Events = append(p.Events, JoinAt(after))
+		case "leave", "evict":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("elastic: %s wants %s:WORKER:AFTER, got %q", fields[0], fields[0], entry)
+			}
+			worker, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("elastic: bad worker in %q: %w", entry, err)
+			}
+			after, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("elastic: bad trigger in %q: %w", entry, err)
+			}
+			if fields[0] == "leave" {
+				p.Events = append(p.Events, LeaveAt(worker, after))
+			} else {
+				p.Events = append(p.Events, EvictAt(worker, after))
+			}
+		default:
+			return nil, fmt.Errorf("elastic: unknown membership event %q in %q", fields[0], entry)
+		}
+	}
+	return p, nil
+}
+
+// Cursor walks a plan's events in trigger order as the run's completed
+// dispatch count advances. A nil cursor (from a nil plan) never fires.
+type Cursor struct {
+	events []Event
+	next   int
+}
+
+// Begin returns a cursor over the plan's events, stably ordered by trigger
+// (equal triggers fire in plan order). Nil-safe.
+func (p *Plan) Begin() *Cursor {
+	if p == nil || len(p.Events) == 0 {
+		return nil
+	}
+	evs := append([]Event(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].After < evs[j].After })
+	return &Cursor{events: evs}
+}
+
+// Fire returns the events whose trigger has been reached by completed total
+// dispatches, each at most once, in order. Nil-safe.
+func (c *Cursor) Fire(completed int64) []Event {
+	if c == nil {
+		return nil
+	}
+	var out []Event
+	for c.next < len(c.events) && c.events[c.next].After <= completed {
+		out = append(out, c.events[c.next])
+		c.next++
+	}
+	return out
+}

@@ -175,6 +175,25 @@ func All() []Experiment {
 			},
 		},
 		{
+			ID: "figelastic", Title: "Convergence under seeded worker churn: join, leave, evict, and join+leave plans",
+			Run: func(opts Options) (string, error) {
+				var b strings.Builder
+				for _, name := range datasets(opts) {
+					p, err := NewProblem(name, opts.Scale, opts.Seed)
+					if err != nil {
+						return "", err
+					}
+					_, out, err := FigElastic(opts.ctx(), p, opts.Seed)
+					if err != nil {
+						return "", err
+					}
+					b.WriteString(out)
+					b.WriteString("\n")
+				}
+				return b.String(), nil
+			},
+		},
+		{
 			ID: "ratio", Title: "§VII-B: Hogwild CPU vs GPU epoch speed ratio (236–317×)",
 			Run: func(Options) (string, error) { return SpeedRatio(), nil },
 		},

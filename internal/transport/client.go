@@ -91,8 +91,44 @@ func DialWorker(ctx context.Context, addr string, id int, opts ClientOptions) (*
 	return c, nil
 }
 
+// DialJoin attaches a fresh elastic worker to a running coordinator at
+// addr: instead of claiming a pre-assigned ID, it sends a Join handshake
+// and learns its ID from the Welcome reply (see Client.ID). The run seed in
+// the Welcome lets the joiner rebuild the dataset and replay epoch shuffles
+// like any worker; the current model parameters arrive with its first
+// dispatch. Reconnects after the join use the assigned ID normally.
+func DialJoin(ctx context.Context, addr string, opts ClientOptions) (*Client, error) {
+	opts.defaults()
+	c := &Client{
+		addr:    addr,
+		id:      -1,
+		opts:    opts,
+		rng:     rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15)),
+		pending: make(map[uint64]Done),
+		sentAt:  make(map[uint64]time.Time),
+	}
+	if err := c.connect(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // Welcome returns the coordinator's handshake reply (run configuration).
 func (c *Client) Welcome() Welcome { return c.welcome }
+
+// ID returns the worker's ID — assigned by the coordinator for a DialJoin
+// client, configured for a DialWorker client.
+func (c *Client) ID() int { return c.id }
+
+// Leave announces a graceful departure on the live link: the coordinator
+// stops dispatching, drains this worker's in-flight completions, then says
+// Goodbye (Run returns nil). Best effort — a dead link surfaces on the
+// session's read path, not here.
+func (c *Client) Leave() {
+	if conn := c.conn; conn != nil {
+		c.send(conn, KindLeave, EncodeLeave(Leave{Worker: c.id}))
+	}
+}
 
 // backoff returns the jittered delay before attempt (0-based): exponential
 // doubling from BackoffBase capped at BackoffMax, jittered to [½d, d).
@@ -137,7 +173,8 @@ func (c *Client) connect(ctx context.Context) error {
 	return fmt.Errorf("transport: worker %d gave up after %d attempts: %w", c.id, c.opts.MaxAttempts, lastErr)
 }
 
-// attempt is one dial + handshake.
+// attempt is one dial + handshake: a Join for an elastic worker that has
+// no ID yet, a Hello otherwise (including a joiner's reconnects).
 func (c *Client) attempt(ctx context.Context) (net.Conn, error) {
 	d := net.Dialer{Timeout: c.opts.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
@@ -145,7 +182,12 @@ func (c *Client) attempt(ctx context.Context) (net.Conn, error) {
 		return nil, err
 	}
 	conn.SetWriteDeadline(time.Now().Add(c.opts.SendTimeout))
-	if err := WriteFrame(conn, KindHello, EncodeHello(Hello{Worker: c.id})); err != nil {
+	if c.id < 0 {
+		err = WriteFrame(conn, KindJoin, nil)
+	} else {
+		err = WriteFrame(conn, KindHello, EncodeHello(Hello{Worker: c.id}))
+	}
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -167,6 +209,9 @@ func (c *Client) attempt(ctx context.Context) (net.Conn, error) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	c.welcome = w
+	if c.id < 0 {
+		c.id = w.Worker
+	}
 	return conn, nil
 }
 

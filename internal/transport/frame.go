@@ -38,6 +38,14 @@ const (
 	KindHeartbeat
 	// KindGoodbye is an orderly shutdown notice (coordinator → worker).
 	KindGoodbye
+	// KindJoin is an elastic worker's handshake: instead of claiming a
+	// pre-assigned ID with Hello, the worker asks the coordinator to admit
+	// it mid-run; the Welcome reply carries the assigned ID.
+	KindJoin
+	// KindLeave announces a graceful departure (worker → coordinator): the
+	// worker receives no new work, its in-flight completions drain
+	// normally, and the coordinator answers with Goodbye once settled.
+	KindLeave
 )
 
 // String returns the frame-kind name.
@@ -57,6 +65,10 @@ func (k Kind) String() string {
 		return "heartbeat"
 	case KindGoodbye:
 		return "goodbye"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -132,7 +144,7 @@ func ReadFrame(r io.Reader) (Kind, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
 	}
 	kind := Kind(hdr[5])
-	if kind < KindHello || kind > KindGoodbye {
+	if kind < KindHello || kind > KindLeave {
 		return 0, nil, fmt.Errorf("%w: %d", ErrBadKind, hdr[5])
 	}
 	n := binary.LittleEndian.Uint32(hdr[8:12])

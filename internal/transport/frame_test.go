@@ -205,7 +205,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		gotD.Dropped != d.Dropped || gotD.Failed != d.Failed || gotD.Err != d.Err || !bytes.Equal(gotD.Delta, d.Delta) {
 		t.Fatalf("done round trip: %+v != %+v", gotD, d)
 	}
-	wl := Welcome{Seed: 11, HeartbeatNS: 5e8, Shuffle: true, Threads: 4, MaxBatch: 256}
+	wl := Welcome{Seed: 11, HeartbeatNS: 5e8, Shuffle: true, Threads: 4, MaxBatch: 256, Worker: 7}
 	gotWl, err := DecodeWelcome(EncodeWelcome(wl))
 	if err != nil || gotWl != wl {
 		t.Fatalf("welcome round trip: %+v != %+v (%v)", gotWl, wl, err)
@@ -213,6 +213,13 @@ func TestMessageRoundTrips(t *testing.T) {
 	h := Hello{Worker: 5}
 	if gotH, err := DecodeHello(EncodeHello(h)); err != nil || gotH != h {
 		t.Fatalf("hello round trip: %+v (%v)", gotH, err)
+	}
+	lv := Leave{Worker: 3}
+	if gotL, err := DecodeLeave(EncodeLeave(lv)); err != nil || gotL != lv {
+		t.Fatalf("leave round trip: %+v (%v)", gotL, err)
+	}
+	if _, err := DecodeLeave(EncodeLeave(Leave{Worker: -2})); err == nil {
+		t.Fatal("negative leave worker accepted")
 	}
 	if _, err := DecodeWork(EncodeWork(w)[:10]); !errors.Is(err, ErrShortPayload) {
 		t.Fatalf("truncated work payload: %v, want ErrShortPayload", err)

@@ -47,12 +47,23 @@ type Hello struct {
 
 // Welcome is the coordinator's handshake reply: the run parameters a worker
 // process needs to mirror the coordinator's dataset and training behavior.
+// Worker echoes the dialer's ID — or, for a Join handshake, carries the
+// freshly assigned one — so an elastic joiner learns who it is, and
+// inherits the run seed (and therefore the shuffle replay) like any other
+// worker; the current model parameters ride its first Work dispatch.
 type Welcome struct {
 	Seed        uint64
 	HeartbeatNS int64
 	Shuffle     bool
 	Threads     int
 	MaxBatch    int
+	Worker      int
+}
+
+// Leave is a worker's graceful-departure announcement: stop dispatching to
+// me, drain my in-flight completions, then say Goodbye.
+type Leave struct {
+	Worker int
 }
 
 // Ack acknowledges receipt of the Done for Seq, releasing the worker's
@@ -228,7 +239,7 @@ func DecodeHello(p []byte) (Hello, error) {
 
 // EncodeWelcome serializes w for a Welcome frame.
 func EncodeWelcome(w Welcome) []byte {
-	b := make([]byte, 0, 32)
+	b := make([]byte, 0, 36)
 	b = appendU64(b, w.Seed)
 	b = appendU64(b, uint64(w.HeartbeatNS))
 	var shuffle uint32
@@ -238,6 +249,7 @@ func EncodeWelcome(w Welcome) []byte {
 	b = appendU32(b, shuffle)
 	b = appendU32(b, uint32(int32(w.Threads)))
 	b = appendU32(b, uint32(int32(w.MaxBatch)))
+	b = appendU32(b, uint32(int32(w.Worker)))
 	return b
 }
 
@@ -251,10 +263,29 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 	w.Shuffle = c.u32() != 0
 	w.Threads = int(int32(c.u32()))
 	w.MaxBatch = int(int32(c.u32()))
+	w.Worker = int(int32(c.u32()))
 	if err := c.done(); err != nil {
 		return Welcome{}, fmt.Errorf("welcome: %w", err)
 	}
 	return w, nil
+}
+
+// EncodeLeave serializes l for a Leave frame.
+func EncodeLeave(l Leave) []byte {
+	return appendU32(nil, uint32(int32(l.Worker)))
+}
+
+// DecodeLeave parses a Leave frame payload.
+func DecodeLeave(p []byte) (Leave, error) {
+	c := &cursor{b: p}
+	l := Leave{Worker: int(int32(c.u32()))}
+	if err := c.done(); err != nil {
+		return Leave{}, fmt.Errorf("leave: %w", err)
+	}
+	if l.Worker < 0 {
+		return Leave{}, fmt.Errorf("transport: leave from negative worker %d", l.Worker)
+	}
+	return l, nil
 }
 
 // EncodeAck serializes a for an Ack frame.

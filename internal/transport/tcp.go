@@ -22,8 +22,13 @@ type TCPOptions struct {
 	// SendTimeout bounds each frame write. Zero defaults to 5 s.
 	SendTimeout time.Duration
 	// Welcome is the run configuration handed to each connecting worker
-	// (HeartbeatNS is filled in from Heartbeat).
+	// (HeartbeatNS is filled in from Heartbeat; Worker is filled in per
+	// connection).
 	Welcome Welcome
+	// MaxWorkers caps the link table for elastic joins: fresh workers may
+	// attach mid-run (KindJoin handshake) until the table holds MaxWorkers
+	// slots. Zero (or anything below the initial count) disables joins.
+	MaxWorkers int
 	// Metrics, when set, surfaces transport_* counters and the
 	// reconnect-latency histogram in the registry.
 	Metrics *telemetry.Registry
@@ -79,6 +84,9 @@ type link struct {
 	// everUp marks that the worker has connected at least once, so a
 	// re-established link counts as a reconnect.
 	everUp bool
+	// departed marks a slot retired after a graceful leave: its closed
+	// connection raises no LinkDown, and the slot accepts no reconnect.
+	departed bool
 }
 
 // TCP is the networked Transport: the coordinator listens, workers dial in
@@ -98,8 +106,13 @@ type TCP struct {
 	mu     sync.Mutex
 	links  []link
 	closed bool
-	// attached counts workers that have connected at least once; attachCh
-	// closes when all have (WaitForWorkers).
+	// initial is the worker count the run starts with; maxWorkers bounds
+	// the link table across elastic joins.
+	initial    int
+	maxWorkers int
+	// attached counts initial workers that have connected at least once;
+	// attachCh closes when all have (WaitForWorkers). Elastic joiners do
+	// not count — the run is already underway when they arrive.
 	attached int
 	attachCh chan struct{}
 
@@ -118,14 +131,21 @@ func ListenTCP(addr string, n int, opts TCPOptions) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{
-		opts:     opts,
-		ln:       ln,
-		recvQ:    msgq.New[Msg](),
-		m:        newTCPMetrics(opts.Metrics),
-		links:    make([]link, n),
-		attachCh: make(chan struct{}),
+	maxW := opts.MaxWorkers
+	if maxW < n {
+		maxW = n
 	}
+	t := &TCP{
+		opts:       opts,
+		ln:         ln,
+		recvQ:      msgq.New[Msg](),
+		m:          newTCPMetrics(opts.Metrics),
+		links:      make([]link, 0, maxW),
+		initial:    n,
+		maxWorkers: maxW,
+		attachCh:   make(chan struct{}),
+	}
+	t.links = t.links[:n]
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -134,8 +154,8 @@ func ListenTCP(addr string, n int, opts TCPOptions) (*TCP, error) {
 // Addr returns the listening address for workers to dial.
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
-// WaitForWorkers blocks until every worker has connected at least once, or
-// the timeout expires.
+// WaitForWorkers blocks until every initial worker has connected at least
+// once, or the timeout expires. Elastic joiners are not waited for.
 func (t *TCP) WaitForWorkers(timeout time.Duration) error {
 	select {
 	case <-t.attachCh:
@@ -144,7 +164,7 @@ func (t *TCP) WaitForWorkers(timeout time.Duration) error {
 		t.mu.Lock()
 		n := t.attached
 		t.mu.Unlock()
-		return fmt.Errorf("transport: %d of %d workers attached after %v", n, len(t.links), timeout)
+		return fmt.Errorf("transport: %d of %d workers attached after %v", n, t.initial, timeout)
 	}
 }
 
@@ -167,34 +187,57 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-// handshake validates a dialing worker's Hello, replies Welcome, installs
-// the connection (displacing a stale one), and runs the read loop.
+// handshake validates a dialing worker's Hello (or an elastic joiner's
+// Join), replies Welcome with the worker's ID, installs the connection
+// (displacing a stale one), and runs the read loop.
 func (t *TCP) handshake(conn net.Conn) {
 	defer t.wg.Done()
 	deadline := t.opts.Heartbeat * time.Duration(t.opts.MissLimit)
 	conn.SetReadDeadline(time.Now().Add(deadline))
 	kind, payload, err := ReadFrame(conn)
-	if err != nil || kind != KindHello {
+	if err != nil || (kind != KindHello && kind != KindJoin) {
 		t.m.frameErrs.Inc()
 		conn.Close()
 		return
 	}
-	hello, err := DecodeHello(payload)
-	if err != nil || hello.Worker >= len(t.links) {
-		t.m.frameErrs.Inc()
-		conn.Close()
-		return
+	var id int
+	joining := kind == KindJoin
+	if joining {
+		// Admit a fresh worker: grow the link table under the cap. The slot
+		// is allocated before the Welcome so no two joiners share an ID.
+		t.mu.Lock()
+		if t.closed || len(t.links) >= t.maxWorkers {
+			t.mu.Unlock()
+			t.m.frameErrs.Inc()
+			conn.Close()
+			return
+		}
+		id = len(t.links)
+		t.links = append(t.links, link{})
+		t.mu.Unlock()
+	} else {
+		hello, derr := DecodeHello(payload)
+		t.mu.Lock()
+		n := len(t.links)
+		t.mu.Unlock()
+		if derr != nil || hello.Worker >= n {
+			t.m.frameErrs.Inc()
+			conn.Close()
+			return
+		}
+		id = hello.Worker
 	}
-	id := hello.Worker
+	welcome := t.opts.Welcome
+	welcome.Worker = id
 	conn.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
-	if err := WriteFrame(conn, KindWelcome, EncodeWelcome(t.opts.Welcome)); err != nil {
+	if err := WriteFrame(conn, KindWelcome, EncodeWelcome(welcome)); err != nil {
 		conn.Close()
 		return
 	}
 	conn.SetWriteDeadline(time.Time{})
 
 	t.mu.Lock()
-	if t.closed {
+	if t.closed || t.links[id].departed {
 		t.mu.Unlock()
 		conn.Close()
 		return
@@ -215,9 +258,11 @@ func (t *TCP) handshake(conn net.Conn) {
 	l.downAt = time.Time{}
 	if !l.everUp {
 		l.everUp = true
-		t.attached++
-		if t.attached == len(t.links) {
-			close(t.attachCh)
+		if id < t.initial {
+			t.attached++
+			if t.attached == t.initial {
+				close(t.attachCh)
+			}
 		}
 	}
 	t.mu.Unlock()
@@ -231,7 +276,11 @@ func (t *TCP) handshake(conn net.Conn) {
 			t.m.reconnectH.Observe(downFor)
 		}
 	}
-	t.recvQ.Push(Msg{Event: &Event{Worker: id, Kind: LinkUp}})
+	up := LinkUp
+	if joining {
+		up = LinkJoin
+	}
+	t.recvQ.Push(Msg{Event: &Event{Worker: id, Kind: up}})
 	t.readLoop(id, conn)
 }
 
@@ -276,6 +325,16 @@ func (t *TCP) readLoop(id int, conn net.Conn) {
 				return
 			}
 			conn.SetWriteDeadline(time.Time{})
+		case KindLeave:
+			l, err := DecodeLeave(payload)
+			if err != nil || l.Worker != id {
+				t.m.frameErrs.Inc()
+				t.linkDown(id, conn, fmt.Errorf("transport: bad leave frame: %v", err))
+				return
+			}
+			// Keep reading: the drain's Done frames still flow on this
+			// link; the engine calls Retire once the flight map clears.
+			t.recvQ.Push(Msg{Event: &Event{Worker: id, Kind: LinkLeave, Reason: "graceful leave"}})
 		case KindGoodbye:
 			t.linkDown(id, conn, fmt.Errorf("transport: worker said goodbye"))
 			return
@@ -315,6 +374,27 @@ func (t *TCP) linkDown(id int, conn net.Conn, cause error) {
 		reason = cause.Error()
 	}
 	t.recvQ.Push(Msg{Event: &Event{Worker: id, Kind: LinkDown, Reason: reason}})
+}
+
+// Retire gracefully closes worker's link once its drain has settled: a
+// best-effort Goodbye tells the worker process to exit, the slot is marked
+// departed (no LinkDown event, no reconnect), and future Sends report
+// ErrLinkDown.
+func (t *TCP) Retire(worker int) {
+	t.mu.Lock()
+	if worker < 0 || worker >= len(t.links) || t.links[worker].departed {
+		t.mu.Unlock()
+		return
+	}
+	conn := t.links[worker].conn
+	t.links[worker].conn = nil
+	t.links[worker].departed = true
+	t.mu.Unlock()
+	if conn != nil {
+		conn.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+		WriteFrame(conn, KindGoodbye, nil) // best effort
+		conn.Close()
+	}
 }
 
 // Send dispatches w to worker over its live link. ErrLinkDown when the link

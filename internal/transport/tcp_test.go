@@ -233,3 +233,109 @@ func TestLocalTransportRoundTrip(t *testing.T) {
 		t.Fatalf("queue stats = %d/%d/%d", pushed, popped, dropped)
 	}
 }
+
+// TestTCPElasticJoinLeaveRetire drives the elastic membership handshakes:
+// a coordinator listening for 1 initial worker (capacity 3) admits a fresh
+// joiner mid-run with an assigned ID, serves it work, honors its graceful
+// Leave (drain keeps flowing, the engine retires the link with Goodbye),
+// and a join beyond capacity is refused.
+func TestTCPElasticJoinLeaveRetire(t *testing.T) {
+	coord, err := ListenTCP("127.0.0.1:0", 1, TCPOptions{
+		Heartbeat:  25 * time.Millisecond,
+		MaxWorkers: 2,
+		Welcome:    Welcome{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorker(t, coord.Addr(), 0, func(w Work) Done { return Done{Updates: 1} })
+	if err := coord.WaitForWorkers(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	joiner, err := DialJoin(ctx, coord.Addr(), ClientOptions{Seed: 2, BackoffBase: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joiner.ID() != 1 {
+		t.Fatalf("joiner assigned id %d, want 1", joiner.ID())
+	}
+	if joiner.Welcome().Seed != 5 {
+		t.Fatalf("joiner welcome %+v did not inherit the run seed", joiner.Welcome())
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- joiner.Run(ctx, func(w Work) Done {
+			d := Done{Updates: w.Hi - w.Lo}
+			if w.Seq == 2 {
+				joiner.Leave()
+			}
+			return d
+		})
+	}()
+
+	// Expect LinkUp(0) (initial worker) then LinkJoin(1), in some order
+	// with the joiner's admission strictly after its slot existed.
+	seen := map[EventKind]int{}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seen) < 2 {
+		m, st := coord.Recv(time.Until(deadline))
+		if st != RecvOK {
+			t.Fatalf("Recv = %v while waiting for membership events (saw %v)", st, seen)
+		}
+		if m.Event != nil {
+			seen[m.Event.Kind] = m.Event.Worker
+		}
+	}
+	if w, ok := seen[LinkJoin]; !ok || w != 1 {
+		t.Fatalf("membership events %v, want LinkJoin for worker 1", seen)
+	}
+
+	// Work flows to the joiner; seq 2 triggers its graceful Leave.
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := coord.Send(1, Work{Seq: seq, Lo: 0, Hi: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var leaves, dones int
+	for dones < 2 || leaves == 0 {
+		m, st := coord.Recv(time.Until(deadline))
+		if st != RecvOK {
+			t.Fatalf("Recv = %v waiting for drain (dones %d, leaves %d)", st, dones, leaves)
+		}
+		switch {
+		case m.Done != nil:
+			dones++
+		case m.Event != nil && m.Event.Kind == LinkLeave:
+			if m.Event.Worker != 1 {
+				t.Fatalf("LinkLeave from worker %d, want 1", m.Event.Worker)
+			}
+			leaves++
+		}
+	}
+
+	// Drain settled: retire the link. The joiner's Run must return nil
+	// (orderly Goodbye), and no LinkDown may surface for the retiree.
+	coord.Retire(1)
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("joiner Run after retire: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner did not exit after Goodbye")
+	}
+	if err := coord.Send(1, Work{Seq: 3}); err != ErrLinkDown {
+		t.Fatalf("Send to retired worker = %v, want ErrLinkDown", err)
+	}
+
+	// Capacity is full (2 slots): another join must be refused.
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), time.Second)
+	defer shortCancel()
+	if _, err := DialJoin(shortCtx, coord.Addr(), ClientOptions{Seed: 3, MaxAttempts: 2, BackoffBase: 5 * time.Millisecond}); err == nil {
+		t.Fatal("join beyond MaxWorkers accepted")
+	}
+}

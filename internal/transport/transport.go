@@ -44,6 +44,14 @@ const (
 	// severed connection). In-flight dispatches to that worker should be
 	// treated exactly like a watchdog timeout: abandon and re-dispatch.
 	LinkDown
+	// LinkJoin: a fresh elastic worker was admitted mid-run; Worker is its
+	// newly assigned ID. The coordinator must grow its per-worker state
+	// before dispatching (the event doubles as the joiner's LinkUp).
+	LinkJoin
+	// LinkLeave: a worker announced a graceful departure. The coordinator
+	// should stop dispatching to it, let its in-flight work drain through
+	// the flight map, then retire the link.
+	LinkLeave
 )
 
 // String returns the event-kind name.
@@ -53,6 +61,10 @@ func (k EventKind) String() string {
 		return "link-up"
 	case LinkDown:
 		return "link-down"
+	case LinkJoin:
+		return "link-join"
+	case LinkLeave:
+		return "link-leave"
 	default:
 		return "unknown"
 	}

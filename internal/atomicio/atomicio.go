@@ -7,10 +7,12 @@
 package atomicio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // Write streams fn's output into a temp file next to path and atomically
@@ -48,6 +50,24 @@ func Write(path string, perm os.FileMode, fn func(w io.Writer) error) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("atomicio: rename %s over %s: %w", tmp, path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so the rename that just happened inside it is
+// itself durable: fsync of the file makes the *content* survive power loss,
+// but the directory entry pointing at it lives in the directory's own
+// blocks, and without this a crash can forget the rename and leave the old
+// (or no) file behind. Filesystems that refuse fsync on directories are
+// tolerated — they either don't need it or can't provide it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
 	}
 	return nil
 }
@@ -91,5 +111,7 @@ func Rotate(path string, keep int) error {
 	if err := os.Rename(path, path+".1"); err != nil {
 		return fmt.Errorf("atomicio: rotate %s: %w", path, err)
 	}
-	return nil
+	// The rotation is a chain of renames in one directory; one directory
+	// fsync at the end makes the whole chain durable.
+	return syncDir(filepath.Dir(path))
 }

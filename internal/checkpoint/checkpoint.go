@@ -5,15 +5,21 @@
 // File layout (little-endian):
 //
 //	magic   uint32  "HGC1"
-//	version uint32
+//	version uint32  1, or 2 when a membership section follows the header
 //	hdrLen  uint32  length of the JSON header
-//	header  []byte  JSON: every RunState field except Params
+//	header  []byte  JSON: every RunState field except Membership and Params
 //	hdrCRC  uint32  CRC-32 (IEEE) of the four preceding fields
+//	memLen  uint32  (version ≥ 2) length of the membership JSON
+//	member  []byte  (version ≥ 2) JSON core.MembershipState
+//	memCRC  uint32  (version ≥ 2) CRC-32 (IEEE) of memLen + member
 //	params  []byte  the model, in nn.WriteParams format (self-checksummed)
 //
-// The header and model sections carry independent checksums, so truncation
-// or corruption anywhere in the file yields a descriptive error instead of
-// a silently wrong resume. Files are written via atomicio (temp file +
+// The header, membership, and model sections carry independent checksums,
+// so truncation or corruption anywhere in the file yields a descriptive
+// error instead of a silently wrong resume — a flipped byte in the
+// membership block must never resurrect the wrong worker set. States
+// without membership still serialize as version 1, byte-identical to the
+// pre-membership format. Files are written via atomicio (temp file +
 // rename), so a kill mid-write never leaves a torn checkpoint: readers see
 // either the previous complete generation or the new one.
 package checkpoint
@@ -26,6 +32,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"heterosgd/internal/atomicio"
@@ -35,8 +42,11 @@ import (
 )
 
 const (
-	fileMagic   = 0x48474331 // "HGC1"
-	fileVersion = 1
+	fileMagic = 0x48474331 // "HGC1"
+	// fileVersion 2 adds the optional CRC-guarded membership section;
+	// version-1 files (no membership) remain readable and are still what
+	// Write emits for states without one.
+	fileVersion = 2
 )
 
 // header mirrors core.RunState minus Params (which is stored in the binary
@@ -85,10 +95,18 @@ func Write(w io.Writer, st *core.RunState) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: encoding header: %w", err)
 	}
+	version := uint32(1)
+	var mem []byte
+	if st.Membership != nil {
+		version = fileVersion
+		if mem, err = json.Marshal(st.Membership); err != nil {
+			return fmt.Errorf("checkpoint: encoding membership: %w", err)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(bw, crc)
-	for _, v := range []uint32{fileMagic, fileVersion, uint32(len(hdr))} {
+	for _, v := range []uint32{fileMagic, version, uint32(len(hdr))} {
 		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("checkpoint: writing header: %w", err)
 		}
@@ -98,6 +116,19 @@ func Write(w io.Writer, st *core.RunState) error {
 	}
 	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
 		return fmt.Errorf("checkpoint: writing header checksum: %w", err)
+	}
+	if st.Membership != nil {
+		mcrc := crc32.NewIEEE()
+		mmw := io.MultiWriter(bw, mcrc)
+		if err := binary.Write(mmw, binary.LittleEndian, uint32(len(mem))); err != nil {
+			return fmt.Errorf("checkpoint: writing membership: %w", err)
+		}
+		if _, err := mmw.Write(mem); err != nil {
+			return fmt.Errorf("checkpoint: writing membership: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, mcrc.Sum32()); err != nil {
+			return fmt.Errorf("checkpoint: writing membership checksum: %w", err)
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return err
@@ -142,6 +173,34 @@ func Read(r io.Reader, net *nn.Network) (*core.RunState, error) {
 	if err := json.Unmarshal(hdr, &h); err != nil {
 		return nil, fmt.Errorf("checkpoint: decoding header: %w", err)
 	}
+	var membership *core.MembershipState
+	if version >= 2 {
+		mcrc := crc32.NewIEEE()
+		mtr := io.TeeReader(r, mcrc)
+		var memLen uint32
+		if err := binary.Read(mtr, binary.LittleEndian, &memLen); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading membership length (truncated file?): %w", err)
+		}
+		if memLen > maxHeader {
+			return nil, fmt.Errorf("checkpoint: implausible membership length %d (corrupt file?)", memLen)
+		}
+		mem := make([]byte, memLen)
+		if _, err := io.ReadFull(mtr, mem); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading membership (truncated file?): %w", err)
+		}
+		mwant := mcrc.Sum32()
+		var mgot uint32
+		if err := binary.Read(r, binary.LittleEndian, &mgot); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading membership checksum (truncated file?): %w", err)
+		}
+		if mgot != mwant {
+			return nil, fmt.Errorf("checkpoint: membership checksum mismatch (stored %#x, computed %#x): refusing to resume an unverifiable worker set", mgot, mwant)
+		}
+		membership = &core.MembershipState{}
+		if err := json.Unmarshal(mem, membership); err != nil {
+			return nil, fmt.Errorf("checkpoint: decoding membership: %w", err)
+		}
+	}
 	params, err := nn.ReadParams(r, net)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: model section: %w", err)
@@ -162,6 +221,7 @@ func Read(r io.Reader, net *nn.Network) (*core.RunState, error) {
 		Interrupted:  h.Interrupted,
 		At:           h.At,
 		Events:       h.Events,
+		Membership:   membership,
 		Params:       params,
 	}, nil
 }
@@ -183,14 +243,59 @@ func Load(path string, net *nn.Network) (*core.RunState, error) {
 	return Read(f, net)
 }
 
+// LoadReport is LoadLatest's audit trail: which generation was actually
+// loaded and why every newer generation was rejected. Drills and CLIs turn
+// it into a Result event so a fallback is visible in run output, not just
+// on stderr.
+type LoadReport struct {
+	// Path is the generation that loaded successfully.
+	Path string
+	// Rejected lists newer generations skipped on the way, oldest-last.
+	Rejected []Rejection
+}
+
+// Rejection records one generation LoadLatest could not use.
+type Rejection struct {
+	Path string
+	Err  string
+}
+
+// FellBack reports whether anything newer than the loaded generation was
+// rejected.
+func (r *LoadReport) FellBack() bool { return r != nil && len(r.Rejected) > 0 }
+
+// Event renders the fallback as a run-level event suitable for appending to
+// the resumed RunState's event log; ok is false when no fallback happened.
+func (r *LoadReport) Event() (metrics.Event, bool) {
+	if !r.FellBack() {
+		return metrics.Event{}, false
+	}
+	parts := make([]string, 0, len(r.Rejected))
+	for _, rej := range r.Rejected {
+		parts = append(parts, fmt.Sprintf("%s: %s", rej.Path, rej.Err))
+	}
+	return metrics.Event{
+		Kind:   "ckpt-fallback",
+		Detail: fmt.Sprintf("resumed from %s; rejected %s", r.Path, strings.Join(parts, "; ")),
+	}, true
+}
+
 // LoadLatest reads path, falling back through its rotated generations
 // (path.1, path.2, …, up to keep-1 backups) when path is missing or fails
 // to validate — a kill between a Writer's rotate and write, or corruption
 // of the newest generation, then resumes from the most recent good one.
 func LoadLatest(path string, keep int, net *nn.Network) (*core.RunState, error) {
+	st, _, err := LoadLatestReport(path, keep, net)
+	return st, err
+}
+
+// LoadLatestReport is LoadLatest returning, additionally, the audit trail
+// of which generation loaded and which newer ones were rejected and why.
+func LoadLatestReport(path string, keep int, net *nn.Network) (*core.RunState, *LoadReport, error) {
 	if keep < 1 {
 		keep = 1
 	}
+	rep := &LoadReport{}
 	var firstErr error
 	for i := 0; i < keep; i++ {
 		p := path
@@ -199,16 +304,20 @@ func LoadLatest(path string, keep int, net *nn.Network) (*core.RunState, error) 
 		}
 		st, err := Load(p, net)
 		if err == nil {
-			return st, nil
+			rep.Path = p
+			return st, rep, nil
 		}
-		if firstErr == nil && !os.IsNotExist(err) {
-			firstErr = fmt.Errorf("%s: %w", p, err)
+		if !os.IsNotExist(err) {
+			rep.Rejected = append(rep.Rejected, Rejection{Path: p, Err: err.Error()})
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", p, err)
+			}
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return nil, fmt.Errorf("checkpoint: no checkpoint at %s", path)
+	return nil, nil, fmt.Errorf("checkpoint: no checkpoint at %s", path)
 }
 
 // Writer is the core.CheckpointSink that persists every received RunState to

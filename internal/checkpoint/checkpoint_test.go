@@ -2,9 +2,11 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -220,5 +222,167 @@ func TestWriteRejectsMissingParams(t *testing.T) {
 	st.Params = nil
 	if err := Write(&bytes.Buffer{}, st); err == nil {
 		t.Fatal("expected error for missing params")
+	}
+}
+
+// memberState returns a run state carrying a mid-churn membership section:
+// one departed slot, one draining, one active, plus in-flight work and
+// transport counters — everything cluster resume must get back verbatim.
+func memberState(t *testing.T, net *nn.Network) *core.RunState {
+	t.Helper()
+	st := testState(t, net)
+	st.Batch = []int{16, 256, 16}
+	st.Updates = []int64{300, 212, 44}
+	st.LRMult = []float64{1, 1, 1}
+	st.Membership = &core.MembershipState{
+		States:          []int{0, 1, 2}, // active, draining, departed
+		Clocks:          []int64{12, 9, 7},
+		SeqFloor:        91,
+		Dispatches:      88,
+		Min:             1,
+		Max:             4,
+		Joins:           1,
+		Leaves:          1,
+		Evictions:       1,
+		Rebalances:      3,
+		Peak:            3,
+		Duplicates:      2,
+		Abandoned:       1,
+		Partitions:      1,
+		Reconnects:      1,
+		AppliedExamples: 9001,
+		Flight: []core.FlightEntry{
+			{Seq: 90, Worker: 0, Lo: 64, Hi: 80, Epoch: 3},
+			{Seq: 91, Worker: -1, Lo: 80, Hi: 96, Epoch: 3},
+		},
+	}
+	return st
+}
+
+// TestMembershipRoundTrip: a membership-bearing state serializes as format
+// version 2 and comes back field-for-field; a plain state keeps writing the
+// v1 layout old readers understand.
+func TestMembershipRoundTrip(t *testing.T) {
+	net := testNet(t)
+	st := memberState(t, net)
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != 2 {
+		t.Fatalf("membership-bearing checkpoint has version %d, want 2", v)
+	}
+	back, err := Read(bytes.NewReader(raw), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statesEqual(t, st, back)
+	if back.Membership == nil {
+		t.Fatal("membership section lost")
+	}
+	if !reflect.DeepEqual(back.Membership, st.Membership) {
+		t.Fatalf("membership changed:\n got %+v\nwant %+v", back.Membership, st.Membership)
+	}
+
+	// Without a membership section the writer emits version 1 — byte-for-byte
+	// what pre-membership builds wrote and read.
+	var v1 bytes.Buffer
+	if err := Write(&v1, testState(t, net)); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(v1.Bytes()[4:8]); v != 1 {
+		t.Fatalf("plain checkpoint has version %d, want 1", v)
+	}
+	if back, err := Read(bytes.NewReader(v1.Bytes()), net); err != nil || back.Membership != nil {
+		t.Fatalf("v1 read = (%+v, %v), want nil membership", back.Membership, err)
+	}
+}
+
+// TestMembershipCorruption: damage anywhere in the membership block must
+// fail loudly — resuming with the wrong worker set would be silent data
+// corruption at cluster scale.
+func TestMembershipCorruption(t *testing.T) {
+	net := testNet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, memberState(t, net)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	hdrLen := int(binary.LittleEndian.Uint32(raw[8:12]))
+	memOff := 12 + hdrLen + 4 // after header JSON + header CRC
+
+	t.Run("flipped membership byte", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[memOff+4+5] ^= 0x10 // inside the membership JSON
+		if _, err := Read(bytes.NewReader(bad), net); err == nil ||
+			!strings.Contains(err.Error(), "membership checksum mismatch") {
+			t.Fatalf("want a membership-checksum error, got %v", err)
+		}
+	})
+	t.Run("truncated inside membership", func(t *testing.T) {
+		for _, cut := range []int{memOff, memOff + 2, memOff + 10} {
+			if _, err := Read(bytes.NewReader(raw[:cut]), net); err == nil {
+				t.Fatalf("truncation at %d must error", cut)
+			}
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(bad[4:8], 3)
+		if _, err := Read(bytes.NewReader(bad), net); err == nil ||
+			!strings.Contains(err.Error(), "unsupported") {
+			t.Fatalf("a version-3 file must be refused by this reader, got %v", err)
+		}
+	})
+}
+
+// TestLoadLatestReportFallback: when the newest generation's membership is
+// corrupt, LoadLatest falls back to the previous good one and the report
+// says so — as a Result-ready event, not just a return value.
+func TestLoadLatestReportFallback(t *testing.T) {
+	net := testNet(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	w := &Writer{Path: path, Keep: 3}
+	for epoch := 3; epoch <= 4; epoch++ {
+		st := memberState(t, net)
+		st.Epoch = epoch
+		if err := w.WriteState(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte inside the newest generation's membership JSON.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(raw[8:12]))
+	raw[12+hdrLen+4+4+5] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, rep, err := LoadLatestReport(path, 3, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 3 {
+		t.Fatalf("fallback epoch = %d, want 3", st.Epoch)
+	}
+	if !rep.FellBack() || rep.Path != path+".1" || len(rep.Rejected) != 1 {
+		t.Fatalf("report = %+v, want fallback to %s.1", rep, path)
+	}
+	e, ok := rep.Event()
+	if !ok || e.Kind != "ckpt-fallback" {
+		t.Fatalf("event = (%+v, %v), want a ckpt-fallback event", e, ok)
+	}
+	if !strings.Contains(e.Detail, path+".1") || !strings.Contains(e.Detail, "membership checksum mismatch") {
+		t.Fatalf("event detail %q should name the loaded generation and the rejection reason", e.Detail)
+	}
+
+	// A clean head produces no event.
+	cleanRep := &LoadReport{Path: path}
+	if _, ok := cleanRep.Event(); ok {
+		t.Fatal("clean load produced a fallback event")
 	}
 }

@@ -88,10 +88,21 @@ func encodeParams(p *nn.Params) ([]byte, error) {
 // so the at-least-once transport never double-applies an update; see
 // TransportReport for the accounting.
 //
+// Crash durability: a cluster run checkpoints with a membership section
+// (worker states, SSP clocks, dispatch sequence floor, transport
+// accounting, and the in-flight batch list), and cfg.Resume restores all of
+// it — the coordinator process can be SIGKILLed and restarted, re-listen,
+// and continue the same trajectory. Workers re-handshake against the RESUME
+// Welcome (restored epoch + sequence floor), checkpointed in-flight batches
+// are re-queued for dispatch, and completions from the previous incarnation
+// are discarded as duplicates, so AppliedExamples == ExamplesProcessed
+// holds across the restart. Resume requires a membership-bearing (v2)
+// checkpoint, i.e. one written by a cluster run.
+//
 // Restrictions relative to RunReal: plain SGD only (optimizer state lives
-// worker-side and is not replicated), no cfg.Resume (workers replay
-// shuffles from epoch zero), and cfg.Faults is ignored — inject network
-// faults with transport.NewProxy and a faults.LinkPlan instead.
+// worker-side and is not replicated), and cfg.Faults is ignored — inject
+// network faults with transport.NewProxy and a faults.LinkPlan, or kill
+// whole processes with a faults.ProcPlan drill (hogcluster -chaos).
 func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans transport.Transport, opts ClusterOptions) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -108,8 +119,8 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	if cfg.Optimizer != opt.KindSGD {
 		return nil, fmt.Errorf("core: RunCluster supports plain SGD only (optimizer state is not replicated to workers)")
 	}
-	if cfg.Resume != nil {
-		return nil, fmt.Errorf("core: RunCluster does not support resume (workers replay shuffles from epoch zero)")
+	if cfg.Resume != nil && cfg.Resume.Membership == nil {
+		return nil, fmt.Errorf("core: RunCluster resume requires a membership-bearing checkpoint (written by a cluster run); this one has no membership section")
 	}
 	if cfg.Elastic != nil || cfg.ElasticPolicy != nil {
 		return nil, fmt.Errorf("core: RunCluster membership is transport-driven (workers join and leave on the wire); scripted plans and autoscale policies apply to RunSim and RunReal — set MaxWorkers above the initial count to admit live joiners")
@@ -150,14 +161,44 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	// initial count is the opt-in; the transport's link table enforces the
 	// same cap, so event IDs always land in [0, Capacity).
 	initialWorkers := len(cfg.Workers)
+	var resumeMS *MembershipState
+	if cfg.Resume != nil {
+		resumeMS = cfg.Resume.Membership
+		// The checkpoint's event history continues into this incarnation's
+		// log, so a drill's final output audits the whole trajectory.
+		for _, e := range cfg.Resume.Events {
+			events.AddEvent(e)
+		}
+	}
+	// Widen the per-worker tables to the checkpoint's mid-churn set before
+	// restoreRun copies counters into them; departed slots come back benched.
+	growForMembership(&cfg, coord, health, stale)
 	var mem *elastic.Membership
-	if cfg.elasticEnabled() {
+	switch {
+	case resumeMS != nil && (cfg.elasticEnabled() || len(resumeMS.States) > initialWorkers || resumeMS.ActiveCount() < len(resumeMS.States)):
+		var err error
+		mem, err = restoredMembership(resumeMS)
+		if err != nil {
+			return nil, err
+		}
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+	case cfg.elasticEnabled():
 		var err error
 		mem, err = elastic.New(len(cfg.Workers), cfg.MinWorkers, cfg.Capacity())
 		if err != nil {
 			return nil, err
 		}
 		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+	}
+	if err := restoreRun(&cfg, coord, global, guard); err != nil {
+		return nil, err
+	}
+	if resumeMS != nil {
+		// Transport accounting continues across the restart — the
+		// exactly-once audit covers the whole trajectory.
+		tr.Duplicates, tr.Abandoned = resumeMS.Duplicates, resumeMS.Abandoned
+		tr.Partitions, tr.Reconnects = resumeMS.Partitions, resumeMS.Reconnects
+		tr.AppliedExamples = resumeMS.AppliedExamples
 	}
 
 	start := time.Now()
@@ -193,6 +234,33 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	interrupted := false
 	overBudget := func() bool { return converged || interrupted || time.Since(start) >= budget }
 
+	// Dispatch state lives up here so writeCkpt can serialize it: seq
+	// continues above the checkpoint's floor, and checkpointed in-flight
+	// batches re-enter through the pending queue (their examples already
+	// count in ExamplesDone, so re-applying them is what rebalances the
+	// exactly-once accounting).
+	flight := make(map[uint64]*inflightDispatch)
+	var seq uint64
+	var completed int64
+	busy := make([]bool, len(cfg.Workers))
+	feed := make([][]data.Batch, len(cfg.Workers))
+	var pending []data.Batch
+	lastBatch := make([]int, len(cfg.Workers))
+	var batchTrace []BatchEvent
+	if resumeMS != nil {
+		seq = resumeMS.SeqFloor
+		completed = resumeMS.Dispatches
+		for _, f := range resumeMS.Flight {
+			if f.Hi > ds.N() {
+				return nil, fmt.Errorf("core: resume flight entry [%d,%d) outside dataset of %d", f.Lo, f.Hi, ds.N())
+			}
+			pending = append(pending, ds.View(f.Lo, f.Hi))
+		}
+		if len(resumeMS.Flight) > 0 {
+			events.Add(0, "", "resume", fmt.Sprintf("%d in-flight batches from the checkpoint re-queued", len(resumeMS.Flight)))
+		}
+	}
+
 	lastCkpt := start
 	writeCkpt := func(force bool) {
 		if cfg.CheckpointSink == nil {
@@ -211,6 +279,31 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			st.Interrupted = interrupted
 			st.At = time.Since(start)
 			st.Events = events.Events()
+			// The membership section makes the checkpoint cluster-resumable:
+			// worker states, clocks, the seq floor, transport accounting, and
+			// every dispatched-but-unapplied batch (live flights plus queued
+			// recovery batches; abandoned flights are excluded because their
+			// ranges were already re-queued).
+			ms := captureMembership(mem, stale, len(cfg.Workers), completed)
+			ms.SeqFloor = seq
+			ms.Duplicates, ms.Abandoned = tr.Duplicates, tr.Abandoned
+			ms.Partitions, ms.Reconnects = tr.Partitions, tr.Reconnects
+			ms.AppliedExamples = tr.AppliedExamples
+			for s, fl := range flight {
+				if fl.abandoned {
+					continue
+				}
+				ms.Flight = append(ms.Flight, FlightEntry{Seq: s, Worker: fl.worker, Lo: fl.batch.Lo, Hi: fl.batch.Hi, Epoch: coord.epoch})
+			}
+			for _, b := range pending {
+				ms.Flight = append(ms.Flight, FlightEntry{Worker: -1, Lo: b.Lo, Hi: b.Hi, Epoch: coord.epoch})
+			}
+			for id := range feed {
+				for _, b := range feed[id] {
+					ms.Flight = append(ms.Flight, FlightEntry{Worker: id, Lo: b.Lo, Hi: b.Hi, Epoch: coord.epoch})
+				}
+			}
+			st.Membership = ms
 			st.Params = global.Clone()
 			err = cfg.CheckpointSink.WriteState(st)
 		}
@@ -227,19 +320,27 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 	})
 	defer stopCancelWatch()
 
-	// ---- Attach phase: every worker must link up before training starts,
-	// so epoch-zero dispatches are never silently dropped on dead links.
+	// ---- Attach phase: every live worker must link up before training
+	// starts, so epoch-zero dispatches are never silently dropped on dead
+	// links. A resumed run waits only for the restored active set — its
+	// departed slots will never dial in again.
 	connected := make([]bool, len(cfg.Workers))
+	needAttach := 0
+	for i := range cfg.Workers {
+		if health.ok(i) {
+			needAttach++
+		}
+	}
 	var pendingJoins []int
 	attached := 0
 	attachDeadline := time.Now().Add(opts.AttachTimeout)
-	for attached < len(cfg.Workers) {
+	for attached < needAttach {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		remaining := time.Until(attachDeadline)
 		if remaining <= 0 {
-			return nil, fmt.Errorf("core: only %d of %d workers attached within %v", attached, len(cfg.Workers), opts.AttachTimeout)
+			return nil, fmt.Errorf("core: only %d of %d workers attached within %v", attached, needAttach, opts.AttachTimeout)
 		}
 		m, st := trans.Recv(remaining)
 		if st == transport.RecvClosed {
@@ -250,7 +351,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		}
 		switch m.Event.Kind {
 		case transport.LinkUp:
-			if !connected[m.Event.Worker] {
+			if !connected[m.Event.Worker] && health.ok(m.Event.Worker) {
 				connected[m.Event.Worker] = true
 				attached++
 				events.Add(time.Since(start), health.report.Workers[m.Event.Worker].Worker, "attach", "worker linked up")
@@ -268,14 +369,6 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		rm.loss.Set(loss)
 		rm.epochs.Set(coord.epochFrac())
 	}
-
-	flight := make(map[uint64]*inflightDispatch)
-	var seq uint64
-	busy := make([]bool, len(cfg.Workers))
-	feed := make([][]data.Batch, len(cfg.Workers))
-	var pending []data.Batch
-	lastBatch := make([]int, len(cfg.Workers))
-	var batchTrace []BatchEvent
 
 	workerName := func(id int) string { return health.report.Workers[id].Worker }
 
@@ -675,6 +768,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 			events.Add(time.Since(start), workerName(msg.Worker), "abandoned",
 				fmt.Sprintf("stale completion for seq %d discarded", msg.Seq))
 			stale.advance(msg.Worker)
+			completed++
 			if health.readmit(msg.Worker, time.Since(start)) {
 				stale.catchUp(msg.Worker)
 				dispatch(msg.Worker)
@@ -686,6 +780,7 @@ func RunCluster(ctx context.Context, cfg Config, budget time.Duration, trans tra
 		applyDelta(msg, fl.batch)
 		stale.observe(fl.staleness)
 		stale.advance(msg.Worker)
+		completed++
 		busy[msg.Worker] = false
 		outstanding--
 		maybeRetire(msg.Worker)

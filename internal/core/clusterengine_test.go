@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"heterosgd/internal/data"
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/faults"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/transport"
@@ -31,7 +32,7 @@ func clusterHarness(t *testing.T, alg Algorithm, plan *faults.LinkPlan, budget t
 		cfg.StalenessBound = 2
 	}
 
-	trans, err := transport.ListenTCP("127.0.0.1:0", len(cfg.Workers), ClusterTCPOptions(&cfg, 100*time.Millisecond))
+	trans, err := transport.ListenTCP("127.0.0.1:0", len(cfg.Workers), ClusterTCPOptions(&cfg, 100*time.Millisecond, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestClusterAttachTimeout(t *testing.T) {
 	cfg := NewConfig(AlgHogbatchCPU, net, ds, tinyPreset())
 	cfg.BaseLR = 0.1
 	cfg.RefBatch = 4
-	trans, err := transport.ListenTCP("127.0.0.1:0", len(cfg.Workers), ClusterTCPOptions(&cfg, 50*time.Millisecond))
+	trans, err := transport.ListenTCP("127.0.0.1:0", len(cfg.Workers), ClusterTCPOptions(&cfg, 50*time.Millisecond, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,6 +234,177 @@ func TestClusterAttachTimeout(t *testing.T) {
 		t.Fatal("expected attach-timeout error")
 	}
 	trans.Close()
+}
+
+// TestClusterResumeEquivalence is the cluster crash-durability golden test:
+// a two-worker cluster churns (worker 1 leaves gracefully mid-run), the
+// coordinator's barrier checkpoint captures the mid-churn membership, and a
+// completely fresh coordinator process-equivalent — new TCP listener, new
+// worker handshake, state only from the checkpoint — must continue the
+// exact trajectory of the uninterrupted run: bit-identical parameters,
+// scheduler counters, and RNG at every subsequent epoch barrier, with
+// exactly-once accounting spanning the restart. The churn phase races two
+// workers (float addition is not associative), so equivalence is asserted
+// from the first post-departure capture onward, where a single active
+// worker makes the continuation deterministic.
+func TestClusterResumeEquivalence(t *testing.T) {
+	mkCfg := func(sink *memSink) Config {
+		spec := tinySpec()
+		ds := data.Generate(spec, 42)
+		nw := nn.MustNetwork(spec.Arch())
+		cfg := NewConfig(AlgHogbatchCPU, nw, ds, tinyPreset())
+		cfg.Workers = append(cfg.Workers, cfg.Workers[0]) // two static-batch CPU slots
+		cfg.BaseLR = 0.1
+		cfg.RefBatch = 4
+		cfg.EvalSubset = 256
+		cfg.Shuffle = true
+		cfg.Guards = DefaultGuards()
+		cfg.MaxWorkers = 3 // membership may change (arms the elastic manager)
+		cfg.CheckpointSink = sink
+		return cfg
+	}
+	clientOpts := transport.ClientOptions{
+		Seed:        1,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+	runWorker := func(ctx context.Context, addr string, id, leaveAfter int) error {
+		wspec := tinySpec()
+		wds := data.Generate(wspec, 42)
+		wnet := nn.MustNetwork(wspec.Arch())
+		return RunClusterWorker(ctx, addr, id, wnet, wds, ClusterWorkerOptions{
+			Client:     clientOpts,
+			Threads:    2,
+			Guards:     true,
+			LeaveAfter: leaveAfter,
+		})
+	}
+
+	// The uninterrupted golden run: worker 1 departs after 6 dispatches,
+	// every epoch barrier is captured.
+	golden := &memSink{}
+	cfg := mkCfg(golden)
+	trans, err := transport.ListenTCP("127.0.0.1:0", ClusterListenSlots(&cfg), ClusterTCPOptions(&cfg, 100*time.Millisecond, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for id, leaveAfter := range map[int]int{0: 0, 1: 6} {
+		wg.Add(1)
+		go func(id, leaveAfter int) {
+			defer wg.Done()
+			if err := runWorker(ctx, trans.Addr(), id, leaveAfter); err != nil && ctx.Err() == nil {
+				t.Errorf("golden worker %d: %v", id, err)
+			}
+		}(id, leaveAfter)
+	}
+	res1, err := RunCluster(ctx, cfg, 1500*time.Millisecond, trans, ClusterOptions{AttachTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	wg.Wait()
+	if res1.Elastic == nil || res1.Elastic.Leaves != 1 {
+		t.Fatalf("golden run churn accounting: %+v", res1.Elastic)
+	}
+
+	// mid is the first barrier capture with worker 1 already departed — the
+	// coordinator state an operator would find on disk after a SIGKILL.
+	n := cfg.Dataset.N()
+	var mid *RunState
+	for _, st := range golden.states {
+		if st.Cursor == n && st.Membership != nil && len(st.Membership.States) == 2 &&
+			elastic.State(st.Membership.States[1]) == elastic.Departed {
+			mid = st
+			break
+		}
+	}
+	if mid == nil {
+		t.Fatal("no post-departure barrier capture; raise the golden budget")
+	}
+	if mid.Membership.SeqFloor == 0 || mid.Membership.Dispatches == 0 {
+		t.Fatalf("membership capture missing dispatch accounting: %+v", mid.Membership)
+	}
+
+	// The restarted incarnation: fresh transport, fresh worker process state;
+	// only slot 0 re-handshakes (slot 1 is restored departed and must not be
+	// waited for).
+	resumed := &memSink{}
+	cfg2 := mkCfg(resumed)
+	cfg2.Resume = mid
+	trans2, err := transport.ListenTCP("127.0.0.1:0", ClusterListenSlots(&cfg2), ClusterTCPOptions(&cfg2, 100*time.Millisecond, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		if err := runWorker(ctx2, trans2.Addr(), 0, 0); err != nil && ctx2.Err() == nil {
+			t.Errorf("resumed worker 0: %v", err)
+		}
+	}()
+	res2, err := RunCluster(ctx2, cfg2, 1200*time.Millisecond, trans2, ClusterOptions{AttachTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	wg2.Wait()
+
+	// Exactly-once accounting spans the restart: the resumed transport
+	// report starts from the checkpoint's counters, the scheduler from its
+	// example totals.
+	tr := res2.Health.Transport
+	if tr == nil {
+		t.Fatal("no transport report from resumed run")
+	}
+	if tr.AppliedExamples != res2.ExamplesProcessed {
+		t.Fatalf("exactly-once violated across restart: applied %d, scheduled %d",
+			tr.AppliedExamples, res2.ExamplesProcessed)
+	}
+	if res2.Elastic == nil || res2.Elastic.Leaves != 1 {
+		t.Fatalf("restored churn accounting lost the leave: %+v", res2.Elastic)
+	}
+
+	// Trajectory equivalence from the capture onward.
+	byEpoch := func(states []*RunState, epoch int) *RunState {
+		for _, st := range states {
+			if st.Epoch == epoch && st.Cursor == n {
+				return st
+			}
+		}
+		return nil
+	}
+	compared := 0
+	for epoch := mid.Epoch + 1; ; epoch++ {
+		want, got := byEpoch(golden.states, epoch), byEpoch(resumed.states, epoch)
+		if want == nil || got == nil {
+			break
+		}
+		if diff := want.Params.MaxAbsDiff(got.Params); diff != 0 {
+			t.Fatalf("epoch %d: resumed cluster model diverged (max |Δ| = %g)", epoch, diff)
+		}
+		if want.ExamplesDone != got.ExamplesDone {
+			t.Fatalf("epoch %d: examplesDone %d vs %d", epoch, want.ExamplesDone, got.ExamplesDone)
+		}
+		for i := range want.Batch {
+			if want.Batch[i] != got.Batch[i] || want.Updates[i] != got.Updates[i] {
+				t.Fatalf("epoch %d: scheduler state diverged: batch %v vs %v, updates %v vs %v",
+					epoch, want.Batch, got.Batch, want.Updates, got.Updates)
+			}
+		}
+		if string(want.RNG) != string(got.RNG) {
+			t.Fatalf("epoch %d: RNG streams diverged", epoch)
+		}
+		compared++
+	}
+	if compared < 2 {
+		t.Fatalf("only %d common post-departure epochs compared; want ≥2", compared)
+	}
 }
 
 // TestClusterRejectsUnsupportedConfigs pins the documented restrictions.

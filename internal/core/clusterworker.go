@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"heterosgd/internal/data"
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/nn"
 	"heterosgd/internal/tensor"
 	"heterosgd/internal/transport"
@@ -34,6 +35,11 @@ type ClusterWorkerOptions struct {
 	// this worker's last completion, and says Goodbye (RunClusterWorker
 	// then returns nil).
 	LeaveAfter int
+	// OnDispatch, when set, runs before each dispatch is computed, with the
+	// 1-based count of dispatches received so far. Chaos drills use it to
+	// kill the process after N frames (a SIGKILL mid-computation from the
+	// coordinator's point of view).
+	OnDispatch func(n int)
 }
 
 // RunClusterWorker joins the coordinator at addr as worker id and serves
@@ -85,9 +91,18 @@ func RunClusterWorker(ctx context.Context, addr string, id int, net *nn.Network,
 	}
 
 	// The shuffle replay stream: the same (seed, stream) pair the
-	// coordinator's epoch reshuffles consume, fresh from epoch zero.
+	// coordinator's epoch reshuffles consume, fresh from epoch zero. A
+	// RESUME welcome fast-forwards it to the restored epoch before the
+	// first dispatch, so [Lo,Hi) ranges keep denoting the coordinator's
+	// examples across its restart.
 	replay := RunRNG(welcome.Seed)
 	shuffled := uint32(0)
+	if welcome.Shuffle && welcome.Resume {
+		for shuffled < welcome.ResumeEpoch {
+			ds.Shuffle(replay)
+			shuffled++
+		}
+	}
 
 	base := net.NewParams(nn.InitZero, nil)
 	replica := net.NewParams(nn.InitZero, nil)
@@ -101,8 +116,13 @@ func RunClusterWorker(ctx context.Context, addr string, id int, net *nn.Network,
 		}
 		// Catch up on epoch shuffles so the dispatched range denotes the
 		// coordinator's examples. Epochs only advance, so replay is
-		// incremental.
+		// incremental; a dispatch from an epoch this worker has already
+		// shuffled past would silently train on the wrong permutation, so
+		// it fails loudly and the coordinator re-dispatches it elsewhere.
 		if welcome.Shuffle {
+			if wk.Epoch < shuffled {
+				return transport.Done{Failed: true, Err: fmt.Sprintf("core: stale shuffle state: dispatch from epoch %d, worker already at %d", wk.Epoch, shuffled)}
+			}
 			for shuffled < wk.Epoch {
 				ds.Shuffle(replay)
 				shuffled++
@@ -165,6 +185,9 @@ func RunClusterWorker(ctx context.Context, addr string, id int, net *nn.Network,
 				out = transport.Done{Failed: true, Err: fmt.Sprintf("core: cluster worker %d panicked: %v", id, r)}
 			}
 		}()
+		if opts.OnDispatch != nil {
+			opts.OnDispatch(handled + 1)
+		}
 		out = compute(wk)
 		handled++
 		if opts.LeaveAfter > 0 && handled == opts.LeaveAfter {
@@ -178,10 +201,28 @@ func RunClusterWorker(ctx context.Context, addr string, id int, net *nn.Network,
 	return c.Run(ctx, handler)
 }
 
+// ClusterListenSlots returns the link-table size to pass to ListenTCP for
+// cfg: the configured worker count, widened to the resume membership's slot
+// count — a restored elastic joiner's id must map to a slot before it can
+// re-handshake, and a restored departed slot must exist to be refused.
+func ClusterListenSlots(cfg *Config) int {
+	n := len(cfg.Workers)
+	if st := cfg.Resume; st != nil && st.Membership != nil && len(st.Membership.States) > n {
+		n = len(st.Membership.States)
+	}
+	return n
+}
+
 // ClusterTCPOptions derives the coordinator-side transport options for
 // cfg: the handshake carries the run seed, shuffle flag, and scheduling
 // hints, so worker processes can configure themselves from the wire.
-func ClusterTCPOptions(cfg *Config, heartbeat time.Duration) transport.TCPOptions {
+// missLimit ≤ 0 keeps the transport default (3 missed heartbeats).
+//
+// When cfg.Resume carries a membership section, the Welcome becomes its
+// RESUME variant (restored epoch + sequence floor) and the checkpoint's
+// drained/evicted slots start departed, so a zombie from the previous
+// incarnation cannot re-claim a retired id.
+func ClusterTCPOptions(cfg *Config, heartbeat time.Duration, missLimit int) transport.TCPOptions {
 	maxBatch, threads := 0, 1
 	for _, w := range cfg.Workers {
 		if w.MaxBatch > maxBatch {
@@ -191,8 +232,9 @@ func ClusterTCPOptions(cfg *Config, heartbeat time.Duration) transport.TCPOption
 			threads = w.Threads
 		}
 	}
-	return transport.TCPOptions{
+	opts := transport.TCPOptions{
 		Heartbeat: heartbeat,
+		MissLimit: missLimit,
 		// The link table gets the same headroom as the engine's worker
 		// tables, so elastic joins are admitted up to cfg.Capacity().
 		MaxWorkers: cfg.Capacity(),
@@ -204,4 +246,15 @@ func ClusterTCPOptions(cfg *Config, heartbeat time.Duration) transport.TCPOption
 		},
 		Metrics: cfg.Metrics,
 	}
+	if st := cfg.Resume; st != nil && st.Membership != nil {
+		opts.Welcome.Resume = true
+		opts.Welcome.ResumeEpoch = uint32(st.Epoch)
+		opts.Welcome.SeqFloor = st.Membership.SeqFloor
+		for id, s := range st.Membership.States {
+			if elastic.State(s) != elastic.Active {
+				opts.Departed = append(opts.Departed, id)
+			}
+		}
+	}
+	return opts
 }

@@ -239,7 +239,7 @@ func TestClusterElasticChurn(t *testing.T) {
 	cfg.StalenessBound = 2
 	cfg.MaxWorkers = 3 // headroom for one live joiner
 
-	trans, err := transport.ListenTCP("127.0.0.1:0", len(cfg.Workers), ClusterTCPOptions(&cfg, 50*time.Millisecond))
+	trans, err := transport.ListenTCP("127.0.0.1:0", len(cfg.Workers), ClusterTCPOptions(&cfg, 50*time.Millisecond, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

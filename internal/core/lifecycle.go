@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"heterosgd/internal/elastic"
 	"heterosgd/internal/metrics"
 	"heterosgd/internal/nn"
 )
@@ -64,8 +65,81 @@ type RunState struct {
 	At time.Duration
 	// Events carries the health/fault event log up to the capture.
 	Events []metrics.Event
+	// Membership, when present, extends the snapshot with the mid-churn
+	// worker set: elastic states, SSP clocks, the dispatch sequence floor,
+	// transport accounting, and the in-flight batch list. A state without it
+	// resumes onto the config's seed-time worker set (the pre-elastic
+	// behavior); internal/checkpoint serializes it as a versioned section
+	// with its own CRC.
+	Membership *MembershipState
 	// Params is the model at capture (a private deep copy).
 	Params *nn.Params
+}
+
+// MembershipState is the membership section of a RunState: everything needed
+// to reconstruct a run's worker set after elastic churn, rather than the
+// seed-time set the Config describes. Slots are indexed by worker id; ids
+// are never reused, so the slice length is the high-water worker count.
+type MembershipState struct {
+	// States holds one elastic.State value per slot ever allocated
+	// (0 active, 1 draining, 2 departed).
+	States []int `json:"states"`
+	// Clocks are the per-worker completed-dispatch clocks behind the SSP
+	// gate; restoring them keeps the bounded-staleness invariant meaningful
+	// across a restart instead of resetting every worker to zero.
+	Clocks []int64 `json:"clocks,omitempty"`
+	// SeqFloor is the dispatch-sequence high-water mark at capture. A
+	// resumed coordinator continues numbering above it, and a reconnecting
+	// worker discards any buffered completion at or below it — pre-restart
+	// sequence numbers can never alias post-restart dispatches.
+	SeqFloor uint64 `json:"seq_floor"`
+	// Dispatches is the completed-dispatch count at capture; scripted
+	// membership plans fast-forward their cursor past events already fired.
+	Dispatches int64 `json:"dispatches"`
+	// Min and Max are the elastic active-worker bounds in force at capture.
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// Joins through Peak mirror elastic.Report so churn accounting
+	// survives the restart.
+	Joins      int `json:"joins"`
+	Leaves     int `json:"leaves"`
+	Evictions  int `json:"evictions"`
+	Rebalances int `json:"rebalances"`
+	Peak       int `json:"peak"`
+	// Duplicates through AppliedExamples mirror TransportReport, so the
+	// exactly-once audit spans the whole trajectory, not just the last
+	// incarnation of the coordinator.
+	Duplicates      uint64 `json:"duplicates"`
+	Abandoned       uint64 `json:"abandoned"`
+	Partitions      uint64 `json:"partitions"`
+	Reconnects      uint64 `json:"reconnects"`
+	AppliedExamples int64  `json:"applied_examples"`
+	// Flight lists every dispatched-but-unapplied batch at capture. Their
+	// examples are already counted in ExamplesDone, so a resumed coordinator
+	// re-queues them for re-dispatch — that is what restores the
+	// AppliedExamples == ExamplesProcessed invariant across a restart.
+	Flight []FlightEntry `json:"flight,omitempty"`
+}
+
+// FlightEntry records one in-flight dispatch: the example range it covered
+// and the worker and epoch it was bound to when the checkpoint was taken.
+type FlightEntry struct {
+	Seq    uint64 `json:"seq"`
+	Worker int    `json:"worker"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+	Epoch  int    `json:"epoch"`
+}
+
+// ActiveCount returns the number of active slots.
+func (m *MembershipState) ActiveCount() int {
+	n := 0
+	for _, s := range m.States {
+		if elastic.State(s) == elastic.Active {
+			n++
+		}
+	}
+	return n
 }
 
 // CheckpointSink receives run-state checkpoints from a running engine.
@@ -96,8 +170,39 @@ func (c *Config) validateResume() error {
 	if st.Seed != c.Seed {
 		return fmt.Errorf("core: resume state has seed %d, config has %d — the trajectory would diverge", st.Seed, c.Seed)
 	}
-	if len(st.Batch) != len(c.Workers) || len(st.Updates) != len(c.Workers) || len(st.LRMult) != len(c.Workers) {
-		return fmt.Errorf("core: resume state has %d workers, config has %d", len(st.Batch), len(c.Workers))
+	// A membership-bearing state describes a (possibly churned) worker set
+	// that may be wider than the config's seed set: extra slots are elastic
+	// joiners the resume reconstructs. Without one, the state must match the
+	// config's worker count exactly (the pre-elastic contract).
+	slots := len(c.Workers)
+	if ms := st.Membership; ms != nil {
+		if len(ms.States) < len(c.Workers) {
+			return fmt.Errorf("core: resume membership has %d slots, config has %d workers — cannot shrink the restored set below the seed set", len(ms.States), len(c.Workers))
+		}
+		active := 0
+		for id, s := range ms.States {
+			if s < int(elastic.Active) || s > int(elastic.Departed) {
+				return fmt.Errorf("core: resume membership slot %d has invalid state %d", id, s)
+			}
+			if elastic.State(s) == elastic.Active {
+				active++
+			}
+		}
+		if active == 0 {
+			return fmt.Errorf("core: resume membership has no active workers")
+		}
+		if len(ms.Clocks) != 0 && len(ms.Clocks) != len(ms.States) {
+			return fmt.Errorf("core: resume membership has %d clocks for %d slots", len(ms.Clocks), len(ms.States))
+		}
+		for _, f := range ms.Flight {
+			if f.Lo < 0 || f.Hi < f.Lo || f.Seq > ms.SeqFloor {
+				return fmt.Errorf("core: resume membership has corrupt flight entry (seq %d, range [%d,%d))", f.Seq, f.Lo, f.Hi)
+			}
+		}
+		slots = len(ms.States)
+	}
+	if len(st.Batch) != slots || len(st.Updates) != slots || len(st.LRMult) != slots {
+		return fmt.Errorf("core: resume state has %d workers, config expects %d", len(st.Batch), slots)
 	}
 	if st.Epoch < 0 || st.Cursor < 0 || st.ExamplesDone < 0 {
 		return fmt.Errorf("core: resume state has negative progress counters")
@@ -135,9 +240,92 @@ func restoreRun(cfg *Config, coord *coordinator, global *nn.Params, guard *guard
 	}
 	// A barrier capture leaves the pool drained; start the next epoch now
 	// so the engines' initial dispatch round finds work (this consumes the
-	// next shuffle exactly where the uninterrupted run would).
-	if coord.poolEmpty() {
+	// next shuffle exactly where the uninterrupted run would). Not when the
+	// checkpoint carries in-flight batches, though: their [Lo,Hi) ranges
+	// denote the captured epoch's permutation, so the epoch must finish
+	// draining them before the next shuffle — the engine's barrier refills
+	// once they land.
+	if coord.poolEmpty() && (st.Membership == nil || len(st.Membership.Flight) == 0) {
 		coord.refill()
 	}
 	return nil
+}
+
+// growForMembership widens a freshly-constructed run's per-worker tables to
+// the checkpoint's mid-churn worker set: each slot beyond the config's seed
+// set is an elastic joiner whose WorkerConfig is re-derived the same way the
+// live join path derives it (cycling the seed device mix), and draining or
+// departed slots are benched in the health tracker so they never receive
+// dispatches. Must run after the health and stale trackers are built and
+// before restoreRun, whose coordinator restore copies counters into tables
+// that must already be at checkpoint width.
+func growForMembership(cfg *Config, coord *coordinator, health *healthTracker, stale *staleTracker) {
+	st := cfg.Resume
+	if st == nil || st.Membership == nil {
+		return
+	}
+	ms := st.Membership
+	initial := len(cfg.Workers)
+	for id := initial; id < len(ms.States); id++ {
+		wc := cfg.Workers[id%initial]
+		cfg.Workers = append(cfg.Workers, wc)
+		health.addWorker(fmt.Sprintf("%s+%d", wc.Device.Name(), id), 0)
+		coord.addWorker()
+		stale.addWorker()
+	}
+	for id, s := range ms.States {
+		if elastic.State(s) != elastic.Active {
+			health.markDeparted(id, 0, fmt.Sprintf("restored as %s from checkpoint", elastic.State(s)))
+		}
+	}
+	if len(ms.Clocks) == len(stale.clock) {
+		copy(stale.clock, ms.Clocks)
+	}
+}
+
+// restoredMembership reconstructs the elastic membership manager from a
+// checkpoint's membership section, preserving churn accounting and bounds.
+// A restored draining slot comes back as departed: its former process is
+// gone and its in-flight work rides the Flight list instead.
+func restoredMembership(ms *MembershipState) (*elastic.Membership, error) {
+	states := make([]elastic.State, len(ms.States))
+	for i, s := range ms.States {
+		st := elastic.State(s)
+		if st == elastic.Draining {
+			st = elastic.Departed
+		}
+		states[i] = st
+	}
+	return elastic.Restore(states, ms.Min, ms.Max, elastic.Report{
+		Joins:      ms.Joins,
+		Leaves:     ms.Leaves,
+		Evictions:  ms.Evictions,
+		Rebalances: ms.Rebalances,
+		Peak:       ms.Peak,
+	})
+}
+
+// captureMembership snapshots the live worker set into a MembershipState.
+// mem may be nil (a fixed-size run), in which case every configured worker
+// is recorded active; callers with a transport or flight map fill those
+// fields afterwards.
+func captureMembership(mem *elastic.Membership, stale *staleTracker, workers int, dispatches int64) *MembershipState {
+	ms := &MembershipState{
+		Clocks:     append([]int64(nil), stale.clock...),
+		Dispatches: dispatches,
+	}
+	if mem == nil {
+		ms.States = make([]int, workers)
+		ms.Min, ms.Max, ms.Peak = 1, workers, workers
+		return ms
+	}
+	ms.States = make([]int, mem.Len())
+	for i := range ms.States {
+		ms.States[i] = int(mem.State(i))
+	}
+	ms.Min, ms.Max = mem.Min(), mem.Max()
+	r := mem.Report()
+	ms.Joins, ms.Leaves, ms.Evictions = r.Joins, r.Leaves, r.Evictions
+	ms.Rebalances, ms.Peak = r.Rebalances, r.Peak
+	return ms
 }

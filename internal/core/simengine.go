@@ -94,6 +94,16 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	coord.tracker = health
 	stale := newStaleTracker(&cfg, health, &rm)
 	guard := newGuardState(cfg.Guards, global)
+	// A membership-bearing checkpoint (a run captured mid-churn) restores the
+	// worker set before the model state: every per-worker table grows to the
+	// checkpoint's slot count, departed slots come back departed, and ids are
+	// never reused across the restart.
+	initialWorkers := len(cfg.Workers)
+	var resumeMS *MembershipState
+	if cfg.Resume != nil {
+		resumeMS = cfg.Resume.Membership
+	}
+	growForMembership(&cfg, coord, health, stale)
 	if err := restoreRun(&cfg, coord, global, guard); err != nil {
 		return nil, err
 	}
@@ -129,7 +139,6 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 		}
 		return w
 	}
-	initialWorkers := len(cfg.Workers)
 	workers := make([]*simWorker, len(cfg.Workers))
 	for i, wc := range cfg.Workers {
 		workers[i] = buildWorker(i, wc, wc.Device.Name())
@@ -139,14 +148,39 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	// consulted at epoch barriers.
 	var mem *elastic.Membership
 	var planCur *elastic.Cursor
-	if cfg.elasticEnabled() {
+	// Dispatches completed across every incarnation of the run; scripted
+	// churn triggers and membership captures count against this total, so it
+	// resumes from the checkpoint rather than zero.
+	var completedDispatches int64
+	switch {
+	case resumeMS != nil && (cfg.elasticEnabled() || len(resumeMS.States) > initialWorkers || resumeMS.ActiveCount() < len(resumeMS.States)):
+		// The checkpoint was captured mid-churn (or the restarted config is
+		// itself elastic): rebuild the manager from the serialized states so
+		// joins continue from the next unused id and the churn report
+		// accumulates across the restart.
+		var err error
+		mem, err = restoredMembership(resumeMS)
+		if err != nil {
+			return nil, err
+		}
+		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+	case cfg.elasticEnabled():
 		var err error
 		mem, err = elastic.New(len(cfg.Workers), cfg.MinWorkers, cfg.Capacity())
 		if err != nil {
 			return nil, err
 		}
-		planCur = cfg.Elastic.Begin()
 		rm.elasticWorkers.Set(float64(mem.ActiveCount()))
+	}
+	if cfg.elasticEnabled() {
+		planCur = cfg.Elastic.Begin()
+	}
+	if resumeMS != nil {
+		completedDispatches = resumeMS.Dispatches
+		// Scripted events triggered before the capture already mutated the
+		// restored membership; burn them off the cursor so they cannot fire
+		// twice.
+		planCur.Fire(completedDispatches)
 	}
 	var svrg *svrgState
 	if cfg.Algorithm == AlgSVRG {
@@ -257,6 +291,12 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 			st.Interrupted = interrupted
 			st.At = elapsed()
 			st.Events = events.Events()
+			if mem != nil {
+				// Elastic runs capture the worker set alongside the model:
+				// resume must reconstruct who was active, draining, or gone,
+				// not just what the parameters were.
+				st.Membership = captureMembership(mem, stale, len(cfg.Workers), completedDispatches)
+			}
 			st.Params = global.Clone()
 			err = cfg.CheckpointSink.WriteState(st)
 		}
@@ -277,7 +317,6 @@ func RunSim(ctx context.Context, cfg Config, horizon time.Duration) (*Result, er
 	// completed dispatches (a protocol event, never wall time — that is what
 	// makes a churn schedule replay byte-identically); the autoscale policy,
 	// when configured, is consulted at epoch barriers via decideScale.
-	var completedDispatches int64
 	var applyEvent func(e elastic.Event)
 	var decideScale func()
 	fireMembership := func() {

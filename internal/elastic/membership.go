@@ -109,6 +109,38 @@ func New(initial, min, max int) (*Membership, error) {
 	return m, nil
 }
 
+// Restore reconstructs a membership from checkpointed state: the per-slot
+// lifecycle positions, the bounds, and the churn accounting so far. It is
+// the resume-side counterpart of exporting State(id) for every slot — a
+// restarted coordinator continues the same churn history instead of
+// restarting from the seed-time set. min/max default like New; the restored
+// set must keep at least one active worker.
+func Restore(states []State, min, max int, rep Report) (*Membership, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("elastic: restore of empty membership")
+	}
+	for id, s := range states {
+		if s < Active || s > Departed {
+			return nil, fmt.Errorf("elastic: restore of slot %d with invalid state %d", id, int(s))
+		}
+	}
+	if min <= 0 {
+		min = 1
+	}
+	if max <= 0 {
+		max = len(states)
+	}
+	m := &Membership{states: append([]State(nil), states...), min: min, max: max, rep: rep}
+	active := m.ActiveCount()
+	if active < 1 {
+		return nil, fmt.Errorf("elastic: restored membership has no active workers")
+	}
+	if active > m.rep.Peak {
+		m.rep.Peak = active
+	}
+	return m, nil
+}
+
 // Len returns the total number of slots ever allocated (departed included):
 // the upper bound on worker ids seen by the run.
 func (m *Membership) Len() int { return len(m.states) }

@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ProcPlan scripts process-level failures for a chaos drill: real worker
+// and coordinator processes are SIGKILLed at protocol-event triggers and the
+// cluster is restarted from its last checkpoint. Unlike Plan, whose faults
+// fire inside a live engine, a ProcPlan is executed by an external drill
+// runner (cmd/hogcluster -chaos) that spawns, kills, and respawns whole
+// processes — the in-process recovery machinery never sees the fault coming,
+// which is the point. The zero ProcPlan (and a nil *ProcPlan) kills nothing.
+type ProcPlan struct {
+	// KillWorkers lists worker processes to SIGKILL mid-run.
+	KillWorkers []KillWorker
+	// KillCoordinator, when non-nil, SIGKILLs the coordinator process
+	// immediately after it checkpoints at the trigger epoch.
+	KillCoordinator *KillCoordinator
+	// RestartDelay is how long the drill waits after the cluster is down
+	// before restarting the coordinator with -resume (simulating the gap a
+	// supervisor would take to notice and act). Zero restarts immediately.
+	RestartDelay time.Duration
+}
+
+// KillWorker SIGKILLs one worker process after it has received AfterFrames
+// dispatches — from the coordinator's point of view, a hard crash with a
+// batch in flight.
+type KillWorker struct {
+	// Worker is the target's slot id in the initial worker set.
+	Worker int
+	// AfterFrames is the 1-based dispatch count at which the process dies
+	// (the fatal dispatch is received but never completed).
+	AfterFrames int
+}
+
+// KillCoordinator SIGKILLs the coordinator process right after its
+// checkpoint at the trigger epoch lands on disk — the crash window where
+// durable state exists but no goodbye was ever sent to the workers.
+type KillCoordinator struct {
+	// AtEpoch is the barrier epoch whose checkpoint triggers the kill.
+	AtEpoch int
+}
+
+// Validate checks the plan against the drill's worker count. It is
+// nil-safe.
+func (p *ProcPlan) Validate(numWorkers int) error {
+	if p == nil {
+		return nil
+	}
+	for i, k := range p.KillWorkers {
+		if k.Worker < 0 || k.Worker >= numWorkers {
+			return fmt.Errorf("faults: proc kill %d targets worker %d of %d", i, k.Worker, numWorkers)
+		}
+		if k.AfterFrames <= 0 {
+			return fmt.Errorf("faults: proc kill %d has non-positive trigger %d", i, k.AfterFrames)
+		}
+	}
+	if p.KillCoordinator != nil && p.KillCoordinator.AtEpoch <= 0 {
+		return fmt.Errorf("faults: coordinator kill at non-positive epoch %d", p.KillCoordinator.AtEpoch)
+	}
+	if p.RestartDelay < 0 {
+		return fmt.Errorf("faults: negative restart delay %v", p.RestartDelay)
+	}
+	return nil
+}
+
+// String renders the plan in ParseProcPlan syntax.
+func (p *ProcPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	for _, k := range p.KillWorkers {
+		parts = append(parts, fmt.Sprintf("kill-worker:%d:%d", k.Worker, k.AfterFrames))
+	}
+	if p.KillCoordinator != nil {
+		parts = append(parts, fmt.Sprintf("kill-coord:%d", p.KillCoordinator.AtEpoch))
+	}
+	if p.RestartDelay > 0 {
+		parts = append(parts, fmt.Sprintf("restart:%v", p.RestartDelay))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseProcPlan reads a comma-separated process-fault list:
+//
+//	kill-worker:WORKER:FRAMES   SIGKILL worker process on its FRAMES-th dispatch
+//	kill-coord:EPOCH            SIGKILL coordinator after its epoch-EPOCH checkpoint
+//	restart:DURATION            wait DURATION before restarting with -resume
+//
+// e.g. "kill-worker:1:30,kill-coord:2,restart:300ms". An empty spec returns
+// a nil plan; at most one kill-coord and one restart entry are allowed.
+func ParseProcPlan(spec string) (*ProcPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &ProcPlan{}
+	for _, entry := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ":")
+		switch fields[0] {
+		case "kill-worker":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("faults: kill-worker wants kill-worker:WORKER:FRAMES, got %q", entry)
+			}
+			worker, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad worker in %q: %w", entry, err)
+			}
+			frames, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad trigger in %q: %w", entry, err)
+			}
+			p.KillWorkers = append(p.KillWorkers, KillWorker{Worker: worker, AfterFrames: frames})
+		case "kill-coord":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("faults: kill-coord wants kill-coord:EPOCH, got %q", entry)
+			}
+			if p.KillCoordinator != nil {
+				return nil, fmt.Errorf("faults: duplicate kill-coord in %q", spec)
+			}
+			epoch, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad epoch in %q: %w", entry, err)
+			}
+			p.KillCoordinator = &KillCoordinator{AtEpoch: epoch}
+		case "restart":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("faults: restart wants restart:DURATION, got %q", entry)
+			}
+			if p.RestartDelay > 0 {
+				return nil, fmt.Errorf("faults: duplicate restart in %q", spec)
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad duration in %q: %w", entry, err)
+			}
+			p.RestartDelay = d
+		default:
+			return nil, fmt.Errorf("faults: unknown proc fault kind %q in %q", fields[0], entry)
+		}
+	}
+	return p, nil
+}

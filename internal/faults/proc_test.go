@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseProcPlanRoundTrip(t *testing.T) {
+	spec := "kill-worker:1:30,kill-worker:2:45,kill-coord:2,restart:300ms"
+	p, err := ParseProcPlan(spec)
+	if err != nil {
+		t.Fatalf("ParseProcPlan: %v", err)
+	}
+	if len(p.KillWorkers) != 2 {
+		t.Fatalf("got %d worker kills, want 2", len(p.KillWorkers))
+	}
+	if p.KillWorkers[0] != (KillWorker{Worker: 1, AfterFrames: 30}) {
+		t.Errorf("first kill = %+v", p.KillWorkers[0])
+	}
+	if p.KillCoordinator == nil || p.KillCoordinator.AtEpoch != 2 {
+		t.Errorf("coordinator kill = %+v", p.KillCoordinator)
+	}
+	if p.RestartDelay != 300*time.Millisecond {
+		t.Errorf("restart delay = %v", p.RestartDelay)
+	}
+	if got := p.String(); got != spec {
+		t.Errorf("String() = %q, want %q", got, spec)
+	}
+	if err := p.Validate(3); err != nil {
+		t.Errorf("Validate(3): %v", err)
+	}
+}
+
+func TestParseProcPlanEmptyAndNil(t *testing.T) {
+	p, err := ParseProcPlan("  ")
+	if err != nil || p != nil {
+		t.Fatalf("blank spec = (%v, %v), want (nil, nil)", p, err)
+	}
+	var nilPlan *ProcPlan
+	if err := nilPlan.Validate(0); err != nil {
+		t.Errorf("nil Validate: %v", err)
+	}
+	if s := nilPlan.String(); s != "" {
+		t.Errorf("nil String() = %q", s)
+	}
+}
+
+func TestParseProcPlanRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"kill-worker:1",
+		"kill-worker:x:3",
+		"kill-worker:1:y",
+		"kill-coord",
+		"kill-coord:one",
+		"kill-coord:1,kill-coord:2",
+		"restart:fast",
+		"restart:1s,restart:2s",
+		"reboot:1",
+	} {
+		if _, err := ParseProcPlan(spec); err == nil {
+			t.Errorf("ParseProcPlan(%q) accepted malformed spec", spec)
+		}
+	}
+}
+
+func TestProcPlanValidateBounds(t *testing.T) {
+	cases := []struct {
+		plan *ProcPlan
+		want string
+	}{
+		{&ProcPlan{KillWorkers: []KillWorker{{Worker: 3, AfterFrames: 1}}}, "targets worker 3 of 3"},
+		{&ProcPlan{KillWorkers: []KillWorker{{Worker: -1, AfterFrames: 1}}}, "targets worker -1"},
+		{&ProcPlan{KillWorkers: []KillWorker{{Worker: 0, AfterFrames: 0}}}, "non-positive trigger"},
+		{&ProcPlan{KillCoordinator: &KillCoordinator{AtEpoch: 0}}, "non-positive epoch"},
+		{&ProcPlan{RestartDelay: -time.Second}, "negative restart delay"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(3)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.plan, err, c.want)
+		}
+	}
+}

@@ -210,6 +210,15 @@ func (l *EventLog) Add(at time.Duration, worker, kind, detail string) {
 	l.mu.Unlock()
 }
 
+// AddEvent appends a pre-built incident — resume seeds the log with the
+// checkpoint's history so a restarted run's audit trail spans every
+// incarnation.
+func (l *EventLog) AddEvent(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
 // Events returns a copy of the recorded incidents.
 func (l *EventLog) Events() []Event {
 	l.mu.Lock()

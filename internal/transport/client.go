@@ -212,6 +212,21 @@ func (c *Client) attempt(ctx context.Context) (net.Conn, error) {
 	if c.id < 0 {
 		c.id = w.Worker
 	}
+	if w.Resume {
+		// A restarted coordinator rebuilt its flight map from a checkpoint;
+		// completions for pre-restart dispatches (seq at or below the
+		// checkpoint's floor) were either applied before the crash or
+		// reissued under fresh sequence numbers. Retransmitting them would
+		// only inflate the duplicate counters, so drop them here.
+		c.pendingMu.Lock()
+		for seq := range c.pending {
+			if seq <= w.SeqFloor {
+				delete(c.pending, seq)
+				delete(c.sentAt, seq)
+			}
+		}
+		c.pendingMu.Unlock()
+	}
 	return conn, nil
 }
 

@@ -51,6 +51,13 @@ type Hello struct {
 // freshly assigned one — so an elastic joiner learns who it is, and
 // inherits the run seed (and therefore the shuffle replay) like any other
 // worker; the current model parameters ride its first Work dispatch.
+// A RESUME welcome (Resume set) tells the worker this coordinator restarted
+// from a checkpoint: ResumeEpoch is the shuffle count to fast-forward the
+// worker's replay stream to, and SeqFloor is the dispatch-sequence
+// high-water mark of the checkpoint — any completion the worker still
+// buffers at or below it belongs to the previous incarnation and must be
+// dropped, since those dispatches were either applied pre-crash or rebuilt
+// into the resumed coordinator's flight map under fresh sequence numbers.
 type Welcome struct {
 	Seed        uint64
 	HeartbeatNS int64
@@ -58,6 +65,9 @@ type Welcome struct {
 	Threads     int
 	MaxBatch    int
 	Worker      int
+	Resume      bool
+	ResumeEpoch uint32
+	SeqFloor    uint64
 }
 
 // Leave is a worker's graceful-departure announcement: stop dispatching to
@@ -239,7 +249,7 @@ func DecodeHello(p []byte) (Hello, error) {
 
 // EncodeWelcome serializes w for a Welcome frame.
 func EncodeWelcome(w Welcome) []byte {
-	b := make([]byte, 0, 36)
+	b := make([]byte, 0, 52)
 	b = appendU64(b, w.Seed)
 	b = appendU64(b, uint64(w.HeartbeatNS))
 	var shuffle uint32
@@ -250,6 +260,13 @@ func EncodeWelcome(w Welcome) []byte {
 	b = appendU32(b, uint32(int32(w.Threads)))
 	b = appendU32(b, uint32(int32(w.MaxBatch)))
 	b = appendU32(b, uint32(int32(w.Worker)))
+	var resume uint32
+	if w.Resume {
+		resume = 1
+	}
+	b = appendU32(b, resume)
+	b = appendU32(b, w.ResumeEpoch)
+	b = appendU64(b, w.SeqFloor)
 	return b
 }
 
@@ -264,6 +281,9 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 	w.Threads = int(int32(c.u32()))
 	w.MaxBatch = int(int32(c.u32()))
 	w.Worker = int(int32(c.u32()))
+	w.Resume = c.u32() != 0
+	w.ResumeEpoch = c.u32()
+	w.SeqFloor = c.u64()
 	if err := c.done(); err != nil {
 		return Welcome{}, fmt.Errorf("welcome: %w", err)
 	}

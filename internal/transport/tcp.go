@@ -29,6 +29,11 @@ type TCPOptions struct {
 	// attach mid-run (KindJoin handshake) until the table holds MaxWorkers
 	// slots. Zero (or anything below the initial count) disables joins.
 	MaxWorkers int
+	// Departed lists worker ids whose slots start retired — a resumed run's
+	// drained or evicted workers. Their ids stay allocated (ids are never
+	// reused) but a Hello for one is rejected, exactly as if Retire had
+	// already run, and they are not waited for at attach.
+	Departed []int
 	// Metrics, when set, surfaces transport_* counters and the
 	// reconnect-latency histogram in the registry.
 	Metrics *telemetry.Registry
@@ -146,6 +151,21 @@ func ListenTCP(addr string, n int, opts TCPOptions) (*TCP, error) {
 		attachCh:   make(chan struct{}),
 	}
 	t.links = t.links[:n]
+	for _, id := range opts.Departed {
+		if id < 0 || id >= n {
+			ln.Close()
+			return nil, fmt.Errorf("transport: departed worker %d outside the %d-slot table", id, n)
+		}
+		if !t.links[id].departed {
+			t.links[id].departed = true
+			// A departed slot will never dial in; count it attached so
+			// WaitForWorkers only waits on the live restored set.
+			t.attached++
+		}
+	}
+	if t.attached == t.initial {
+		close(t.attachCh)
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -218,9 +238,10 @@ func (t *TCP) handshake(conn net.Conn) {
 	} else {
 		hello, derr := DecodeHello(payload)
 		t.mu.Lock()
-		n := len(t.links)
+		bad := derr != nil || hello.Worker >= len(t.links) ||
+			t.links[hello.Worker].departed
 		t.mu.Unlock()
-		if derr != nil || hello.Worker >= n {
+		if bad {
 			t.m.frameErrs.Inc()
 			conn.Close()
 			return

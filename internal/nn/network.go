@@ -183,10 +183,19 @@ type Workspace struct {
 	// allocated, roughly halving the memory of a serving replica. Gradient
 	// computations panic on such a workspace.
 	inferOnly bool
+	// fast routes dense forward layers through the SIMD inference GEMM
+	// (tensor.FastGemmTB) when the CPU supports it. The SIMD kernel
+	// accumulates in parallel lanes, so results differ from the scalar
+	// kernels in the last ulps; training workspaces never set it (golden
+	// traces pin bit-exact trajectories), serving workspaces default to it.
+	fast bool
 	// acts[0] aliases the input batch (nil for sparse input); acts[l]
 	// holds layer-l activations.
 	acts   []*tensor.Matrix
 	deltas []*tensor.Matrix
+	// actViews caches per-layer row-view headers so the forward path
+	// re-slices instead of allocating one per layer per batch.
+	actViews []tensor.Matrix
 	// colMark/colBuf are scratch for collecting a sparse batch's active
 	// feature columns; allocated lazily on the first sparse gradient.
 	colMark []bool
@@ -216,17 +225,38 @@ func (n *Network) NewInferenceWorkspace(maxBatch int) *Workspace {
 	return ws
 }
 
+// NewServingWorkspace is NewInferenceWorkspace with the SIMD fast-forward
+// kernel enabled (when the CPU supports it) — the pool workers' workspace.
+// On hosts without AVX2+FMA it is identical to NewInferenceWorkspace.
+func (n *Network) NewServingWorkspace(maxBatch int) *Workspace {
+	ws := n.NewInferenceWorkspace(maxBatch)
+	ws.fast = tensor.FastKernel()
+	return ws
+}
+
+// FastKernel reports whether this workspace routes dense forward layers
+// through the SIMD microkernel.
+func (ws *Workspace) FastKernel() bool { return ws.fast }
+
 func (ws *Workspace) grow(batch int) {
 	n := ws.net
 	ws.cap = batch
 	ws.acts = make([]*tensor.Matrix, len(n.dims))
 	ws.deltas = make([]*tensor.Matrix, len(n.dims))
+	ws.actViews = make([]tensor.Matrix, len(n.dims))
 	for l := 1; l < len(n.dims); l++ {
 		ws.acts[l] = tensor.NewMatrix(batch, n.dims[l])
 		if !ws.inferOnly {
 			ws.deltas[l] = tensor.NewMatrix(batch, n.dims[l])
 		}
 	}
+}
+
+// actView returns a cached b-row view of layer l's activation buffer without
+// allocating (the serving hot path runs one forward per micro-batch; header
+// allocations per layer would otherwise be the only per-batch garbage).
+func (ws *Workspace) actView(l, b int) *tensor.Matrix {
+	return ws.acts[l].RowViewInto(&ws.actViews[l], 0, b)
 }
 
 // ensure prepares the workspace for a batch of b rows and returns batch-sized
@@ -254,16 +284,15 @@ func (n *Network) ForwardX(p *Params, ws *Workspace, x Input, workers int) *tens
 	b := x.Rows()
 	ws.ensure(b)
 	ws.acts[0] = x.Dense // nil for sparse batches; layer 0 reads x directly
+	in := x.Dense
 	for l := 0; l < n.Arch.NumLayers(); l++ {
-		out := ws.acts[l+1].RowView(0, b)
+		out := ws.actView(l+1, b)
 		if l == 0 && x.Sparse != nil {
 			// out = in · Wᵀ over the nonzeros only.
 			tensor.SpMM(true, 1, x.Sparse, p.Weights[0], 0, out, workers)
+		} else if ws.fast {
+			tensor.FastGemmTB(1, in, p.Weights[l], 0, out, workers)
 		} else {
-			in := x.Dense
-			if l > 0 {
-				in = ws.acts[l].RowView(0, b)
-			}
 			// out = in · Wᵀ  (+ bias broadcast)
 			tensor.ParallelGemm(false, true, 1, in, p.Weights[l], 0, out, workers)
 		}
@@ -277,8 +306,9 @@ func (n *Network) ForwardX(p *Params, ws *Workspace, x Input, workers int) *tens
 		if l < n.Arch.NumLayers()-1 { // hidden layer
 			applyActivation(n.Arch.Activation, out.Data[:b*out.Stride])
 		}
+		in = out
 	}
-	return ws.acts[n.Arch.NumLayers()].RowView(0, b)
+	return ws.actView(n.Arch.NumLayers(), b)
 }
 
 // Gradient runs a forward and backward pass over the dense batch (x, y).

@@ -66,6 +66,25 @@ type Options struct {
 	// defaults to 1 (concurrency comes from batching, not from splitting
 	// a single small forward).
 	Workers int
+	// PoolWorkers is the number of pool worker goroutines pulling
+	// micro-batches from the shared admission queue, each owning its own
+	// pre-allocated forward workspace and staging buffers. ≤0 defaults
+	// to 1 (the original single-aggregator batcher).
+	PoolWorkers int
+	// Adaptive replaces the static MaxBatch ceiling with an
+	// AdaptivePolicy controller: the live ceiling starts at 1 and moves
+	// within [1, MaxBatch] from batch-fill, queue-pressure, cost-model,
+	// and p99 telemetry. MaxBatch still sizes the workspaces (it is the
+	// ceiling's upper clamp).
+	Adaptive bool
+	// AdaptiveCadence is the controller's decision window in served
+	// batches. ≤0 defaults to the policy default (16).
+	AdaptiveCadence int
+	// ExactKernel forces the portable scalar forward kernels instead of
+	// the SIMD inference microkernel, making serving outputs bit-identical
+	// to training-side forward passes. Off by default: serving tolerates
+	// last-ulp differences and takes the ~4× kernel win.
+	ExactKernel bool
 	// Metrics, when set, resolves the batcher's stats instruments in this
 	// registry, surfacing the serving series (serve_requests_total,
 	// serve_latency_seconds, serve_queue_depth, serve_model_version, ...)
@@ -85,6 +104,9 @@ func (o Options) withDefaults(arch nn.Arch) Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1
+	}
+	if o.PoolWorkers <= 0 {
+		o.PoolWorkers = 1
 	}
 	return o
 }
@@ -120,10 +142,11 @@ type request struct {
 }
 
 // Batcher coalesces concurrent prediction requests into micro-batched
-// forward passes against the publisher's current snapshot. A single
-// aggregator goroutine owns the inference workspace and the dense staging
-// buffer, so per-batch allocation is near zero; request concurrency comes
-// from callers overlapping in the queue.
+// forward passes against the publisher's current snapshot. A pool of worker
+// goroutines pulls from the shared admission queue; each worker owns its
+// inference workspace and staging buffers, so the forward hot path allocates
+// nothing per request. Stats are pool-global: admission accounting and the
+// serve_* series describe the whole pool, not any one worker.
 type Batcher struct {
 	pub   *Publisher
 	opts  Options
@@ -136,9 +159,28 @@ type Batcher struct {
 	mu     sync.RWMutex // guards Submit against Close's final drain
 	closed atomic.Bool
 
-	// Aggregator-owned scratch (never touched by other goroutines).
+	// batchCeil is the live micro-batch ceiling: opts.MaxBatch when
+	// static, the adaptive policy's current ceiling otherwise. Workers
+	// load it at batch-formation time; the controller stores it.
+	batchCeil atomic.Int64
+
+	// policyMu serializes the adaptive controller; workers funnel one
+	// observation per served batch through it. It is worker↔worker only —
+	// the RCU publish path never touches it.
+	policyMu sync.Mutex
+	policy   *AdaptivePolicy
+	prevLat  [telemetry.NumBuckets]int64
+}
+
+// poolWorker is one pool goroutine's private serving scratch: a forward
+// workspace plus dense and CSR staging reused batch after batch. Nothing
+// here is shared — the pool scales by adding workers, not by locking.
+type poolWorker struct {
+	b     *Batcher
 	ws    *nn.Workspace
 	dense *tensor.Matrix
+	view  tensor.Matrix // reusable dense staging view header
+	csr   tensor.CSR    // reusable all-sparse staging buffers
 }
 
 // NewBatcher starts a batcher serving snapshots from pub.
@@ -151,16 +193,51 @@ func NewBatcher(pub *Publisher, opts Options) *Batcher {
 		stats: NewStatsIn(opts.Metrics),
 		queue: make(chan *request, opts.QueueCap),
 		stop:  make(chan struct{}),
-		ws:    pub.Net().NewInferenceWorkspace(opts.MaxBatch),
-		dense: tensor.NewMatrix(opts.MaxBatch, arch.InputDim),
+	}
+	if opts.Adaptive {
+		// The efficiency model sees the forward's actual parallelism: one
+		// worker thread unless Options.Workers splits the GEMMs, so batch
+		// saturation is judged per serving thread, not per training fleet.
+		b.policy = NewAdaptivePolicy(PolicyConfig{
+			Min:     1,
+			Max:     opts.MaxBatch,
+			Cadence: opts.AdaptiveCadence,
+			Dev:     device.NewXeon("serve", opts.Workers),
+			Arch:    arch,
+		})
+		b.batchCeil.Store(int64(b.policy.Ceiling()))
+	} else {
+		b.batchCeil.Store(int64(opts.MaxBatch))
 	}
 	if opts.Metrics != nil {
 		opts.Metrics.GaugeFunc("serve_queue_depth", func() float64 { return float64(b.QueueDepth()) })
 		opts.Metrics.GaugeFunc("serve_model_version", func() float64 { return float64(pub.Version()) })
+		opts.Metrics.GaugeFunc("serve_pool_workers", func() float64 { return float64(opts.PoolWorkers) })
+		opts.Metrics.GaugeFunc("serve_batch_ceiling", func() float64 { return float64(b.BatchCeiling()) })
 	}
-	b.wg.Add(1)
-	go b.run()
+	for i := 0; i < opts.PoolWorkers; i++ {
+		w := b.newPoolWorker()
+		b.wg.Add(1)
+		go b.runWorker(w)
+	}
 	return b
+}
+
+// newPoolWorker allocates one worker's private scratch up front so the
+// serving loop never allocates per request.
+func (b *Batcher) newPoolWorker() *poolWorker {
+	net := b.pub.Net()
+	w := &poolWorker{
+		b:     b,
+		dense: tensor.NewMatrix(b.opts.MaxBatch, net.Arch.InputDim),
+	}
+	if b.opts.ExactKernel {
+		w.ws = net.NewInferenceWorkspace(b.opts.MaxBatch)
+	} else {
+		w.ws = net.NewServingWorkspace(b.opts.MaxBatch)
+	}
+	w.csr.RowPtr = make([]int, 1, b.opts.MaxBatch+1)
+	return w
 }
 
 // Options returns the batcher's resolved configuration.
@@ -172,9 +249,16 @@ func (b *Batcher) Stats() *Stats { return b.stats }
 // QueueDepth returns the number of requests waiting for a batch.
 func (b *Batcher) QueueDepth() int { return len(b.queue) }
 
+// BatchCeiling returns the live micro-batch ceiling (MaxBatch when the
+// adaptive controller is off).
+func (b *Batcher) BatchCeiling() int { return int(b.batchCeil.Load()) }
+
 // Report summarizes current serving telemetry.
 func (b *Batcher) Report() Report {
-	return b.stats.Snapshot(b.QueueDepth(), b.pub.Version())
+	r := b.stats.Snapshot(b.QueueDepth(), b.pub.Version())
+	r.PoolWorkers = b.opts.PoolWorkers
+	r.BatchCeiling = b.BatchCeiling()
+	return r
 }
 
 // Submit validates and enqueues one request, returning the channel its
@@ -287,9 +371,10 @@ func (b *Batcher) Close() {
 	}
 }
 
-// run is the aggregator loop: take one request, wait up to MaxWait for up
-// to MaxBatch-1 more, then serve them all with a single forward pass.
-func (b *Batcher) run() {
+// runWorker is one pool worker's loop: take one request, wait up to MaxWait
+// for up to ceiling-1 more, then serve them all with a single forward pass
+// on this worker's private workspace.
+func (b *Batcher) runWorker(w *poolWorker) {
 	defer b.wg.Done()
 	reqs := make([]*request, 0, b.opts.MaxBatch)
 	for {
@@ -299,11 +384,12 @@ func (b *Batcher) run() {
 			return
 		case first = <-b.queue:
 		}
+		ceil := int(b.batchCeil.Load())
 		reqs = append(reqs[:0], first)
-		if b.opts.MaxBatch > 1 {
+		if ceil > 1 {
 			timer := time.NewTimer(b.opts.MaxWait)
 		collect:
-			for len(reqs) < b.opts.MaxBatch {
+			for len(reqs) < ceil {
 				select {
 				case r := <-b.queue:
 					reqs = append(reqs, r)
@@ -315,15 +401,40 @@ func (b *Batcher) run() {
 			}
 			timer.Stop()
 		}
-		b.serveBatch(reqs)
+		w.serveBatch(reqs)
+		b.observe(len(reqs))
+	}
+}
+
+// observe feeds one served batch to the adaptive controller and applies any
+// ceiling change. The controller's decision windows advance by batch count;
+// the window's p99 comes from the latency histogram delta since the last
+// window, so the policy sees tail latency of this window only.
+func (b *Batcher) observe(n int) {
+	if b.policy == nil {
+		return
+	}
+	b.policyMu.Lock()
+	defer b.policyMu.Unlock()
+	if !b.policy.Observe(n, len(b.queue)) {
+		return
+	}
+	cur := b.stats.lat.Counts()
+	p99 := deltaQuantile(&b.prevLat, &cur, 0.99)
+	b.prevLat = cur
+	if ceil, changed := b.policy.Decide(p99); changed {
+		b.batchCeil.Store(int64(ceil))
+		b.stats.RecordPolicyChange()
 	}
 }
 
 // serveBatch assembles the coalesced requests into one dense or CSR batch,
 // runs a single forward pass on the current snapshot, and answers every
 // request. The input stays sparse only when every instance is sparse — one
-// dense row would force densifying anyway.
-func (b *Batcher) serveBatch(reqs []*request) {
+// dense row would force densifying anyway. All staging reuses the worker's
+// buffers; the only heap allocation is the batch's shared score backing.
+func (w *poolWorker) serveBatch(reqs []*request) {
+	b := w.b
 	snap := b.pub.Load()
 	if snap == nil {
 		for _, r := range reqs {
@@ -333,6 +444,17 @@ func (b *Batcher) serveBatch(reqs []*request) {
 		return
 	}
 	n := len(reqs)
+	// Round the forward up to a multiple of the FMA kernel's 4-row tile with
+	// zero rows: a padded row costs one tile lane, while an unpadded
+	// remainder row falls back to the ~4× slower scalar kernel. Rows are
+	// independent through the whole forward, so real outputs are unaffected
+	// and the padded rows are simply never read.
+	m := n
+	if w.ws.FastKernel() {
+		if p := (n + 3) &^ 3; p <= b.opts.MaxBatch {
+			m = p
+		}
+	}
 	allSparse := true
 	for _, r := range reqs {
 		if !r.inst.Sparse() {
@@ -342,15 +464,21 @@ func (b *Batcher) serveBatch(reqs []*request) {
 	}
 	var input nn.Input
 	if allSparse {
-		csr := &tensor.CSR{Rows: n, Cols: snap.Net.Arch.InputDim, RowPtr: make([]int, n+1)}
-		for i, r := range reqs {
-			csr.ColIdx = append(csr.ColIdx, r.inst.Indices...)
-			csr.Val = append(csr.Val, r.inst.Values...)
-			csr.RowPtr[i+1] = len(csr.ColIdx)
+		w.csr.Rows, w.csr.Cols = m, snap.Net.Arch.InputDim
+		w.csr.RowPtr = w.csr.RowPtr[:1]
+		w.csr.ColIdx = w.csr.ColIdx[:0]
+		w.csr.Val = w.csr.Val[:0]
+		for _, r := range reqs {
+			w.csr.ColIdx = append(w.csr.ColIdx, r.inst.Indices...)
+			w.csr.Val = append(w.csr.Val, r.inst.Values...)
+			w.csr.RowPtr = append(w.csr.RowPtr, len(w.csr.ColIdx))
 		}
-		input = nn.SparseInput(csr)
+		for len(w.csr.RowPtr) < m+1 { // empty padding rows
+			w.csr.RowPtr = append(w.csr.RowPtr, len(w.csr.ColIdx))
+		}
+		input = nn.SparseInput(&w.csr)
 	} else {
-		x := b.dense.RowView(0, n)
+		x := w.dense.RowViewInto(&w.view, 0, m)
 		x.Zero()
 		for i, r := range reqs {
 			if r.inst.Sparse() {
@@ -364,7 +492,7 @@ func (b *Batcher) serveBatch(reqs []*request) {
 		}
 		input = nn.DenseInput(x)
 	}
-	logits := snap.Net.ForwardX(snap.Params, b.ws, input, b.opts.Workers)
+	logits := snap.Net.ForwardX(snap.Params, w.ws, input, b.opts.Workers)
 	multiLabel := snap.Net.Arch.MultiLabel
 	b.stats.RecordBatch(n)
 	backing := make([]float64, n*logits.Cols) // one allocation for the batch's score slices

@@ -11,6 +11,7 @@ package serve_test
 
 import (
 	"context"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -140,7 +141,7 @@ func TestConcurrentBatcherDuringTraining(t *testing.T) {
 	cfg.SnapshotSink = pub
 	cfg.SnapshotEvery = 5 * time.Millisecond
 
-	b := serve.NewBatcher(pub, serve.Options{MaxBatch: 8, MaxWait: time.Millisecond, QueueCap: 64})
+	b := serve.NewBatcher(pub, serve.Options{MaxBatch: 8, MaxWait: time.Millisecond, QueueCap: 64, PoolWorkers: 4})
 	defer b.Close()
 
 	stop := make(chan struct{})
@@ -177,5 +178,123 @@ func TestConcurrentBatcherDuringTraining(t *testing.T) {
 	}
 	if served.Load() == 0 {
 		t.Fatal("no predictions served during training")
+	}
+}
+
+// TestConcurrentPoolPublishReload races a multi-worker adaptive pool against
+// two concurrent snapshot writers: a trainer-style publisher producing fresh
+// deep copies at full speed, and a SIGHUP-style reloader republishing a
+// baseline checkpoint out of band (hogserve's hot-reload path minus the
+// signal plumbing). Under -race this proves the pool workers share no lock
+// with the RCU publish path — every worker forwards against whatever
+// snapshot was current when its batch formed, and neither writer ever waits
+// on a serving mutex.
+func TestConcurrentPoolPublishReload(t *testing.T) {
+	net := nn.MustNetwork(nn.Arch{
+		InputDim: 10, Hidden: []int{16, 16}, OutputDim: 2, Activation: nn.ActSigmoid,
+	})
+	rng := rand.New(rand.NewPCG(31, 37))
+	base := net.NewParams(nn.InitXavier, rng)
+	pub := serve.NewPublisher(net)
+	pub.PublishParams(base.Clone())
+
+	b := serve.NewBatcher(pub, serve.Options{
+		MaxBatch: 8, MaxWait: 200 * time.Microsecond, QueueCap: 128,
+		PoolWorkers: 4, Adaptive: true, AdaptiveCadence: 4,
+	})
+	defer b.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Trainer-style writer: a fresh private deep copy per publish.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := base.Clone()
+			p.Weights[0].Set(0, 0, float64(i)) // mutate the private copy only
+			pub.PublishParams(p)
+		}
+	}()
+	// SIGHUP-style reloader: republishes the baseline checkpoint.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pub.PublishParams(base.Clone())
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Telemetry poller: /statsz-shaped reads concurrent with everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rep := b.Report()
+			if rep.BatchCeiling < 1 || rep.BatchCeiling > 8 {
+				t.Errorf("batch ceiling %d outside [1,8]", rep.BatchCeiling)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var served atomic.Int64
+	var clients sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		clients.Add(1)
+		go func(i int) {
+			defer clients.Done()
+			var lastVersion uint64
+			for j := 0; j < 200; j++ {
+				var inst serve.Instance
+				if i%2 == 0 {
+					inst = serve.Instance{Indices: []int{i % 10, (i + 3) % 10}, Values: []float64{1, 0.5}}
+				} else {
+					inst = serve.Instance{Dense: make([]float64, 10)}
+				}
+				r := b.Predict(inst)
+				switch r.Err {
+				case nil:
+					if r.Version < lastVersion {
+						t.Errorf("client %d: served version went backwards: %d after %d", i, r.Version, lastVersion)
+						return
+					}
+					lastVersion = r.Version
+					served.Add(1)
+				case serve.ErrOverloaded:
+					// Backpressure under the flood is expected.
+				default:
+					t.Errorf("client %d: %v", i, r.Err)
+					return
+				}
+			}
+		}(i)
+	}
+	clients.Wait()
+	close(stop)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no predictions served")
+	}
+	if pub.Version() < 2 {
+		t.Fatalf("writers published only %d snapshots", pub.Version())
 	}
 }

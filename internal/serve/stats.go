@@ -25,6 +25,7 @@ type Stats struct {
 	errors   *telemetry.Counter // per-request failures (bad input, no model)
 	batches  *telemetry.Counter // forward passes executed
 	examples *telemetry.Counter // requests served across all batches
+	policy   *telemetry.Counter // adaptive batch-ceiling changes applied
 
 	lat *telemetry.Histogram // queue-to-response latency
 }
@@ -44,6 +45,7 @@ func NewStatsIn(reg *telemetry.Registry) *Stats {
 		s.errors = &telemetry.Counter{}
 		s.batches = &telemetry.Counter{}
 		s.examples = &telemetry.Counter{}
+		s.policy = &telemetry.Counter{}
 		s.lat = telemetry.NewHistogram()
 		return s
 	}
@@ -52,6 +54,7 @@ func NewStatsIn(reg *telemetry.Registry) *Stats {
 	s.errors = reg.Counter("serve_errors_total")
 	s.batches = reg.Counter("serve_batches_total")
 	s.examples = reg.Counter("serve_examples_total")
+	s.policy = reg.Counter("serve_policy_changes_total")
 	s.lat = reg.Histogram("serve_latency_seconds")
 	return s
 }
@@ -75,6 +78,9 @@ func (s *Stats) RecordBatch(size int) {
 func (s *Stats) RecordLatency(d time.Duration) {
 	s.lat.Observe(d)
 }
+
+// RecordPolicyChange counts one applied adaptive batch-ceiling change.
+func (s *Stats) RecordPolicyChange() { s.policy.Inc() }
 
 // Quantile returns the q-quantile (0 < q ≤ 1) of recorded latencies in
 // milliseconds, resolved to histogram-bucket granularity (≈×√2). Returns 0
@@ -104,6 +110,9 @@ type Report struct {
 	P99Ms         float64 `json:"p99_ms"`
 	QueueDepth    int     `json:"queue_depth"`
 	ModelVersion  uint64  `json:"model_version"`
+	PoolWorkers   int     `json:"pool_workers"`
+	BatchCeiling  int     `json:"batch_ceiling"`
+	PolicyChanges int64   `json:"policy_changes"`
 }
 
 // Snapshot summarizes the accumulated stats. queueDepth and version are
@@ -112,16 +121,17 @@ type Report struct {
 func (s *Stats) Snapshot(queueDepth int, version uint64) Report {
 	up := time.Since(s.start).Seconds()
 	r := Report{
-		UptimeSec:    up,
-		Requests:     s.requests.Value(),
-		Rejected:     s.rejected.Value(),
-		Errors:       s.errors.Value(),
-		Batches:      s.batches.Value(),
-		P50Ms:        s.Quantile(0.50),
-		P90Ms:        s.Quantile(0.90),
-		P99Ms:        s.Quantile(0.99),
-		QueueDepth:   queueDepth,
-		ModelVersion: version,
+		UptimeSec:     up,
+		Requests:      s.requests.Value(),
+		Rejected:      s.rejected.Value(),
+		Errors:        s.errors.Value(),
+		Batches:       s.batches.Value(),
+		P50Ms:         s.Quantile(0.50),
+		P90Ms:         s.Quantile(0.90),
+		P99Ms:         s.Quantile(0.99),
+		QueueDepth:    queueDepth,
+		ModelVersion:  version,
+		PolicyChanges: s.policy.Value(),
 	}
 	if r.Batches > 0 {
 		r.MeanBatch = float64(s.examples.Value()) / float64(r.Batches)

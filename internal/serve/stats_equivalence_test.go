@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"heterosgd/internal/nn"
 	"heterosgd/internal/telemetry"
 )
 
@@ -158,13 +159,16 @@ func TestStatszUnchangedByHistogramExtraction(t *testing.T) {
 	for _, key := range []string{
 		"uptime_sec", "requests", "rejected", "errors", "batches", "mean_batch",
 		"throughput_rps", "p50_ms", "p90_ms", "p99_ms", "queue_depth", "model_version",
+		// Added by the serving-pool PR: worker count, live adaptive batch
+		// ceiling, and applied controller decisions.
+		"pool_workers", "batch_ceiling", "policy_changes",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Fatalf("/statsz lost field %q after the extraction", key)
 		}
 	}
-	if len(doc) != 12 {
-		t.Fatalf("/statsz now has %d fields, original had 12: %v", len(doc), doc)
+	if len(doc) != 15 {
+		t.Fatalf("/statsz now has %d fields, expected the original 12 plus the 3 pool fields: %v", len(doc), doc)
 	}
 	if rep.Requests != refRequests || rep.Rejected != 1 || rep.Errors != 1 || rep.Batches != refBatches {
 		t.Fatalf("counter fields drifted: %+v", rep)
@@ -177,5 +181,82 @@ func TestStatszUnchangedByHistogramExtraction(t *testing.T) {
 	}
 	if rep.QueueDepth != 3 || rep.ModelVersion != 17 {
 		t.Fatalf("pass-through fields drifted: %+v", rep)
+	}
+}
+
+// TestPoolGlobalAdmissionAccounting pins that admission-control accounting
+// is pool-global: the same deterministic request stream produces the same
+// /statsz counters whether one worker or several drain the queue. Admission
+// (requests/rejected) happens on the shared queue before any worker sees a
+// request, and every worker records batches into the shared Stats — so the
+// worker count can never skew the 429 math or the serving counters.
+func TestPoolGlobalAdmissionAccounting(t *testing.T) {
+	const (
+		queueCap = 8
+		offered  = 20
+	)
+	type countFields struct {
+		requests, rejected, errors, batches int64
+		meanBatch                           float64
+		queueDepth                          int
+	}
+	var reference *countFields
+	for _, workers := range []int{1, 2, 4} {
+		net := nn.MustNetwork(nn.Arch{InputDim: 4, Hidden: []int{8}, OutputDim: 2, Activation: nn.ActSigmoid})
+		params := net.NewParams(nn.InitXavier, rand.New(rand.NewPCG(23, 29)))
+		pub := NewPublisher(net)
+		pub.PublishParams(params)
+		// White-box, no worker goroutines: the queue fills
+		// deterministically, then the workers drain it synchronously.
+		b := &Batcher{
+			pub:   pub,
+			opts:  Options{MaxBatch: 4, QueueCap: queueCap, PoolWorkers: workers}.withDefaults(net.Arch),
+			stats: NewStats(),
+			queue: make(chan *request, queueCap),
+			stop:  make(chan struct{}),
+		}
+		inst := Instance{Dense: make([]float64, 4)}
+		admitted, rejected := 0, 0
+		for i := 0; i < offered; i++ {
+			if _, err := b.Submit(inst); err == nil {
+				admitted++
+			} else if err == ErrOverloaded {
+				rejected++
+			} else {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+		if admitted != queueCap || rejected != offered-queueCap {
+			t.Fatalf("workers=%d: admitted %d rejected %d, want %d/%d", workers, admitted, rejected, queueCap, offered-queueCap)
+		}
+		// Drain round-robin across the pool in batches of MaxBatch, exactly
+		// what the worker loops do minus the timers.
+		pool := make([]*poolWorker, workers)
+		for i := range pool {
+			pool[i] = b.newPoolWorker()
+		}
+		reqs := make([]*request, 0, b.opts.MaxBatch)
+		for i := 0; len(b.queue) > 0; i++ {
+			reqs = reqs[:0]
+			for len(reqs) < b.opts.MaxBatch && len(b.queue) > 0 {
+				reqs = append(reqs, <-b.queue)
+			}
+			pool[i%workers].serveBatch(reqs)
+			for _, r := range reqs {
+				if resp := <-r.done; resp.Err != nil {
+					t.Fatalf("workers=%d: serve: %v", workers, resp.Err)
+				}
+			}
+		}
+		rep := b.Report()
+		got := countFields{rep.Requests, rep.Rejected, rep.Errors, rep.Batches, rep.MeanBatch, rep.QueueDepth}
+		if reference == nil {
+			reference = &got
+		} else if got != *reference {
+			t.Fatalf("workers=%d: counters %+v diverge from single-worker reference %+v", workers, got, *reference)
+		}
+		if rep.PoolWorkers != workers {
+			t.Fatalf("report pool_workers = %d, want %d", rep.PoolWorkers, workers)
+		}
 	}
 }

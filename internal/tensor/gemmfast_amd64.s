@@ -1,0 +1,111 @@
+// AVX2+FMA micro-kernels for the inference-only fast GEMM path (see
+// gemmfast_amd64.go). Only reached after runtime CPUID detection confirms
+// AVX2, FMA, and OS-enabled YMM state.
+
+#include "textflag.h"
+
+// func fmaDot4x2(a0, a1, a2, a3, b0, b1 *float64, n int, out *[8]float64)
+//
+// Computes the eight dot products {a0,a1,a2,a3}·{b0,b1} over n four-element
+// chunks (4n doubles per operand; callers handle the k%4 tail). Eight YMM
+// accumulators (4 rows × 2 columns) keep sixteen FMA chains in flight, so a
+// loaded B vector is reused across four rows and a loaded A vector across two
+// columns — the register-tiling that the scalar 4-row kernel in ops.go
+// approximates without SIMD.
+TEXT ·fmaDot4x2(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b0+32(FP), R12
+	MOVQ b1+40(FP), R13
+	MOVQ n+48(FP), CX
+	MOVQ out+56(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+loop:
+	VMOVUPD (R12), Y8
+	VMOVUPD (R13), Y9
+	VMOVUPD (R8), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VMOVUPD (R9), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VMOVUPD (R10), Y12
+	VFMADD231PD Y8, Y12, Y4
+	VFMADD231PD Y9, Y12, Y5
+	VMOVUPD (R11), Y13
+	VFMADD231PD Y8, Y13, Y6
+	VFMADD231PD Y9, Y13, Y7
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	DECQ CX
+	JNZ  loop
+
+	// Horizontal reduction: fold each accumulator's four lanes to a scalar
+	// and store them in row-major (row, column) order.
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	VMOVSD X0, 0(DI)
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD X8, X1, X1
+	VHADDPD X1, X1, X1
+	VMOVSD X1, 8(DI)
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD X8, X2, X2
+	VHADDPD X2, X2, X2
+	VMOVSD X2, 16(DI)
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD X8, X3, X3
+	VHADDPD X3, X3, X3
+	VMOVSD X3, 24(DI)
+	VEXTRACTF128 $1, Y4, X8
+	VADDPD X8, X4, X4
+	VHADDPD X4, X4, X4
+	VMOVSD X4, 32(DI)
+	VEXTRACTF128 $1, Y5, X8
+	VADDPD X8, X5, X5
+	VHADDPD X5, X5, X5
+	VMOVSD X5, 40(DI)
+	VEXTRACTF128 $1, Y6, X8
+	VADDPD X8, X6, X6
+	VHADDPD X6, X6, X6
+	VMOVSD X6, 48(DI)
+	VEXTRACTF128 $1, Y7, X8
+	VADDPD X8, X7, X7
+	VHADDPD X7, X7, X7
+	VMOVSD X7, 56(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidex(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

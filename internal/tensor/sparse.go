@@ -185,6 +185,12 @@ func SpMM(transB bool, alpha float64, a *CSR, b *Matrix, beta float64, c *Matrix
 	if c.Rows != a.Rows || c.Cols != n {
 		panic(fmt.Sprintf("tensor: spmm output shape %d×%d, need %d×%d", c.Rows, c.Cols, a.Rows, n))
 	}
+	// Serial short-circuit before building the closure: the serving hot
+	// path runs SpMM with workers=1 and must stay allocation-free.
+	if workers == 1 || a.Rows <= 1 {
+		spmmRange(transB, alpha, a, b, beta, c, 0, a.Rows)
+		return
+	}
 	parallelRows(a.Rows, a.NNZ()*n, workers, func(i0, i1 int) {
 		spmmRange(transB, alpha, a, b, beta, c, i0, i1)
 	})

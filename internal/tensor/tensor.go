@@ -58,6 +58,19 @@ func (m *Matrix) RowView(i, n int) *Matrix {
 	return &Matrix{Rows: n, Cols: m.Cols, Stride: m.Stride, Data: m.Data[i*m.Stride : (i+n-1)*m.Stride+m.Cols]}
 }
 
+// RowViewInto is RowView writing the view header into dst instead of
+// allocating one — the zero-allocation variant used by per-request hot paths
+// (serving workspaces re-slice the same cached header every batch). Returns
+// dst for chaining.
+func (m *Matrix) RowViewInto(dst *Matrix, i, n int) *Matrix {
+	if i < 0 || n < 0 || i+n > m.Rows {
+		panic(fmt.Sprintf("tensor: row view [%d,%d) out of range for %d rows", i, i+n, m.Rows))
+	}
+	dst.Rows, dst.Cols, dst.Stride = n, m.Cols, m.Stride
+	dst.Data = m.Data[i*m.Stride : (i+n-1)*m.Stride+m.Cols]
+	return dst
+}
+
 // Clone returns a deep copy of m with a compact stride.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)
